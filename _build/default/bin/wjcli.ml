@@ -1,0 +1,275 @@
+(* wjcli — command-line front end for the wander join engine.
+
+   Subcommands:
+     query     run a SQL statement (ONLINE or exact) against TPC-H data
+     tpch      run one of the paper's benchmark queries with wander join
+     plans     show the enumerated walk plans and the optimizer's choice
+     groupby   per-group online aggregation, plain or stratified
+     suggest   cardinality-guided full-join order for a benchmark query
+
+   Data comes from the built-in deterministic generator (--sf) or from
+   official dbgen .tbl files (--tbl-dir). *)
+
+open Cmdliner
+
+let sf_arg =
+  let doc = "TPC-H scale factor (1.0 = 1.5M orders; 0.01 is a quick demo)." in
+  Arg.(value & opt float 0.01 & info [ "sf" ] ~docv:"SF" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for data generation and sampling." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let tbl_dir_arg =
+  let doc = "Load official dbgen .tbl files from this directory instead of generating." in
+  Arg.(value & opt (some dir) None & info [ "tbl-dir" ] ~docv:"DIR" ~doc)
+
+let load sf seed tbl_dir =
+  match tbl_dir with
+  | Some dir ->
+    Printf.printf "Loading dbgen .tbl files from %s ...\n%!" dir;
+    let d = Wj_tpch.Tbl_loader.load_dir dir in
+    Printf.printf "  %d rows total (inferred SF %.3g)\n%!"
+      (Wj_tpch.Generator.total_rows d) d.sf;
+    d
+  | None ->
+    Printf.printf "Generating TPC-H data at SF %g (seed %d)...\n%!" sf seed;
+    let d = Wj_tpch.Generator.generate ~seed ~sf () in
+    Printf.printf "  %d rows total\n%!" (Wj_tpch.Generator.total_rows d);
+    d
+
+(* --- query ------------------------------------------------------------ *)
+
+let query_cmd =
+  let sql_arg =
+    let doc = "The SQL statement to execute." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let run sf seed tbl_dir sql =
+    let d = load sf seed tbl_dir in
+    let catalog = Wj_tpch.Generator.catalog d in
+    match Wj_sql.Engine.execute ~seed ~on_report:print_endline catalog sql with
+    | r ->
+      print_string (Wj_sql.Engine.render r);
+      0
+    | exception Wj_sql.Lexer.Lex_error (msg, off) ->
+      Printf.eprintf "lex error at offset %d: %s\n" off msg;
+      1
+    | exception Wj_sql.Parser.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      1
+    | exception Wj_sql.Binder.Bind_error msg ->
+      Printf.eprintf "bind error: %s\n" msg;
+      1
+  in
+  let doc = "Execute a SQL statement (use SELECT ONLINE for online aggregation)." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ sf_arg $ seed_arg $ tbl_dir_arg $ sql_arg)
+
+(* --- tpch ------------------------------------------------------------- *)
+
+let spec_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "q3" -> Ok Wj_tpch.Queries.Q3
+    | "q7" -> Ok Wj_tpch.Queries.Q7
+    | "q10" -> Ok Wj_tpch.Queries.Q10
+    | _ -> Error (`Msg "expected q3, q7 or q10")
+  in
+  let print fmt s = Format.fprintf fmt "%s" (Wj_tpch.Queries.name_of s) in
+  Arg.conv (parse, print)
+
+let spec_arg =
+  let doc = "Benchmark query: q3, q7 or q10." in
+  Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"QUERY" ~doc)
+
+let tpch_cmd =
+  let barebone_arg =
+    let doc = "Drop the selection predicates (barebone join)." in
+    Arg.(value & flag & info [ "barebone" ] ~doc)
+  in
+  let time_arg =
+    let doc = "Time budget in seconds." in
+    Arg.(value & opt float 5.0 & info [ "time" ] ~docv:"SECONDS" ~doc)
+  in
+  let target_arg =
+    let doc = "Stop at this relative confidence half-width, in percent." in
+    Arg.(value & opt (some float) None & info [ "target" ] ~docv:"PCT" ~doc)
+  in
+  let exact_arg =
+    let doc = "Also run the exact join and report the actual error." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let complete_arg =
+    let doc =
+      "Run-to-completion mode: race wander join against the full join in a \
+       second domain and return the exact answer when it lands."
+    in
+    Arg.(value & flag & info [ "complete" ] ~doc)
+  in
+  let run sf seed tbl_dir spec barebone time target exact complete =
+    let d = load sf seed tbl_dir in
+    let variant = if barebone then Wj_tpch.Queries.Barebone else Standard in
+    let q = Wj_tpch.Queries.build ~variant spec d in
+    let reg = Wj_tpch.Queries.registry q in
+    let target = Option.map (fun pct -> Wj_stats.Target.relative (pct /. 100.0)) target in
+    if complete then begin
+      let r =
+        Wj_exec.Complete.run ~seed ?target ~report_every:0.5
+          ~on_report:(fun rep ->
+            Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks)\n%!" rep.elapsed
+              rep.estimate rep.half_width rep.walks)
+          q reg
+      in
+      Printf.printf "full join finished in %.3fs: exact = %.6g (join size %d)\n"
+        r.exact_time r.exact.value r.exact.join_size;
+      Printf.printf "online at cancellation: %.6g +/- %.4g (%d walks)\n"
+        r.online.final.estimate r.online.final.half_width r.online.final.walks;
+      0
+    end
+    else begin
+      let out =
+        Wj_core.Online.run ~seed ~max_time:time ?target ~report_every:1.0
+          ~on_report:(fun r ->
+            Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks, %d successes)\n%!"
+              r.elapsed r.estimate r.half_width r.walks r.successes)
+          q reg
+      in
+      Printf.printf "final: %.6g +/- %.4g after %.2fs (%d walks; plan %s)\n"
+        out.final.estimate out.final.half_width out.final.elapsed out.final.walks
+        out.plan_description;
+      if exact then begin
+        let e = Wj_exec.Exact.aggregate q reg in
+        Printf.printf "exact: %.6g (join size %d); actual error %.4f%%\n" e.value
+          e.join_size
+          (100.0 *. Float.abs ((out.final.estimate -. e.value) /. e.value))
+      end;
+      0
+    end
+  in
+  let doc = "Run a TPC-H benchmark query with wander join." in
+  Cmd.v (Cmd.info "tpch" ~doc)
+    Term.(
+      const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ barebone_arg $ time_arg
+      $ target_arg $ exact_arg $ complete_arg)
+
+(* --- plans ------------------------------------------------------------ *)
+
+let plans_cmd =
+  let run sf seed tbl_dir spec =
+    let d = load sf seed tbl_dir in
+    let q = Wj_tpch.Queries.build ~variant:Standard spec d in
+    let reg = Wj_tpch.Queries.registry q in
+    let prng = Wj_util.Prng.create seed in
+    let r = Wj_core.Optimizer.choose q reg prng in
+    Printf.printf "%d plans enumerated; optimizer trials: %d walks\n"
+      (List.length r.reports) r.total_trial_walks;
+    List.iter
+      (fun (p : Wj_core.Optimizer.plan_report) ->
+        Printf.printf "%s %-60s  success %4d/%-5d  Var*E[T] %.4g\n"
+          (if p.chosen then "*" else " ")
+          (Wj_core.Walk_plan.describe q p.plan)
+          p.trial_successes p.trial_walks p.objective)
+      r.reports;
+    0
+  in
+  let doc = "Enumerate walk plans and show the optimizer's evaluation." in
+  Cmd.v (Cmd.info "plans" ~doc)
+    Term.(const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg)
+
+(* --- groupby ----------------------------------------------------------- *)
+
+let groupby_cmd =
+  let stratified_arg =
+    let doc = "Use stratified sampling (one stratum per group, adaptive allocation)." in
+    Arg.(value & flag & info [ "stratified" ] ~doc)
+  in
+  let time_arg =
+    let doc = "Time budget in seconds." in
+    Arg.(value & opt float 3.0 & info [ "time" ] ~docv:"SECONDS" ~doc)
+  in
+  let run sf seed tbl_dir spec stratified time =
+    match spec with
+    | Wj_tpch.Queries.Q7 ->
+      Printf.eprintf "GROUP BY c_mktsegment is not available for Q7\n";
+      1
+    | _ ->
+      let d = load sf seed tbl_dir in
+      let q = Wj_tpch.Queries.build ~variant:Standard ~group_by_segment:true spec d in
+      let reg = Wj_tpch.Queries.registry q in
+      let print_report key (r : Wj_core.Online.report) extra =
+        Printf.printf "  %-14s %12.6g +/- %-10.4g (%5.2f%%)%s\n"
+          (Wj_storage.Value.to_display key)
+          r.estimate r.half_width
+          (100.0 *. r.half_width /. Float.abs r.estimate)
+          extra
+      in
+      if stratified then begin
+        (* Stratify on the dictionary-encoded segment id. *)
+        let pos, _ = Option.get q.Wj_core.Query.group_by in
+        let seg_id =
+          Wj_storage.Table.column_index q.Wj_core.Query.tables.(pos) "c_mktsegment_id"
+        in
+        let q = { q with Wj_core.Query.group_by = Some (pos, seg_id) } in
+        Wj_core.Registry.add reg ~pos ~column:seg_id
+          (Wj_index.Index.build_ordered q.Wj_core.Query.tables.(pos) ~column:seg_id);
+        let out = Wj_core.Stratified.run ~seed ~max_time:time q reg in
+        Printf.printf "stratified, %d walks total:\n" out.total_walks;
+        List.iter
+          (fun (g : Wj_core.Stratified.group_state) ->
+            let label =
+              Wj_tpch.Generator.market_segments.(Wj_storage.Value.to_int g.key)
+            in
+            print_report (Wj_storage.Value.Str label) g.report
+              (Printf.sprintf "  [%d walks]" g.report.walks))
+          out.strata
+      end
+      else begin
+        let out = Wj_core.Online.run_group_by ~seed ~max_time:time q reg in
+        Printf.printf "plain group-by, %d walks total:\n" out.total_walks;
+        List.iter (fun (key, r) -> print_report key r "") out.groups
+      end;
+      0
+  in
+  let doc = "Online GROUP BY c_mktsegment for a benchmark query." in
+  Cmd.v (Cmd.info "groupby" ~doc)
+    Term.(
+      const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ stratified_arg $ time_arg)
+
+(* --- suggest ------------------------------------------------------------ *)
+
+let suggest_cmd =
+  let run sf seed tbl_dir spec =
+    let d = load sf seed tbl_dir in
+    let q = Wj_tpch.Queries.build ~variant:Standard spec d in
+    let reg = Wj_tpch.Queries.registry q in
+    let order, estimates = Wj_core.Cardinality.suggest_order ~seed q reg in
+    Printf.printf "suggested join order: %s\n"
+      (String.concat " -> "
+         (Array.to_list (Array.map (fun i -> q.Wj_core.Query.names.(i)) order)));
+    List.iter
+      (fun (e : Wj_core.Cardinality.estimate) ->
+        Printf.printf "  after {%s}: ~%.4g results (+/- %.3g, %d walks)\n"
+          (String.concat ", "
+             (List.map (fun i -> q.Wj_core.Query.names.(i)) e.members))
+          e.size e.half_width e.walks)
+      estimates;
+    (match Wj_core.Walk_plan.of_order q reg order with
+    | Some plan ->
+      let guided = Wj_exec.Exact.aggregate ~plan q reg in
+      let naive = Wj_exec.Exact.aggregate q reg in
+      Printf.printf "exact execution cost: %d tuples (FROM order: %d)\n"
+        guided.rows_visited naive.rows_visited
+    | None -> Printf.printf "(order not walkable with current indexes)\n");
+    0
+  in
+  let doc = "Suggest a full-join order from wander-join cardinality estimates." in
+  Cmd.v (Cmd.info "suggest" ~doc)
+    Term.(const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg)
+
+let () =
+  let doc = "Wander join: online aggregation via random walks" in
+  let info = Cmd.info "wjcli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ query_cmd; tpch_cmd; plans_cmd; groupby_cmd; suggest_cmd ]))

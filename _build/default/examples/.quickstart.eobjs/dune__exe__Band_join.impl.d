@@ -1,0 +1,1 @@
+examples/band_join.ml: Printf Wj_core Wj_exec Wj_sql Wj_storage Wj_util

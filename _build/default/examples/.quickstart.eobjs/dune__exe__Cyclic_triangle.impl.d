@@ -1,0 +1,1 @@
+examples/cyclic_triangle.ml: Array List Printf String Wj_core Wj_exec Wj_index Wj_storage Wj_util

@@ -1,0 +1,1 @@
+examples/groupby_segments.ml: Array Float List Printf Wj_core Wj_exec Wj_storage Wj_tpch

@@ -1,0 +1,1 @@
+examples/groupby_segments.mli:

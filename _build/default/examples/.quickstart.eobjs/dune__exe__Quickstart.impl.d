@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Printf Wj_core Wj_exec Wj_stats Wj_storage Wj_util

@@ -1,0 +1,1 @@
+examples/sql_online.ml: Printf Wj_sql Wj_tpch

@@ -1,0 +1,1 @@
+examples/tpch_online.ml: Float Printf Wj_core Wj_exec Wj_stats Wj_tpch Wj_util

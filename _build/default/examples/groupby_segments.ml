@@ -1,0 +1,44 @@
+(* GROUP BY online aggregation (the paper's Fig. 12c): Q10 revenue per
+   market segment, one estimator and confidence interval per group, all
+   maintained by the same stream of random walks.
+
+   Run with: dune exec examples/groupby_segments.exe *)
+
+let () =
+  let d = Wj_tpch.Generator.generate ~sf:0.02 () in
+  let q =
+    Wj_tpch.Queries.build ~variant:Standard ~group_by_segment:true Wj_tpch.Queries.Q10 d
+  in
+  let registry = Wj_tpch.Queries.registry q in
+
+  Printf.printf "online GROUP BY c_mktsegment (relative CI per group over time):\n\n";
+  Printf.printf "%8s" "time";
+  Array.iter (fun s -> Printf.printf "  %12s" s) Wj_tpch.Generator.market_segments;
+  print_newline ();
+  let out =
+    Wj_core.Online.run_group_by ~seed:5 ~max_time:2.0 ~report_every:0.25
+      ~on_group_report:(fun t groups ->
+        Printf.printf "%7.2fs" t;
+        List.iter
+          (fun (_, (r : Wj_core.Online.report)) ->
+            Printf.printf "  %11.2f%%" (100.0 *. r.half_width /. Float.abs r.estimate))
+          groups;
+        print_newline ())
+      q registry
+  in
+
+  Printf.printf "\nfinal estimates vs exact:\n";
+  let exact = Wj_exec.Exact.group_aggregate q registry in
+  List.iter
+    (fun (key, (r : Wj_core.Online.report)) ->
+      let exact_v =
+        match List.assoc_opt key exact with
+        | Some e -> e.Wj_exec.Exact.value
+        | None -> nan
+      in
+      Printf.printf "  %-12s  est %.5g +/- %.3g   exact %.5g   err %.2f%%\n"
+        (Wj_storage.Value.to_display key)
+        r.estimate r.half_width exact_v
+        (100.0 *. Float.abs ((r.estimate -. exact_v) /. exact_v)))
+    out.groups;
+  Printf.printf "(%d walks total)\n" out.total_walks

@@ -1,0 +1,80 @@
+(* Quickstart: online aggregation over a 3-table join, built entirely with
+   the public API — no TPC-H involved.
+
+   Schema: users(uid, country) / orders(oid, uid) / items(oid, price).
+   Query:  SELECT SUM(items.price)
+           FROM users, orders, items
+           WHERE users.uid = orders.uid AND orders.oid = items.oid
+             AND users.country = 7
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Schema = Wj_storage.Schema
+module Table = Wj_storage.Table
+module Value = Wj_storage.Value
+module Query = Wj_core.Query
+
+let build_data () =
+  let prng = Wj_util.Prng.create 1 in
+  let users =
+    Table.create ~name:"users"
+      ~schema:(Schema.make [ { name = "uid"; ty = TInt }; { name = "country"; ty = TInt } ])
+      ()
+  in
+  for uid = 0 to 9_999 do
+    ignore (Table.insert users [| Int uid; Int (Wj_util.Prng.int prng 50) |])
+  done;
+  let orders =
+    Table.create ~name:"orders"
+      ~schema:(Schema.make [ { name = "oid"; ty = TInt }; { name = "uid"; ty = TInt } ])
+      ()
+  in
+  for oid = 0 to 49_999 do
+    ignore (Table.insert orders [| Int oid; Int (Wj_util.Prng.int prng 10_000) |])
+  done;
+  let items =
+    Table.create ~name:"items"
+      ~schema:(Schema.make [ { name = "oid"; ty = TInt }; { name = "price"; ty = TFloat } ])
+      ()
+  in
+  for _ = 0 to 149_999 do
+    let oid = Wj_util.Prng.int prng 50_000 in
+    ignore (Table.insert items [| Int oid; Float (1.0 +. Wj_util.Prng.float prng 99.0) |])
+  done;
+  (users, orders, items)
+
+let () =
+  let users, orders, items = build_data () in
+  (* 1. Describe the query. *)
+  let q =
+    Query.make
+      ~tables:[ ("users", users); ("orders", orders); ("items", items) ]
+      ~joins:
+        [
+          { left = (0, 0); right = (1, 1); op = Eq }; (* users.uid = orders.uid *)
+          { left = (1, 0); right = (2, 0); op = Eq }; (* orders.oid = items.oid *)
+        ]
+      ~predicates:[ Cmp { table = 0; column = 1; op = Ceq; value = Value.Int 7 } ]
+      ~agg:Sum
+      ~expr:(Col (2, 1)) (* items.price *)
+      ()
+  in
+  (* 2. Build the indexes the random walks need. *)
+  let registry = Wj_core.Registry.build_for_query q in
+  (* 3. Run online aggregation: watch the confidence interval shrink. *)
+  Printf.printf "online SUM(items.price) for country 7:\n";
+  let out =
+    Wj_core.Online.run ~seed:42 ~max_time:1.0
+      ~target:(Wj_stats.Target.relative 0.005) ~report_every:0.1
+      ~on_report:(fun r ->
+        Printf.printf "  %.2fs  %12.1f +/- %8.1f   (%d walks)\n%!" r.elapsed
+          r.estimate r.half_width r.walks)
+      q registry
+  in
+  Printf.printf "final:  %12.1f +/- %8.1f  via plan %s\n" out.final.estimate
+    out.final.half_width out.plan_description;
+  (* 4. Compare with the exact answer. *)
+  let exact = Wj_exec.Exact.aggregate q registry in
+  Printf.printf "exact:  %12.1f  (join size %d)\n" exact.value exact.join_size;
+  Printf.printf "actual error: %.3f%%\n"
+    (100.0 *. Float.abs ((out.final.estimate -. exact.value) /. exact.value))

@@ -1,0 +1,40 @@
+(* The SQL interface — the paper's PostgreSQL-extension syntax (§5.3):
+
+   SELECT ONLINE ... WITHINTIME 3 CONFIDENCE 95 REPORTINTERVAL 1
+
+   executed against generated TPC-H data through the parser, binder and
+   online executor.
+
+   Run with: dune exec examples/sql_online.exe *)
+
+let () =
+  let d = Wj_tpch.Generator.generate ~sf:0.02 () in
+  let catalog = Wj_tpch.Generator.catalog d in
+
+  let sql =
+    {|
+    SELECT ONLINE
+        SUM(l_extendedprice * (1 - l_discount)), COUNT(*)
+    FROM customer, orders, lineitem
+    WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND o_orderdate < DATE '1995-03-15'
+    WITHINTIME 3 CONFIDENCE 95 REPORTINTERVAL 1
+    |}
+  in
+  Printf.printf "executing:\n%s\n" sql;
+  let r = Wj_sql.Engine.execute ~on_report:print_endline catalog sql in
+  Printf.printf "\nfinal answers:\n%s" (Wj_sql.Engine.render r);
+
+  Printf.printf "\nand the exact version of the same statement:\n";
+  let exact =
+    Wj_sql.Engine.execute catalog
+      {|
+      SELECT SUM(l_extendedprice * (1 - l_discount)), COUNT(*)
+      FROM customer, orders, lineitem
+      WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+        AND l_orderkey = o_orderkey
+        AND o_orderdate < DATE '1995-03-15'
+      |}
+  in
+  print_string (Wj_sql.Engine.render exact)

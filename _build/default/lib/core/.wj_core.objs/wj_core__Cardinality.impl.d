@@ -1,0 +1,1 @@
+lib/core/cardinality.ml: Array Float Fun Hashtbl List Online Optimizer Query Registry Wj_stats Wj_storage

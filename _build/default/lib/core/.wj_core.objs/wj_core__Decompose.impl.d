@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Fun Join_graph List

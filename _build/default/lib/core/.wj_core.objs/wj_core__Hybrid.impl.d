@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Decompose Float Join_graph List Query Walk_plan Walker Wj_stats Wj_util

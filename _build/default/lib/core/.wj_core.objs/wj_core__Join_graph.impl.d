@@ -1,0 +1,1 @@
+lib/core/join_graph.ml: Array Fun Hashtbl List Option Query Registry

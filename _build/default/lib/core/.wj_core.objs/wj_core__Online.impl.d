@@ -1,0 +1,1 @@
+lib/core/online.ml: Hashtbl List Optimizer Option Query Walk_plan Walker Wj_stats Wj_storage Wj_util

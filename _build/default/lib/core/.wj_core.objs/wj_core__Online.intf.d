@@ -1,0 +1,1 @@
+lib/core/online.mli: Optimizer Query Registry Walk_plan Walker Wj_stats Wj_storage Wj_util

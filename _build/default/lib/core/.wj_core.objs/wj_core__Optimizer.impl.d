@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: List Option Query Walk_plan Walker Wj_stats

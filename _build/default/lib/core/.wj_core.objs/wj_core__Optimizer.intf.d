@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Query Registry Walk_plan Walker Wj_stats Wj_util

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Array Domain List Online Optimizer Query Walk_plan Walker Wj_stats Wj_util

@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Fun List Printf String Wj_stats Wj_storage

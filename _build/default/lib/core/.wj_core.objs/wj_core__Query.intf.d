@@ -1,0 +1,1 @@
+lib/core/query.mli: Wj_stats Wj_storage

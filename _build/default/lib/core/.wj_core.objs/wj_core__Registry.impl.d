@@ -1,0 +1,1 @@
+lib/core/registry.ml: Array Hashtbl List Option Query Wj_index Wj_storage

@@ -1,0 +1,1 @@
+lib/core/stratified.ml: Array Float List Online Optimizer Query Registry Walk_plan Walker Wj_index Wj_stats Wj_storage Wj_util

@@ -1,0 +1,1 @@
+lib/core/stratified.mli: Online Query Registry Wj_storage Wj_util

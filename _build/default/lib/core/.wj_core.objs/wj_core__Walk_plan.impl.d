@@ -1,0 +1,1 @@
+lib/core/walk_plan.ml: Array Join_graph List Printf Query Registry Seq String Wj_index

@@ -1,0 +1,1 @@
+lib/core/walk_plan.mli: Query Registry Wj_index

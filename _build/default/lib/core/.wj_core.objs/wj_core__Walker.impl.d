@@ -1,0 +1,1 @@
+lib/core/walker.ml: Array List Option Query Registry Walk_plan Wj_index Wj_storage Wj_util

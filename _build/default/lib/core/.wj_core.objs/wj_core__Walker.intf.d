@@ -1,0 +1,1 @@
+lib/core/walker.mli: Query Registry Walk_plan Wj_util

@@ -1,0 +1,47 @@
+(** Join-cardinality estimation for query optimization (§7 of the paper).
+
+    "Because wander join can estimate COUNT very quickly, we can run wander
+    join on any sub-join and estimate the intermediate join size.  This in
+    turn provides important statistics to a traditional cost-based query
+    optimizer."
+
+    [subquery] restricts a query to a connected subset of its tables;
+    [estimate_size] wander-joins its COUNT; [suggest_order] greedily builds
+    a full-join order that keeps estimated intermediate results small, the
+    classic Selinger-style use of such statistics. *)
+
+type estimate = {
+  members : int list;  (** table positions of the sub-join, sorted *)
+  size : float;  (** estimated number of sub-join results *)
+  half_width : float;
+  walks : int;
+}
+
+val subquery : Query.t -> members:int list -> Query.t
+(** COUNT query over the induced sub-join (joins with both endpoints in
+    [members]; predicates on member tables kept).  Raises
+    [Invalid_argument] if the induced join graph is not connected or the
+    subset is empty. *)
+
+val estimate_size :
+  ?seed:int ->
+  ?max_walks:int ->
+  ?max_time:float ->
+  Query.t ->
+  Registry.t ->
+  members:int list ->
+  estimate
+(** Wander-join COUNT estimate of the sub-join size (default budget: 20 000
+    walks or 0.2 s, whichever first). *)
+
+val suggest_order :
+  ?seed:int ->
+  ?budget_walks:int ->
+  Query.t ->
+  Registry.t ->
+  int array * estimate list
+(** A full-join order built greedily: start from the table with the fewest
+    qualifying rows, then repeatedly attach the adjacent table minimising
+    the estimated size of the grown sub-join.  Returns the order and the
+    intermediate estimates that justified it.  All estimates share
+    [budget_walks] (default 50 000) across the sub-joins probed. *)

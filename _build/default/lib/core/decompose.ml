@@ -1,0 +1,125 @@
+type component = { root : int; members : int list }
+
+(* Tarjan's SCC.  Components are emitted sinks-first: every directed edge of
+   the condensation goes from a later list element to an earlier one. *)
+let scc ~succ ~n =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succ v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !components
+
+(* All subsets of [items] of the given size. *)
+let rec subsets_of_size items size =
+  match (items, size) with
+  | _, 0 -> [ [] ]
+  | [], _ -> []
+  | x :: rest, _ ->
+    List.map (fun s -> x :: s) (subsets_of_size rest (size - 1))
+    @ subsets_of_size rest size
+
+let decompose graph =
+  let n = Join_graph.k graph in
+  let reach = Array.init n (fun v -> Join_graph.reachable_set graph v) in
+  let subset_of a b = Array.for_all2 (fun x y -> (not x) || y) a b in
+  (* Step 1 — dominance pruning: drop T(v) contained in another T(v');
+     among equal sets keep the smallest vertex id. *)
+  let dominated v =
+    let beats u =
+      u <> v
+      && subset_of reach.(v) reach.(u)
+      && ((not (subset_of reach.(u) reach.(v))) || u < v)
+    in
+    List.exists beats (List.init n Fun.id)
+  in
+  let candidates = List.filter (fun v -> not (dominated v)) (List.init n Fun.id) in
+  (* Step 2 — exhaustive minimum cover over the surviving T(v). *)
+  let covers cset =
+    let covered = Array.make n false in
+    List.iter
+      (fun v -> Array.iteri (fun u r -> if r then covered.(u) <- true) reach.(v))
+      cset;
+    Array.for_all Fun.id covered
+  in
+  let rec find_cover size =
+    if size > List.length candidates then
+      invalid_arg "Decompose.decompose: graph cannot be covered";
+    match List.find_opt covers (subsets_of_size candidates size) with
+    | Some c -> c
+    | None -> find_cover (size + 1)
+  in
+  let cover = find_cover 1 in
+  (* Step 3 — turn the cover into a partition. *)
+  let covering u = List.filter (fun v -> reach.(v).(u)) cover in
+  let assignment = Array.make n (-1) in
+  List.init n Fun.id
+  |> List.iter (fun u ->
+         match covering u with [ v ] -> assignment.(u) <- v | _ -> ());
+  let multiply = List.filter (fun u -> List.length (covering u) > 1) (List.init n Fun.id) in
+  if multiply <> [] then begin
+    let in_m = Array.make n false in
+    List.iter (fun u -> in_m.(u) <- true) multiply;
+    let succ_m v =
+      if not in_m.(v) then []
+      else List.filter (fun w -> in_m.(w)) (Join_graph.directed_succ graph v)
+    in
+    let pred_m u = List.filter (fun v -> List.mem u (succ_m v)) multiply in
+    (* Topological order of the condensation (sources first); inside an SCC
+       the order is arbitrary. *)
+    let order =
+      scc ~succ:succ_m ~n
+      |> List.filter (fun comp -> List.for_all (fun v -> in_m.(v)) comp)
+      |> List.rev |> List.concat
+    in
+    List.iter
+      (fun u ->
+        let from_predecessor =
+          List.find_map
+            (fun p -> if assignment.(p) >= 0 && in_m.(p) then Some assignment.(p) else None)
+            (pred_m u)
+        in
+        assignment.(u) <-
+          (match from_predecessor with
+          | Some v -> v
+          | None -> List.hd (covering u)))
+      order
+  end;
+  cover
+  |> List.map (fun root ->
+         let members =
+           List.filter (fun u -> assignment.(u) = root) (List.init n Fun.id)
+         in
+         { root; members })
+  |> List.filter (fun c -> c.members <> [])
+  |> List.sort (fun a b -> compare a.root b.root)

@@ -1,0 +1,27 @@
+(** Directed-spanning-tree decomposition (§4.1, Appendix B).
+
+    When the index-directed query graph has no vertex that reaches every
+    other (no directed spanning tree), wander join cannot walk the whole
+    query.  The graph is then decomposed into the fewest components, each
+    admitting a directed spanning tree; wander join runs inside each
+    component and ripple join combines components (see {!Hybrid}).
+
+    Steps: reachable sets T(v); dominance pruning; exhaustive minimum set
+    cover (the problem is NP-hard, but k <= 8 in TPC-H); conversion of the
+    cover into a partition by assigning multiply-covered vertices along a
+    topological order of the strongly-connected components of the induced
+    subgraph — Appendix B proves this keeps every part connected. *)
+
+type component = {
+  root : int;  (** vertex whose reachability tree covers the members *)
+  members : int list;  (** sorted; includes the root *)
+}
+
+val decompose : Join_graph.t -> component list
+(** Minimum directed-spanning-tree decomposition.  Returns a single
+    component when the graph already has a directed spanning tree.
+    Components are returned in ascending root order. *)
+
+val scc : succ:(int -> int list) -> n:int -> int list list
+(** Tarjan's strongly-connected components in reverse topological order
+    (callees before callers); exposed for tests. *)

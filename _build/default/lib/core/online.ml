@@ -1,0 +1,203 @@
+module Estimator = Wj_stats.Estimator
+module Target = Wj_stats.Target
+module Timer = Wj_util.Timer
+module Prng = Wj_util.Prng
+module Value = Wj_storage.Value
+
+type report = {
+  elapsed : float;
+  walks : int;
+  successes : int;
+  estimate : float;
+  half_width : float;
+}
+
+type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+
+type outcome = {
+  final : report;
+  estimator : Estimator.t;
+  plan : Walk_plan.t;
+  plan_description : string;
+  optimizer_time : float;
+  optimizer_walks : int;
+  stopped_because : stop_reason;
+  history : report list;
+}
+
+type plan_choice =
+  | Optimize of Optimizer.config
+  | Fixed of Walk_plan.t
+  | First_enumerated
+
+let value_for_agg q prepared path =
+  match q.Query.agg with
+  | Estimator.Count -> 1.0
+  | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
+    Walker.value_of prepared path
+
+let make_report ~confidence ~elapsed est =
+  {
+    elapsed;
+    walks = Estimator.n est;
+    successes = Estimator.successes est;
+    estimate = Estimator.estimate est;
+    half_width = Estimator.half_width est ~confidence;
+  }
+
+let pick_plan ~plan_choice ~eager_checks ~tracer q registry prng clock =
+  match plan_choice with
+  | Fixed plan ->
+    ( Walker.prepare ~eager_checks ?tracer q registry plan,
+      plan,
+      Estimator.create q.Query.agg,
+      0.0,
+      0 )
+  | First_enumerated -> (
+    match Walk_plan.enumerate ~max_plans:1 q registry with
+    | [] -> invalid_arg "Online.run: query admits no walk plan"
+    | plan :: _ ->
+      ( Walker.prepare ~eager_checks ?tracer q registry plan,
+        plan,
+        Estimator.create q.Query.agg,
+        0.0,
+        0 ))
+  | Optimize config ->
+    let t0 = Timer.elapsed clock in
+    let r = Optimizer.choose ~config ~eager_checks ?tracer q registry prng in
+    let dt = Timer.elapsed clock -. t0 in
+    (r.best, r.best_plan, r.trial_estimator, dt, r.total_trial_walks)
+
+let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
+    ?report_every ?on_report ?clock ?(plan_choice = Optimize Optimizer.default_config)
+    ?(eager_checks = true) ?tracer ?should_stop q registry =
+  let clock = match clock with Some c -> c | None -> Timer.wall () in
+  let prng = Prng.create (seed lxor 0x4F4E4C) in  (* "ONL" *)
+  let prepared, plan, est, optimizer_time, optimizer_walks =
+    pick_plan ~plan_choice ~eager_checks ~tracer q registry prng clock
+  in
+  let history = ref [] in
+  let next_report = ref (match report_every with Some r -> r | None -> infinity) in
+  let emit_report () =
+    match on_report with
+    | None -> ()
+    | Some f ->
+      let r = make_report ~confidence ~elapsed:(Timer.elapsed clock) est in
+      history := r :: !history;
+      f r
+  in
+  let target_reached () =
+    match target with
+    | None -> false
+    | Some tgt ->
+      (* Checking the CI after every single walk is wasteful; poll. *)
+      Estimator.n est >= 16
+      && Estimator.n est land 15 = 0
+      && Target.reached tgt ~estimate:(Estimator.estimate est)
+           ~half_width:(Estimator.half_width est ~confidence)
+  in
+  let stop = ref None in
+  let cancelled () =
+    match should_stop with
+    | None -> false
+    | Some f -> Estimator.n est land 63 = 0 && f ()
+  in
+  while !stop = None do
+    if target_reached () then stop := Some Target_reached
+    else if cancelled () then stop := Some Cancelled
+    else if Timer.elapsed clock >= max_time then stop := Some Time_up
+    else if (match max_walks with Some m -> Estimator.n est >= m | None -> false)
+    then stop := Some Walk_budget_exhausted
+    else begin
+      (match Walker.walk prepared prng with
+      | Walker.Success { path; inv_p } ->
+        Estimator.add est ~u:inv_p ~v:(value_for_agg q prepared path)
+      | Walker.Failure _ -> Estimator.add_failure est);
+      if Timer.elapsed clock >= !next_report then begin
+        emit_report ();
+        next_report :=
+          !next_report +. (match report_every with Some r -> r | None -> infinity)
+      end
+    end
+  done;
+  let final = make_report ~confidence ~elapsed:(Timer.elapsed clock) est in
+  {
+    final;
+    estimator = est;
+    plan;
+    plan_description = Walk_plan.describe q plan;
+    optimizer_time;
+    optimizer_walks;
+    stopped_because = Option.get !stop;
+    history = List.rev !history;
+  }
+
+(* ---- Group-by -------------------------------------------------------- *)
+
+type group_outcome = {
+  groups : (Value.t * report) list;
+  total_walks : int;
+  group_elapsed : float;
+}
+
+let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
+    ?report_every ?on_group_report ?clock
+    ?(plan_choice = Optimize Optimizer.default_config) q registry =
+  if q.Query.group_by = None then
+    invalid_arg "Online.run_group_by: query has no GROUP BY";
+  let clock = match clock with Some c -> c | None -> Timer.wall () in
+  let prng = Prng.create (seed lxor 0x4F4E4C) in  (* "ONL" *)
+  let prepared, _plan, _trials, _, _ =
+    pick_plan ~plan_choice ~eager_checks:true ~tracer:None q registry prng clock
+  in
+  (* The optimizer's trial estimator cannot be split by group (it does not
+     retain paths), so group estimators start from zero walks here. *)
+  let groups : (Value.t, Estimator.t) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0 in
+  let group_est key =
+    match Hashtbl.find_opt groups key with
+    | Some e -> e
+    | None ->
+      let e = Estimator.create q.Query.agg in
+      (* Walks performed before this group first appeared are misses. *)
+      Estimator.add_failures e !total;
+      Hashtbl.add groups key e;
+      e
+  in
+  let pad_all () =
+    Hashtbl.iter (fun _ e -> Estimator.add_failures e (!total - Estimator.n e)) groups
+  in
+  let snapshot () =
+    pad_all ();
+    Hashtbl.fold
+      (fun key e acc ->
+        (key, make_report ~confidence ~elapsed:(Timer.elapsed clock) e) :: acc)
+      groups []
+    |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+  in
+  let next_report = ref (match report_every with Some r -> r | None -> infinity) in
+  let stop = ref false in
+  while not !stop do
+    if Timer.elapsed clock >= max_time then stop := true
+    else if (match max_walks with Some m -> !total >= m | None -> false) then
+      stop := true
+    else begin
+      (match Walker.walk prepared prng with
+      | Walker.Success { path; inv_p } ->
+        let key = Query.group_key q path in
+        let e = group_est key in
+        (* Catch up on misses since this group's last hit, then record. *)
+        Estimator.add_failures e (!total - Estimator.n e);
+        Estimator.add e ~u:inv_p ~v:(value_for_agg q prepared path)
+      | Walker.Failure _ -> ());
+      incr total;
+      if Timer.elapsed clock >= !next_report then begin
+        (match on_group_report with
+        | None -> ()
+        | Some f -> f (Timer.elapsed clock) (snapshot ()));
+        next_report :=
+          !next_report +. (match report_every with Some r -> r | None -> infinity)
+      end
+    end
+  done;
+  { groups = snapshot (); total_walks = !total; group_elapsed = Timer.elapsed clock }

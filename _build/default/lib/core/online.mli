@@ -1,0 +1,81 @@
+(** The online-aggregation driver: wander join end to end.
+
+    Plan selection (optionally via the optimizer), then a walk loop that
+    updates the estimator after every walk, emits periodic reports, and
+    stops on whichever comes first of: confidence target reached, time
+    budget exhausted, walk budget exhausted.
+
+    The loop reads time through a {!Wj_util.Timer.t}; handing it a virtual
+    clock advanced by an I/O simulator reproduces the paper's
+    limited-memory experiments with unmodified driver code. *)
+
+type report = {
+  elapsed : float;
+  walks : int;
+  successes : int;
+  estimate : float;
+  half_width : float;
+}
+
+type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+
+type outcome = {
+  final : report;
+  estimator : Wj_stats.Estimator.t;
+  plan : Walk_plan.t;
+  plan_description : string;
+  optimizer_time : float;  (** seconds spent on trial walks (0 with a fixed plan) *)
+  optimizer_walks : int;
+  stopped_because : stop_reason;
+  history : report list;  (** periodic reports, oldest first *)
+}
+
+type plan_choice =
+  | Optimize of Optimizer.config
+  | Fixed of Walk_plan.t
+  | First_enumerated
+      (** the plan in the order the query was written — the "PG plan"
+          baseline of Table 2 *)
+
+val run :
+  ?seed:int ->
+  ?confidence:float ->
+  ?target:Wj_stats.Target.t ->
+  ?max_time:float ->
+  ?max_walks:int ->
+  ?report_every:float ->
+  ?on_report:(report -> unit) ->
+  ?clock:Wj_util.Timer.t ->
+  ?plan_choice:plan_choice ->
+  ?eager_checks:bool ->
+  ?tracer:(Walker.event -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  Query.t ->
+  Registry.t ->
+  outcome
+(** Defaults: seed 42, confidence 0.95, no target, [max_time] 10 s,
+    [max_walks] unlimited, wall clock, optimizer with default config.
+    Raises [Invalid_argument] when the query admits no walk plan. *)
+
+type group_outcome = {
+  groups : (Wj_storage.Value.t * report) list;  (** sorted by group key *)
+  total_walks : int;
+  group_elapsed : float;
+}
+
+val run_group_by :
+  ?seed:int ->
+  ?confidence:float ->
+  ?max_time:float ->
+  ?max_walks:int ->
+  ?report_every:float ->
+  ?on_group_report:(float -> (Wj_storage.Value.t * report) list -> unit) ->
+  ?clock:Wj_util.Timer.t ->
+  ?plan_choice:plan_choice ->
+  Query.t ->
+  Registry.t ->
+  group_outcome
+(** Group-by variant (§3.5): one estimator per group; every walk counts in
+    every group's sample size (misses are zeros), keeping each group's
+    estimator unbiased.  Raises [Invalid_argument] when the query has no
+    GROUP BY clause. *)

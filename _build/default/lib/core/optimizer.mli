@@ -1,0 +1,52 @@
+(** The statistics-free walk-plan optimizer (§4.2).
+
+    For a fixed time budget t the variance of the final estimate is
+    proportional to Var[X₁]·E[T] (law of total variance), where X₁ is one
+    walk's Horvitz–Thompson observation and T one walk's cost.  Both are
+    estimated by trial walks: plans take turns performing one walk each
+    until some plan accumulates τ successful walks; among plans with at
+    least τ/2 successes the one minimising Var[X₁]·E[T] wins.
+
+    None of the trial work is wasted: every trial walk is an unbiased
+    observation, so the merged trial estimator seeds the final run. *)
+
+type config = {
+  tau : int;  (** success threshold; paper default 100 *)
+  max_rounds : int;
+      (** backstop: give up the round-robin after this many rounds per plan
+          even if no plan reached τ (all-plans-terrible queries) *)
+}
+
+val default_config : config
+
+type plan_report = {
+  plan : Walk_plan.t;
+  trial_walks : int;
+  trial_successes : int;
+  var_x : float;  (** estimated Var[X₁] *)
+  cost_t : float;  (** estimated E[T] in abstract steps *)
+  objective : float;  (** Var[X₁]·E[T]; [infinity] when unsupported *)
+  chosen : bool;
+}
+
+type result = {
+  best : Walker.prepared;
+  best_plan : Walk_plan.t;
+  trial_estimator : Wj_stats.Estimator.t;
+      (** all trial walks merged — feed this to the online driver *)
+  total_trial_walks : int;
+  reports : plan_report list;
+}
+
+val choose :
+  ?config:config ->
+  ?eager_checks:bool ->
+  ?tracer:(Walker.event -> unit) ->
+  ?plans:Walk_plan.t list ->
+  Query.t ->
+  Registry.t ->
+  Wj_util.Prng.t ->
+  result
+(** Runs the trial protocol over [plans] (default: all enumerated plans).
+    Raises [Invalid_argument] when no walk plan exists — use {!Decompose} /
+    {!Hybrid} in that case. *)

@@ -1,0 +1,73 @@
+module Estimator = Wj_stats.Estimator
+module Timer = Wj_util.Timer
+module Prng = Wj_util.Prng
+
+type outcome = {
+  final : Online.report;
+  estimator : Estimator.t;
+  plan_description : string;
+  domains_used : int;
+  per_domain_walks : int array;
+}
+
+let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_domain
+    ?(plan_choice = Online.Optimize Optimizer.default_config) q registry =
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Parallel.run: domains must be >= 1"
+    | None -> Domain.recommended_domain_count ()
+  in
+  let clock = Timer.wall () in
+  let prng = Prng.create (seed lxor 0x504152) (* "PAR" *) in
+  (* Plan selection happens once, sequentially. *)
+  let plan, seed_estimator =
+    match plan_choice with
+    | Online.Fixed plan -> (plan, Estimator.create q.Query.agg)
+    | Online.First_enumerated -> (
+      match Walk_plan.enumerate ~max_plans:1 q registry with
+      | [] -> invalid_arg "Parallel.run: query admits no walk plan"
+      | plan :: _ -> (plan, Estimator.create q.Query.agg))
+    | Online.Optimize config ->
+      let r = Optimizer.choose ~config q registry prng in
+      (r.best_plan, r.trial_estimator)
+  in
+  let deadline = max_time in
+  let budget = match walks_per_domain with Some w -> w | None -> max_int in
+  let worker i () =
+    let prng = Prng.create (seed + (1_000_003 * (i + 1))) in
+    let prepared = Walker.prepare q registry plan in
+    let est = Estimator.create q.Query.agg in
+    while Estimator.n est < budget && Timer.elapsed clock < deadline do
+      match Walker.walk prepared prng with
+      | Walker.Success { path; inv_p } ->
+        let v =
+          match q.Query.agg with
+          | Estimator.Count -> 1.0
+          | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
+            Walker.value_of prepared path
+        in
+        Estimator.add est ~u:inv_p ~v
+      | Walker.Failure _ -> Estimator.add_failure est
+    done;
+    est
+  in
+  let handles = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  let own = worker 0 () in
+  let parts = own :: List.map Domain.join handles in
+  let per_domain_walks = Array.of_list (List.map Estimator.n parts) in
+  let merged = List.fold_left Estimator.merge seed_estimator parts in
+  {
+    final =
+      {
+        Online.elapsed = Timer.elapsed clock;
+        walks = Estimator.n merged;
+        successes = Estimator.successes merged;
+        estimate = Estimator.estimate merged;
+        half_width = Estimator.half_width merged ~confidence;
+      };
+    estimator = merged;
+    plan_description = Walk_plan.describe q plan;
+    domains_used = domains;
+    per_domain_walks;
+  }

@@ -1,0 +1,34 @@
+(** Multicore wander join (§7: "an embarrassingly parallel algorithm").
+
+    Walks are independent and the data structures are read-only during
+    execution, so parallelism is a fan-out: each domain runs its own PRNG
+    stream and estimator against the shared tables and indexes, and the
+    per-domain estimators merge into one (merging is exact — the moments
+    are additive).
+
+    The plan is chosen once (optionally by the optimizer) before spawning;
+    the optimizer's trial walks seed the merged estimator like in the
+    sequential driver. *)
+
+type outcome = {
+  final : Online.report;
+  estimator : Wj_stats.Estimator.t;
+  plan_description : string;
+  domains_used : int;
+  per_domain_walks : int array;
+}
+
+val run :
+  ?seed:int ->
+  ?confidence:float ->
+  ?domains:int ->
+  ?max_time:float ->
+  ?walks_per_domain:int ->
+  ?plan_choice:Online.plan_choice ->
+  Query.t ->
+  Registry.t ->
+  outcome
+(** [domains] defaults to [Domain.recommended_domain_count ()].  Each domain
+    performs walks until [max_time] (default 1 s) or [walks_per_domain]
+    expires.  Raises [Invalid_argument] when the query admits no walk
+    plan. *)

@@ -1,0 +1,190 @@
+module Value = Wj_storage.Value
+module Table = Wj_storage.Table
+
+type join_op =
+  | Eq
+  | Band of { lo : int; hi : int }
+
+type join_cond = {
+  left : int * int;
+  right : int * int;
+  op : join_op;
+}
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type predicate =
+  | Cmp of { table : int; column : int; op : cmp; value : Value.t }
+  | Between of { table : int; column : int; lo : Value.t; hi : Value.t }
+  | Member of { table : int; column : int; values : Value.t list }
+
+type expr =
+  | Col of int * int
+  | Const of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+
+type t = {
+  tables : Table.t array;
+  names : string array;
+  joins : join_cond list;
+  predicates : predicate list;
+  agg : Wj_stats.Estimator.agg;
+  expr : expr;
+  group_by : (int * int) option;
+}
+
+let k t = Array.length t.tables
+
+let predicate_table = function
+  | Cmp { table; _ } | Between { table; _ } | Member { table; _ } -> table
+
+let check_column tables (pos, col) what =
+  if pos < 0 || pos >= Array.length tables then
+    invalid_arg (Printf.sprintf "Query.make: %s references table %d" what pos);
+  if col < 0 || col >= Wj_storage.Schema.arity (Table.schema tables.(pos)) then
+    invalid_arg (Printf.sprintf "Query.make: %s references column %d of table %d" what col pos)
+
+let rec check_expr tables = function
+  | Col (pos, col) -> check_column tables (pos, col) "expression"
+  | Const _ -> ()
+  | Neg e -> check_expr tables e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+    check_expr tables a;
+    check_expr tables b
+
+let connected ~k ~joins =
+  if k = 1 then true
+  else begin
+    let adj = Array.make k [] in
+    List.iter
+      (fun { left = l, _; right = r, _; _ } ->
+        adj.(l) <- r :: adj.(l);
+        adj.(r) <- l :: adj.(r))
+      joins;
+    let seen = Array.make k false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter dfs adj.(v)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let make ~tables ~joins ?(predicates = []) ?(group_by = None) ~agg ~expr () =
+  if tables = [] then invalid_arg "Query.make: no tables";
+  let names = Array.of_list (List.map fst tables) in
+  let tables = Array.of_list (List.map snd tables) in
+  List.iter
+    (fun cond ->
+      check_column tables cond.left "join condition";
+      check_column tables cond.right "join condition";
+      let (l, _), (r, _) = (cond.left, cond.right) in
+      if l = r then invalid_arg "Query.make: join condition within one table";
+      match cond.op with
+      | Eq -> ()
+      | Band { lo; hi } ->
+        if lo > hi then invalid_arg "Query.make: band join with lo > hi")
+    joins;
+  List.iter
+    (fun p ->
+      match p with
+      | Cmp { table; column; _ } | Between { table; column; _ } | Member { table; column; _ }
+        -> check_column tables (table, column) "predicate")
+    predicates;
+  check_expr tables expr;
+  (match group_by with
+  | None -> ()
+  | Some (pos, col) -> check_column tables (pos, col) "group-by");
+  if not (connected ~k:(Array.length tables) ~joins) then
+    invalid_arg "Query.make: join graph is not connected";
+  { tables; names; joins; predicates; agg; expr; group_by }
+
+let rec eval tables path = function
+  | Col (pos, col) -> Table.float_cell tables.(pos) path.(pos) col
+  | Const f -> f
+  | Neg e -> -.eval tables path e
+  | Add (a, b) -> eval tables path a +. eval tables path b
+  | Sub (a, b) -> eval tables path a -. eval tables path b
+  | Mul (a, b) -> eval tables path a *. eval tables path b
+  | Div (a, b) -> eval tables path a /. eval tables path b
+
+let eval_expr t path = eval t.tables path t.expr
+
+let group_key t path =
+  match t.group_by with
+  | None -> invalid_arg "Query.group_key: query has no GROUP BY"
+  | Some (pos, col) -> Table.cell t.tables.(pos) path.(pos) col
+
+let predicates_on t pos = List.filter (fun p -> predicate_table p = pos) t.predicates
+
+let compare_with op c =
+  match op with
+  | Ceq -> c = 0
+  | Cne -> c <> 0
+  | Clt -> c < 0
+  | Cle -> c <= 0
+  | Cgt -> c > 0
+  | Cge -> c >= 0
+
+let check_predicate t p row =
+  match p with
+  | Cmp { table; column; op; value } ->
+    let v = Table.cell t.tables.(table) row column in
+    compare_with op (Value.compare v value)
+  | Between { table; column; lo; hi } ->
+    let v = Table.cell t.tables.(table) row column in
+    Value.compare v lo >= 0 && Value.compare v hi <= 0
+  | Member { table; column; values } ->
+    let v = Table.cell t.tables.(table) row column in
+    List.exists (Value.equal v) values
+
+let row_passes t pos row =
+  List.for_all (fun p -> check_predicate t p row) (predicates_on t pos)
+
+let check_join t cond path =
+  let (lp, lc), (rp, rc) = (cond.left, cond.right) in
+  let lv = Table.int_cell t.tables.(lp) path.(lp) lc in
+  let rv = Table.int_cell t.tables.(rp) path.(rp) rc in
+  match cond.op with
+  | Eq -> lv = rv
+  | Band { lo; hi } -> rv - lv >= lo && rv - lv <= hi
+
+let join_key_range cond ~from_left v =
+  match cond.op with
+  | Eq -> (v, v)
+  | Band { lo; hi } -> if from_left then (v + lo, v + hi) else (v - hi, v - lo)
+
+let flip cond =
+  let op =
+    match cond.op with Eq -> Eq | Band { lo; hi } -> Band { lo = -hi; hi = -lo }
+  in
+  { left = cond.right; right = cond.left; op }
+
+let cmp_to_string = function
+  | Ceq -> "="
+  | Cne -> "<>"
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let selectivity_filter_sql t =
+  let col_name pos col = (Wj_storage.Schema.column (Table.schema t.tables.(pos)) col).name in
+  let pred_str = function
+    | Cmp { table; column; op; value } ->
+      Printf.sprintf "%s.%s %s %s" t.names.(table) (col_name table column)
+        (cmp_to_string op) (Value.to_display value)
+    | Between { table; column; lo; hi } ->
+      Printf.sprintf "%s.%s BETWEEN %s AND %s" t.names.(table) (col_name table column)
+        (Value.to_display lo) (Value.to_display hi)
+    | Member { table; column; values } ->
+      Printf.sprintf "%s.%s IN (%s)" t.names.(table) (col_name table column)
+        (String.concat ", " (List.map Value.to_display values))
+  in
+  String.concat " AND " (List.map pred_str t.predicates)

@@ -1,0 +1,83 @@
+module Index = Wj_index.Index
+
+type t = { slots : (int * int, Index.t) Hashtbl.t }
+
+let create () = { slots = Hashtbl.create 32 }
+let add t ~pos ~column index = Hashtbl.replace t.slots (pos, column) index
+let find t ~pos ~column = Hashtbl.find_opt t.slots (pos, column)
+
+let can_serve t ~pos ~column ~op =
+  match find t ~pos ~column with
+  | None -> false
+  | Some idx -> (
+    match op with
+    | Query.Eq -> true
+    | Query.Band _ -> Index.supports_range idx)
+
+(* Physical identity of a slot: base-table name plus column, so aliases of
+   one base table share indexes. *)
+let physical_key q pos column = (Wj_storage.Table.name q.Query.tables.(pos), column)
+
+let build_for_query ?(ordered_predicates = true) ?share q =
+  let t = create () in
+  let built : (string * int, Index.t) Hashtbl.t = Hashtbl.create 16 in
+  (match share with
+  | None -> ()
+  | Some (q', t') ->
+    Hashtbl.iter
+      (fun (pos, column) idx -> Hashtbl.replace built (physical_key q' pos column) idx)
+      t'.slots);
+  let ensure pos column ~ordered =
+    let key = physical_key q pos column in
+    let existing = Hashtbl.find_opt built key in
+    let need_upgrade =
+      match existing with
+      | Some idx -> ordered && not (Index.supports_range idx)
+      | None -> true
+    in
+    let idx =
+      if need_upgrade then begin
+        let idx =
+          if ordered then Index.build_ordered q.Query.tables.(pos) ~column
+          else Index.build_hash q.Query.tables.(pos) ~column
+        in
+        Hashtbl.replace built key idx;
+        idx
+      end
+      else Option.get existing
+    in
+    add t ~pos ~column idx
+  in
+  List.iter
+    (fun (cond : Query.join_cond) ->
+      let ordered = match cond.op with Query.Eq -> false | Query.Band _ -> true in
+      let lp, lc = cond.left and rp, rc = cond.right in
+      ensure lp lc ~ordered;
+      ensure rp rc ~ordered)
+    q.Query.joins;
+  if ordered_predicates then
+    List.iter
+      (fun p ->
+        let pos, column =
+          match p with
+          | Query.Cmp { table; column; _ }
+          | Query.Between { table; column; _ }
+          | Query.Member { table; column; _ } -> (table, column)
+        in
+        (* Only integer columns can be indexed; skip string predicates. *)
+        let schema = Wj_storage.Table.schema q.Query.tables.(pos) in
+        match Wj_storage.Schema.ty_of schema column with
+        | Wj_storage.Value.TInt -> ensure pos column ~ordered:true
+        | TFloat | TStr -> ())
+      q.Query.predicates;
+  t
+
+let total_entries t =
+  Hashtbl.fold
+    (fun _ idx acc ->
+      acc
+      +
+      match idx.Index.kind with
+      | Index.Hash h -> Wj_index.Hash_index.total_entries h
+      | Index.Ordered b -> Wj_index.Btree.length b)
+    t.slots 0

@@ -1,0 +1,45 @@
+(** Walk plans: the physical plans of wander join (§4.1).
+
+    A plan fixes the walk order and, for every table entered, which earlier
+    table ("parent") and join condition the step walks through.  Join
+    conditions that link the new table to other already-bound tables are
+    non-tree edges: they are not walked but verified (§3.3).
+
+    For a k-table query the same order can admit several parent choices, so
+    plans are enumerated as (order, parent assignment) pairs, exactly the
+    backtracking enumeration the paper describes. *)
+
+type step = {
+  into : int;  (** table position being entered *)
+  parent : int;  (** earlier position the step jumps back to *)
+  cond : Query.join_cond;
+      (** oriented so that [parent] is the left side and [into] the right *)
+  index : Wj_index.Index.t;  (** index on [into]'s side of the condition *)
+}
+
+type t = {
+  order : int array;  (** order.(0) is the start table *)
+  steps : step array;  (** steps.(i) enters order.(i+1) *)
+  nontree : Query.join_cond list;
+}
+
+val enumerate : ?max_plans:int -> Query.t -> Registry.t -> t list
+(** All walk plans, capped at [max_plans] (default 256).  Empty when the
+    directed graph admits no valid walk order — callers then fall back to
+    {!Decompose}. *)
+
+val enumerate_subset :
+  ?max_plans:int -> Query.t -> Registry.t -> members:int list -> t list
+(** Walk plans confined to a subset of table positions (a decomposition
+    component): orders cover exactly the members; join conditions leaving
+    the subset are ignored (they are checked across components by
+    {!Hybrid}). *)
+
+val of_order : Query.t -> Registry.t -> int array -> t option
+(** The plan following the given table order, choosing for each step the
+    first viable parent edge; [None] if the order is invalid.  This mirrors
+    "the plan constructed from the input query" used as the PostgreSQL
+    baseline in Table 2. *)
+
+val describe : Query.t -> t -> string
+(** e.g. ["customer -> orders -> lineitem (non-tree: ...)"] *)

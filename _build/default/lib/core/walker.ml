@@ -1,0 +1,193 @@
+module Index = Wj_index.Index
+module Table = Wj_storage.Table
+module Value = Wj_storage.Value
+module Prng = Wj_util.Prng
+
+type event =
+  | Row_access of int * int
+  | Index_probe of int * int
+
+type outcome =
+  | Success of { path : int array; inv_p : float }
+  | Failure of { depth : int }
+
+type start_sampler =
+  | Uniform of { table : Table.t }
+  | Olken of { index : Index.t; lo : int; hi : int }
+
+type prepared = {
+  query : Query.t;
+  plan : Walk_plan.t;
+  start : start_sampler;
+  start_count : int;
+  start_preds : Query.predicate list; (* checked after sampling the start *)
+  preds_by_pos : Query.predicate list array;
+  (* Non-tree edges (and, with lazy checks, nothing else) scheduled by the
+     step index after which both endpoints are bound; index 0 = after the
+     start, i = after steps.(i-1). *)
+  checks_at : Query.join_cond list array;
+  eager : bool;
+  tracer : (event -> unit) option;
+  mutable last_steps : int;
+}
+
+(* Integer range implied by a sargable predicate, if any. *)
+let sargable_range (p : Query.predicate) =
+  match p with
+  | Query.Cmp { column; op; value = Value.Int v; _ } -> (
+    match op with
+    | Query.Ceq -> Some (column, v, v)
+    | Query.Cle -> Some (column, min_int, v)
+    | Query.Clt -> Some (column, min_int, v - 1)
+    | Query.Cge -> Some (column, v, max_int)
+    | Query.Cgt -> Some (column, v + 1, max_int)
+    | Query.Cne -> None)
+  | Query.Between { column; lo = Value.Int lo; hi = Value.Int hi; _ } ->
+    Some (column, lo, hi)
+  | Query.Cmp _ | Query.Between _ | Query.Member _ -> None
+
+(* Choose the most selective Olken-sampleable predicate on the start table;
+   the remaining predicates stay as post-sampling checks. *)
+let choose_start q registry pos =
+  let table = q.Query.tables.(pos) in
+  let preds = Query.predicates_on q pos in
+  let candidates =
+    List.filter_map
+      (fun p ->
+        match sargable_range p with
+        | None -> None
+        | Some (column, lo, hi) -> (
+          match Registry.find registry ~pos ~column with
+          | Some index when Index.supports_range index ->
+            Some (p, index, lo, hi, Index.count_range index ~lo ~hi)
+          | Some _ | None -> None))
+      preds
+  in
+  match candidates with
+  | [] -> (Uniform { table }, Table.length table, preds)
+  | _ ->
+    let best =
+      List.fold_left
+        (fun acc ((_, _, _, _, c) as cand) ->
+          match acc with
+          | Some (_, _, _, _, c') when c' <= c -> acc
+          | _ -> Some cand)
+        None candidates
+    in
+    let p, index, lo, hi, count = Option.get best in
+    (Olken { index; lo; hi }, count, List.filter (fun p' -> p' != p) preds)
+
+let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
+  let kq = Query.k q in
+  let rank = Array.make kq 0 in
+  Array.iteri (fun i pos -> rank.(pos) <- i) plan.order;
+  let preds_by_pos = Array.init kq (fun pos -> Query.predicates_on q pos) in
+  let checks_at = Array.make kq [] in
+  List.iter
+    (fun (c : Query.join_cond) ->
+      let at =
+        if eager_checks then max rank.(fst c.left) rank.(fst c.right) else kq - 1
+      in
+      checks_at.(at) <- c :: checks_at.(at))
+    plan.nontree;
+  let start, start_count, start_preds = choose_start q registry plan.order.(0) in
+  {
+    query = q;
+    plan;
+    start;
+    start_count;
+    start_preds;
+    preds_by_pos;
+    checks_at;
+    eager = eager_checks;
+    tracer;
+    last_steps = 0;
+  }
+
+let start_cardinality t = t.start_count
+let uses_olken_start t = match t.start with Olken _ -> true | Uniform _ -> false
+
+let trace t ev = match t.tracer with None -> () | Some f -> f ev
+
+let sample_start t prng =
+  match t.start with
+  | Uniform { table } ->
+    let n = Table.length table in
+    if n = 0 then None else Some (Prng.int prng n)
+  | Olken { index; lo; hi } ->
+    if t.start_count = 0 then None
+    else Some (Index.nth_range index ~lo ~hi (Prng.int prng t.start_count))
+
+let walk t prng =
+  let q = t.query in
+  let kq = Query.k q in
+  let plan = t.plan in
+  let path = Array.make kq (-1) in
+  let steps = ref 0 in
+  let ok = ref true in
+  let depth = ref 0 in
+  let inv_p = ref (float_of_int t.start_count) in
+  let start_pos = plan.order.(0) in
+  (* Bind and vet the start tuple. *)
+  (match sample_start t prng with
+  | None -> ok := false
+  | Some row ->
+    incr steps;
+    (match t.start with
+    | Uniform _ -> ()
+    | Olken { index; _ } -> steps := !steps + Index.probe_cost index);
+    trace t (Row_access (start_pos, row));
+    path.(start_pos) <- row;
+    if List.for_all (fun p -> Query.check_predicate q p row) t.start_preds then begin
+      depth := 1;
+      if not (List.for_all (fun c -> Query.check_join q c path) t.checks_at.(0)) then
+        ok := false
+    end
+    else ok := false);
+  (* Walk the remaining tables (plans over a decomposition component have
+     fewer steps than k - 1). *)
+  let nsteps = Array.length plan.steps in
+  let i = ref 0 in
+  while !ok && !i < nsteps do
+    let step = plan.steps.(!i) in
+    let cond = step.cond in
+    let parent_row = path.(step.parent) in
+    let _, lcol = cond.left in
+    let v = Table.int_cell q.tables.(step.parent) parent_row lcol in
+    let lo, hi = Query.join_key_range cond ~from_left:true v in
+    let probe = Index.probe_cost step.index in
+    trace t (Index_probe (step.into, probe));
+    let d =
+      match cond.op with
+      | Query.Eq -> Index.count_eq step.index v
+      | Query.Band _ -> Index.count_range step.index ~lo ~hi
+    in
+    steps := !steps + probe;
+    if d = 0 then ok := false
+    else begin
+      let pick = Prng.int prng d in
+      let row =
+        match cond.op with
+        | Query.Eq -> Index.nth_eq step.index v pick
+        | Query.Band _ -> Index.nth_range step.index ~lo ~hi pick
+      in
+      steps := !steps + probe + 1;
+      trace t (Row_access (step.into, row));
+      path.(step.into) <- row;
+      if
+        List.for_all (fun p -> Query.check_predicate q p row) t.preds_by_pos.(step.into)
+      then begin
+        inv_p := !inv_p *. float_of_int d;
+        depth := !depth + 1;
+        if not (List.for_all (fun c -> Query.check_join q c path) t.checks_at.(!i + 1))
+        then ok := false
+      end
+      else ok := false
+    end;
+    incr i
+  done;
+  t.last_steps <- !steps;
+  if !ok then Success { path; inv_p = !inv_p } else Failure { depth = !depth }
+
+let steps_of_last_walk t = t.last_steps
+let value_of t path = Query.eval_expr t.query path

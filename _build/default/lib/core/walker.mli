@@ -1,0 +1,52 @@
+(** Execution of individual random walks (§3).
+
+    [prepare] compiles a (query, plan) pair into a closure-friendly form:
+    predicate lists per position, the start-table sampler (uniform, or
+    Olken over an ordered index when a sargable predicate allows it, §3.5),
+    and the schedule on which non-tree edges and predicates are checked.
+
+    [walk] then performs one walk: it samples a start tuple, walks/jumps
+    through the plan's steps picking a uniform index neighbour each time,
+    accumulates the inverse sampling probability (Eq. 3), and fails fast on
+    an empty neighbour set, a violated predicate, or a violated non-tree
+    edge.  Failed walks are part of the probability space and must be fed
+    to the estimator as zeros (§3.1). *)
+
+type event =
+  | Row_access of int * int  (** (table position, row id) *)
+  | Index_probe of int * int  (** (table position, abstract probe cost) *)
+
+type outcome =
+  | Success of { path : int array; inv_p : float }
+  | Failure of { depth : int }
+      (** [depth]: how many tables were bound before the walk died. *)
+
+type prepared
+
+val prepare :
+  ?eager_checks:bool ->
+  ?tracer:(event -> unit) ->
+  Query.t ->
+  Registry.t ->
+  Walk_plan.t ->
+  prepared
+(** [eager_checks] (default true) verifies predicates and non-tree edges at
+    the earliest step where their tables are bound; when false, everything
+    is checked only once the full path is assembled (the paper's plain
+    description — kept for the fail-fast ablation). *)
+
+val start_cardinality : prepared -> int
+(** The |R_{λ(1)}| (or Olken-reduced qualifying count) used in the
+    Horvitz–Thompson weight. *)
+
+val uses_olken_start : prepared -> bool
+
+val walk : prepared -> Wj_util.Prng.t -> outcome
+(** One random walk.  Also drives the tracer, if any. *)
+
+val steps_of_last_walk : prepared -> int
+(** Abstract cost (index-entry accesses + tuple fetches) of the most recent
+    walk — the per-walk T in the optimizer's Var(X)·E[T] objective. *)
+
+val value_of : prepared -> int array -> float
+(** The aggregate expression on a successful path. *)

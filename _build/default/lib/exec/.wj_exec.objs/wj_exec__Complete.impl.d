@@ -1,0 +1,1 @@
+lib/exec/complete.ml: Atomic Domain Exact Wj_core Wj_util

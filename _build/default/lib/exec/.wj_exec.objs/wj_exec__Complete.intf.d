@@ -1,0 +1,1 @@
+lib/exec/complete.mli: Exact Wj_core Wj_stats

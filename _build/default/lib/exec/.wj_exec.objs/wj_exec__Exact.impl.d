@@ -1,0 +1,1 @@
+lib/exec/exact.ml: Array Float Hashtbl List Wj_core Wj_index Wj_stats Wj_storage

@@ -1,0 +1,1 @@
+lib/exec/exact.mli: Wj_core Wj_storage

@@ -1,0 +1,151 @@
+module Query = Wj_core.Query
+module Walk_plan = Wj_core.Walk_plan
+module Walker = Wj_core.Walker
+module Index = Wj_index.Index
+module Table = Wj_storage.Table
+module Value = Wj_storage.Value
+module Estimator = Wj_stats.Estimator
+
+type result = {
+  value : float;
+  join_size : int;
+  rows_visited : int;
+}
+
+type accumulator = {
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+}
+
+let new_acc () = { count = 0; sum = 0.0; sum_sq = 0.0 }
+
+let acc_value agg acc =
+  let n = float_of_int acc.count in
+  match agg with
+  | Estimator.Count -> n
+  | Estimator.Sum -> acc.sum
+  | Estimator.Avg -> if acc.count = 0 then nan else acc.sum /. n
+  | Estimator.Variance ->
+    if acc.count = 0 then nan
+    else begin
+      let mean = acc.sum /. n in
+      (acc.sum_sq /. n) -. (mean *. mean)
+    end
+  | Estimator.Stdev ->
+    if acc.count = 0 then nan
+    else begin
+      let mean = acc.sum /. n in
+      sqrt (Float.max 0.0 ((acc.sum_sq /. n) -. (mean *. mean)))
+    end
+
+let pick_plan q registry = function
+  | Some plan -> plan
+  | None -> (
+    match Walk_plan.enumerate ~max_plans:1 q registry with
+    | plan :: _ -> plan
+    | [] -> invalid_arg "Exact.aggregate: query admits no walk plan")
+
+(* Enumerates every qualifying path and feeds it to [emit]. *)
+let enumerate ?tracer q plan emit =
+  let kq = Query.k q in
+  let rows_visited = ref 0 in
+  let trace ev = match tracer with None -> () | Some f -> f ev in
+  let rank = Array.make kq 0 in
+  Array.iteri (fun i pos -> rank.(pos) <- i) plan.Walk_plan.order;
+  let checks_at = Array.make kq [] in
+  List.iter
+    (fun (c : Query.join_cond) ->
+      let at = max rank.(fst c.left) rank.(fst c.right) in
+      checks_at.(at) <- c :: checks_at.(at))
+    plan.Walk_plan.nontree;
+  let path = Array.make kq (-1) in
+  let nsteps = Array.length plan.Walk_plan.steps in
+  let rec descend i =
+    if i > nsteps then ()
+    else if i = nsteps then emit path
+    else begin
+      let step = plan.Walk_plan.steps.(i) in
+      let cond = step.Walk_plan.cond in
+      let parent_row = path.(step.Walk_plan.parent) in
+      let v = Table.int_cell q.Query.tables.(step.Walk_plan.parent) parent_row (snd cond.Query.left) in
+      let visit row =
+        incr rows_visited;
+        trace (Walker.Row_access (step.Walk_plan.into, row));
+        path.(step.Walk_plan.into) <- row;
+        if
+          Query.row_passes q step.Walk_plan.into row
+          && List.for_all (fun c -> Query.check_join q c path) checks_at.(i + 1)
+        then descend (i + 1)
+      in
+      trace (Walker.Index_probe (step.Walk_plan.into, Index.probe_cost step.Walk_plan.index));
+      match cond.Query.op with
+      | Query.Eq -> Index.iter_eq step.Walk_plan.index v visit
+      | Query.Band _ ->
+        let lo, hi = Query.join_key_range cond ~from_left:true v in
+        Index.iter_range step.Walk_plan.index ~lo ~hi visit
+    end
+  in
+  let start_pos = plan.Walk_plan.order.(0) in
+  let start_table = q.Query.tables.(start_pos) in
+  for row = 0 to Table.length start_table - 1 do
+    incr rows_visited;
+    trace (Walker.Row_access (start_pos, row));
+    path.(start_pos) <- row;
+    if
+      Query.row_passes q start_pos row
+      && List.for_all (fun c -> Query.check_join q c path) checks_at.(0)
+    then descend 0
+  done;
+  !rows_visited
+
+let aggregate ?plan ?tracer q registry =
+  let plan = pick_plan q registry plan in
+  let acc = new_acc () in
+  let emit path =
+    acc.count <- acc.count + 1;
+    match q.Query.agg with
+    | Estimator.Count -> ()
+    | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
+      let v = Query.eval_expr q path in
+      acc.sum <- acc.sum +. v;
+      acc.sum_sq <- acc.sum_sq +. (v *. v)
+  in
+  let rows_visited = enumerate ?tracer q plan emit in
+  { value = acc_value q.Query.agg acc; join_size = acc.count; rows_visited }
+
+let group_aggregate ?plan q registry =
+  if q.Query.group_by = None then
+    invalid_arg "Exact.group_aggregate: query has no GROUP BY";
+  let plan = pick_plan q registry plan in
+  let groups : (Value.t, accumulator) Hashtbl.t = Hashtbl.create 16 in
+  let emit path =
+    let key = Query.group_key q path in
+    let acc =
+      match Hashtbl.find_opt groups key with
+      | Some a -> a
+      | None ->
+        let a = new_acc () in
+        Hashtbl.add groups key a;
+        a
+    in
+    acc.count <- acc.count + 1;
+    match q.Query.agg with
+    | Estimator.Count -> ()
+    | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
+      let v = Query.eval_expr q path in
+      acc.sum <- acc.sum +. v;
+      acc.sum_sq <- acc.sum_sq +. (v *. v)
+  in
+  let rows_visited = enumerate q plan emit in
+  Hashtbl.fold
+    (fun key acc l ->
+      ( key,
+        { value = acc_value q.Query.agg acc; join_size = acc.count; rows_visited } )
+      :: l)
+    groups []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+let join_size q registry =
+  let q = { q with Query.agg = Estimator.Count } in
+  (aggregate q registry).join_size

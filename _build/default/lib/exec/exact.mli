@@ -1,0 +1,32 @@
+(** Exact query execution: the ground truth and the "full join" baseline.
+
+    An index-nested-loop join that follows a walk plan but enumerates every
+    index neighbour instead of sampling one.  It produces the exact
+    aggregate (used to measure actual error in every experiment) and stands
+    in for "PostgreSQL full join" / "System X" wall-clock baselines. *)
+
+type result = {
+  value : float;  (** exact aggregate *)
+  join_size : int;  (** number of qualifying join results *)
+  rows_visited : int;  (** tuples touched, a machine-independent cost *)
+}
+
+val aggregate :
+  ?plan:Wj_core.Walk_plan.t ->
+  ?tracer:(Wj_core.Walker.event -> unit) ->
+  Wj_core.Query.t ->
+  Wj_core.Registry.t ->
+  result
+(** Raises [Invalid_argument] when the query admits no walk plan (exact
+    execution needs the same index directions). *)
+
+val group_aggregate :
+  ?plan:Wj_core.Walk_plan.t ->
+  Wj_core.Query.t ->
+  Wj_core.Registry.t ->
+  (Wj_storage.Value.t * result) list
+(** Per-group exact results, sorted by group key.
+    Raises [Invalid_argument] without a GROUP BY clause. *)
+
+val join_size : Wj_core.Query.t -> Wj_core.Registry.t -> int
+(** Exact number of join results under the query's predicates. *)

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Printf Wj_storage Wj_util

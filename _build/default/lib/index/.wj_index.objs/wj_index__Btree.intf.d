@@ -1,0 +1,1 @@
+lib/index/btree.mli: Wj_storage Wj_util

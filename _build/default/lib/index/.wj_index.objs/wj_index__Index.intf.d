@@ -1,0 +1,1 @@
+lib/index/index.mli: Btree Hash_index Wj_storage

@@ -1,0 +1,67 @@
+(** Counted B+-tree: an ordered secondary index with order statistics.
+
+    Keys are integers (dates, keys, dictionary-encoded categories); payloads
+    are row ids.  Duplicate keys are allowed.  Every node carries its subtree
+    entry count, which turns the tree into an order-statistics structure:
+
+    - [count_range] answers "how many rows satisfy lo <= key <= hi" in
+      O(log n) — this is how a selection predicate's qualifying cardinality
+      replaces |R| in the Horvitz–Thompson weight (§3.5);
+    - [nth_in_range] retrieves the k-th qualifying row in O(log n), which is
+      Olken's method for uniform sampling from an index;
+    - [sample_range] composes the two into one uniform draw.
+
+    All update operations keep counts exact, so sampling remains uniform
+    under insertion and deletion. *)
+
+type t
+
+val create : ?min_degree:int -> unit -> t
+(** [min_degree] (default 16) is the classic B-tree parameter t: nodes hold
+    between t-1 and 2t-1 entries (the root may hold fewer).
+    Raises [Invalid_argument] if [min_degree < 2]. *)
+
+val length : t -> int
+(** Total number of entries. *)
+
+val insert : t -> key:int -> value:int -> unit
+
+val remove : t -> key:int -> value:int -> bool
+(** Removes one entry matching both key and value; [false] if absent. *)
+
+val mem : t -> int -> bool
+(** Is some entry with this key present? *)
+
+val count_eq : t -> int -> int
+val count_range : t -> lo:int -> hi:int -> int
+(** Inclusive bounds; 0 when [lo > hi]. *)
+
+val rank_lt : t -> int -> int
+(** Number of entries with key strictly below the argument. *)
+
+val nth : t -> int -> (int * int)
+(** [nth t r] is the entry of global rank [r] (0-based, key order, ties in
+    insertion order at the leaf level). Raises [Invalid_argument] when out
+    of range. *)
+
+val nth_in_range : t -> lo:int -> hi:int -> int -> (int * int) option
+(** [nth_in_range t ~lo ~hi k]: the k-th entry among those with
+    lo <= key <= hi, or [None] when fewer than k+1 qualify. *)
+
+val sample_range : t -> Wj_util.Prng.t -> lo:int -> hi:int -> (int * int) option
+(** Uniformly random qualifying entry (Olken sampling), or [None] if none. *)
+
+val iter_range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [iter_range t ~lo ~hi f] calls [f key value] on qualifying entries in
+    key order. *)
+
+val min_key : t -> int option
+val max_key : t -> int option
+
+val of_table : Wj_storage.Table.t -> column:int -> t
+(** Index all rows of a table on an integer column. *)
+
+val height : t -> int
+val check_invariants : t -> (unit, string) result
+(** Structural validation used by the test suite: key ordering, separator
+    bounds, occupancy, uniform leaf depth, exact subtree counts. *)

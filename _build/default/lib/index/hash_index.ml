@@ -1,0 +1,48 @@
+module Vec = Wj_util.Vec
+module Table = Wj_storage.Table
+module Value = Wj_storage.Value
+
+type t = { column : int; buckets : (int, int Vec.t) Hashtbl.t; mutable entries : int }
+
+let create_empty ~column = { column; buckets = Hashtbl.create 1024; entries = 0 }
+
+let insert t ~key ~row =
+  (match Hashtbl.find_opt t.buckets key with
+  | Some rows -> Vec.push rows row
+  | None ->
+    let rows = Vec.create ~capacity:4 () in
+    Vec.push rows row;
+    Hashtbl.add t.buckets key rows);
+  t.entries <- t.entries + 1
+
+let build table ~column =
+  let t = create_empty ~column in
+  Table.iteri (fun row tuple -> insert t ~key:(Value.to_int tuple.(column)) ~row) table;
+  t
+
+let table_column t = t.column
+
+let count t key =
+  match Hashtbl.find_opt t.buckets key with None -> 0 | Some rows -> Vec.length rows
+
+let nth t key k =
+  match Hashtbl.find_opt t.buckets key with
+  | None -> invalid_arg "Hash_index.nth: absent key"
+  | Some rows -> Vec.get rows k
+
+let sample t prng key =
+  match Hashtbl.find_opt t.buckets key with
+  | None -> None
+  | Some rows -> Some (Vec.get rows (Wj_util.Prng.int prng (Vec.length rows)))
+
+let iter_key t key f =
+  match Hashtbl.find_opt t.buckets key with
+  | None -> ()
+  | Some rows -> Vec.iter f rows
+
+let distinct_keys t = Hashtbl.length t.buckets
+let total_entries t = t.entries
+
+let memory_words t =
+  (* Bucket headers plus one word per entry; a coarse but consistent gauge. *)
+  (Hashtbl.length t.buckets * 4) + (t.entries * 2)

@@ -1,0 +1,47 @@
+type kind =
+  | Hash of Hash_index.t
+  | Ordered of Btree.t
+
+type t = { kind : kind; column : int }
+
+let build_hash table ~column = { kind = Hash (Hash_index.build table ~column); column }
+let build_ordered table ~column = { kind = Ordered (Btree.of_table table ~column); column }
+
+let count_eq t key =
+  match t.kind with
+  | Hash h -> Hash_index.count h key
+  | Ordered b -> Btree.count_eq b key
+
+let nth_eq t key k =
+  match t.kind with
+  | Hash h -> Hash_index.nth h key k
+  | Ordered b -> (
+    match Btree.nth_in_range b ~lo:key ~hi:key k with
+    | Some (_, row) -> row
+    | None -> invalid_arg "Index.nth_eq: out of range")
+
+let count_range t ~lo ~hi =
+  match t.kind with
+  | Hash _ -> invalid_arg "Index.count_range: hash index cannot answer ranges"
+  | Ordered b -> Btree.count_range b ~lo ~hi
+
+let nth_range t ~lo ~hi k =
+  match t.kind with
+  | Hash _ -> invalid_arg "Index.nth_range: hash index cannot answer ranges"
+  | Ordered b -> (
+    match Btree.nth_in_range b ~lo ~hi k with
+    | Some (_, row) -> row
+    | None -> invalid_arg "Index.nth_range: out of range")
+
+let iter_eq t key f =
+  match t.kind with
+  | Hash h -> Hash_index.iter_key h key f
+  | Ordered b -> Btree.iter_range b ~lo:key ~hi:key (fun _ row -> f row)
+
+let iter_range t ~lo ~hi f =
+  match t.kind with
+  | Hash _ -> invalid_arg "Index.iter_range: hash index cannot answer ranges"
+  | Ordered b -> Btree.iter_range b ~lo ~hi (fun _ row -> f row)
+
+let supports_range t = match t.kind with Hash _ -> false | Ordered _ -> true
+let probe_cost t = match t.kind with Hash _ -> 1 | Ordered b -> Btree.height b

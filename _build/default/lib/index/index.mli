@@ -1,0 +1,44 @@
+(** Facade over the two physical index kinds.
+
+    Random walks only need two primitives per join edge: "how many
+    neighbours does this tuple have?" and "give me the k-th neighbour".
+    Equality edges are served by either index; band/range edges require an
+    ordered one. *)
+
+type kind =
+  | Hash of Hash_index.t
+  | Ordered of Btree.t
+
+type t = { kind : kind; column : int }
+(** An index over one integer column of a table. *)
+
+val build_hash : Wj_storage.Table.t -> column:int -> t
+val build_ordered : Wj_storage.Table.t -> column:int -> t
+
+val count_eq : t -> int -> int
+(** Number of rows whose indexed column equals the key. *)
+
+val nth_eq : t -> int -> int -> int
+(** [nth_eq t key k]: row id of the k-th row with the key.
+    Raises [Invalid_argument] when out of range. *)
+
+val count_range : t -> lo:int -> hi:int -> int
+(** Inclusive range count.  Raises [Invalid_argument] on a hash index. *)
+
+val nth_range : t -> lo:int -> hi:int -> int -> int
+(** Row id of the k-th row in the inclusive range.
+    Raises [Invalid_argument] on a hash index or when out of range. *)
+
+val iter_eq : t -> int -> (int -> unit) -> unit
+(** Iterate the row ids matching a key (exact executor's index join). *)
+
+val iter_range : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Iterate row ids in an inclusive key range.
+    Raises [Invalid_argument] on a hash index. *)
+
+val supports_range : t -> bool
+
+val probe_cost : t -> int
+(** Abstract cost of one lookup, in index-entry accesses: 1 for hash,
+    tree height for ordered.  Feeds the optimizer's E[T] estimate and the
+    I/O simulation. *)

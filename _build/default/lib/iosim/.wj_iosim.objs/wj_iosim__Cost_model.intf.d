@@ -1,0 +1,1 @@
+lib/iosim/cost_model.mli:

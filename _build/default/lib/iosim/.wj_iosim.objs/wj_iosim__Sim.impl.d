@@ -1,0 +1,1 @@
+lib/iosim/sim.ml: Buffer_pool Cost_model Wj_core Wj_util

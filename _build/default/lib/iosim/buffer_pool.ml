@@ -1,0 +1,75 @@
+(* Intrusive doubly-linked LRU list with a sentinel node. *)
+type node = {
+  key : int * int;
+  mutable prev : node;
+  mutable next : node;
+}
+
+type t = {
+  cap : int;
+  table : (int * int, node) Hashtbl.t;
+  sentinel : node; (* sentinel.next = most recent, sentinel.prev = least *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let make_sentinel () =
+  let rec s = { key = (min_int, min_int); prev = s; next = s } in
+  s
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    sentinel = make_sentinel ();
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let capacity t = t.cap
+let resident t = Hashtbl.length t.table
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
+
+let push_front t node =
+  node.next <- t.sentinel.next;
+  node.prev <- t.sentinel;
+  t.sentinel.next.prev <- node;
+  t.sentinel.next <- node
+
+let touch t ~table ~page =
+  let key = (table, page) in
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    t.hit_count <- t.hit_count + 1;
+    unlink node;
+    push_front t node;
+    true
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    if Hashtbl.length t.table >= t.cap then begin
+      let victim = t.sentinel.prev in
+      unlink victim;
+      Hashtbl.remove t.table victim.key
+    end;
+    let node = { key; prev = t.sentinel; next = t.sentinel } in
+    Hashtbl.add t.table key node;
+    push_front t node;
+    false
+
+let contains t ~table ~page = Hashtbl.mem t.table (table, page)
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel.next <- t.sentinel;
+  t.sentinel.prev <- t.sentinel;
+  reset_stats t

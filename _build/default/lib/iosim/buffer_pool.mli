@@ -1,0 +1,27 @@
+(** LRU buffer pool over (table, page) identifiers.
+
+    Tracks which simulated pages are memory-resident.  [touch] returns
+    whether the access hit; on a miss the least-recently-used page is
+    evicted.  O(1) per access via a hash table + intrusive doubly-linked
+    list. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in pages; must be positive. *)
+
+val capacity : t -> int
+val resident : t -> int
+
+val touch : t -> table:int -> page:int -> bool
+(** Access a page: [true] = hit.  A miss loads the page (evicting if
+    full). *)
+
+val contains : t -> table:int -> page:int -> bool
+(** Read-only residency test (no LRU update). *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val clear : t -> unit
+(** Empties the pool (drops all pages and statistics). *)

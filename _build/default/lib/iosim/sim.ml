@@ -1,0 +1,51 @@
+module Timer = Wj_util.Timer
+
+type t = {
+  model : Cost_model.t;
+  pool : Buffer_pool.t;
+  clock : Timer.t;
+}
+
+let create ?(model = Cost_model.default) ~pool_pages ~clock () =
+  if not (Timer.is_virtual clock) then
+    invalid_arg "Sim.create: clock must be virtual";
+  { model; pool = Buffer_pool.create ~capacity:pool_pages; clock }
+
+let model t = t.model
+let pool t = t.pool
+let clock t = t.clock
+
+let charge_seconds t s = Timer.advance t.clock s
+
+let touch_row t table row =
+  let page = row / t.model.Cost_model.rows_per_page in
+  if Buffer_pool.touch t.pool ~table ~page then
+    charge_seconds t t.model.Cost_model.ram_access
+  else charge_seconds t t.model.Cost_model.random_io
+
+let walker_tracer t = function
+  | Wj_core.Walker.Row_access (pos, row) -> touch_row t pos row
+  | Wj_core.Walker.Index_probe (_, levels) ->
+    charge_seconds t (float_of_int levels *. t.model.Cost_model.index_level_cost)
+
+(* Random-order ripple scans its shuffled table in storage order — the
+   first touch of each storage page pays one sequential I/O, later rows of
+   the page are RAM accesses.  Index-assisted retrieval jumps around and
+   pays random I/O per miss. *)
+let ripple_tracer t ~pos ~slot ~sequential =
+  let page = slot / t.model.Cost_model.rows_per_page in
+  if Buffer_pool.touch t.pool ~table:pos ~page then
+    charge_seconds t t.model.Cost_model.ram_access
+  else
+    charge_seconds t
+      (if sequential then t.model.Cost_model.seq_io
+       else t.model.Cost_model.random_io)
+
+let charge_scan t ~rows = charge_seconds t (Cost_model.scan_seconds t.model ~rows)
+
+let warm t ~table ~rows =
+  let pages = Cost_model.pages_of_rows t.model rows in
+  for page = 0 to pages - 1 do
+    ignore (Buffer_pool.touch t.pool ~table ~page)
+  done;
+  Buffer_pool.reset_stats t.pool

@@ -1,0 +1,36 @@
+(** Glue: turn walker/ripple access streams into virtual-clock time.
+
+    A simulation owns a buffer pool and a virtual clock.  The tracers it
+    hands out charge the clock per access: buffer-pool hits cost RAM time,
+    misses cost a random I/O; index probes cost cached-interior traversal
+    time.  Running any driver (wander join, ripple join) against the
+    virtual clock then reproduces the paper's limited-memory setting. *)
+
+type t
+
+val create :
+  ?model:Cost_model.t -> pool_pages:int -> clock:Wj_util.Timer.t -> unit -> t
+(** [clock] must be virtual (see {!Wj_util.Timer.virtual_}). *)
+
+val model : t -> Cost_model.t
+val pool : t -> Buffer_pool.t
+val clock : t -> Wj_util.Timer.t
+
+val walker_tracer : t -> Wj_core.Walker.event -> unit
+(** Tracer for {!Wj_core.Online.run} / {!Wj_exec.Exact.aggregate}: charges
+    tuple page accesses through the pool and index probes at cached cost. *)
+
+val ripple_tracer : t -> pos:int -> slot:int -> sequential:bool -> unit
+(** Tracer for {!Wj_ripple.Ripple.run}: sequential retrievals charge one
+    sequential I/O on the first touch of each storage page; index-sampled
+    retrievals charge a random I/O per miss. *)
+
+val charge_scan : t -> rows:int -> unit
+(** Charge a full sequential table scan (full-join baseline). *)
+
+val charge_seconds : t -> float -> unit
+(** Charge arbitrary CPU work (e.g. per-combo processing). *)
+
+val warm : t -> table:int -> rows:int -> unit
+(** Pre-load a table's pages (sufficient-memory scenario), without charging
+    time and without counting statistics. *)

@@ -1,0 +1,1 @@
+lib/ripple/index_ripple.ml: Array List Wj_core Wj_index Wj_stats Wj_storage Wj_util

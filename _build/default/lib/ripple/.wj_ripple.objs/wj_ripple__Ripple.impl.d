@@ -1,0 +1,1 @@
+lib/ripple/ripple.ml: Array Float Fun Hashtbl List Queue Wj_core Wj_index Wj_stats Wj_storage Wj_util

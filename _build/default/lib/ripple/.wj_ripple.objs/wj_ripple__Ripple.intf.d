@@ -1,0 +1,1 @@
+lib/ripple/ripple.mli: Wj_core Wj_stats Wj_util

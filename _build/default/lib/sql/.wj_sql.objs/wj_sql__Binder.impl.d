@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Array Ast Hashtbl List Option Printf Wj_core Wj_stats Wj_storage

@@ -1,0 +1,1 @@
+lib/sql/engine.ml: Ast Binder Buffer Format List Option Parser Printf Wj_core Wj_exec Wj_storage

@@ -1,0 +1,1 @@
+lib/sql/engine.mli: Ast Wj_core Wj_exec Wj_storage

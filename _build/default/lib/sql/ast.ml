@@ -1,0 +1,129 @@
+type column_ref = { table : string option; column : string }
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_date of int
+
+type expr =
+  | E_col of column_ref
+  | E_lit of literal
+  | E_neg of expr
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+  | E_div of expr * expr
+
+type agg_kind = A_sum | A_count | A_avg | A_variance | A_stdev
+
+type select_item = { agg : agg_kind; arg : expr option }
+
+type comparison = Op_eq | Op_ne | Op_lt | Op_le | Op_gt | Op_ge
+
+type condition =
+  | C_join of column_ref * column_ref
+  | C_cmp of column_ref * comparison * literal
+  | C_between of column_ref * literal * literal
+  | C_band of column_ref * column_ref * int * int
+  | C_in of column_ref * literal list
+
+type statement = {
+  online : bool;
+  items : select_item list;
+  from : (string * string option) list;
+  where : condition list;
+  group_by : column_ref option;
+  within_time : float option;
+  confidence : float option;
+  report_interval : float option;
+}
+
+let pp_col fmt { table; column } =
+  match table with
+  | Some t -> Format.fprintf fmt "%s.%s" t column
+  | None -> Format.fprintf fmt "%s" column
+
+let pp_lit fmt = function
+  | L_int n -> Format.fprintf fmt "%d" n
+  | L_float f -> Format.fprintf fmt "%g" f
+  | L_string s -> Format.fprintf fmt "'%s'" s
+  | L_date d -> Format.fprintf fmt "DATE '%s'" (Wj_storage.Date_codec.to_string d)
+
+let agg_name = function
+  | A_sum -> "SUM"
+  | A_count -> "COUNT"
+  | A_avg -> "AVG"
+  | A_variance -> "VARIANCE"
+  | A_stdev -> "STDEV"
+
+let rec pp_expr fmt = function
+  | E_col c -> pp_col fmt c
+  | E_lit l -> pp_lit fmt l
+  | E_neg e -> Format.fprintf fmt "(-%a)" pp_expr e
+  | E_add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | E_sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | E_mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_expr a pp_expr b
+  | E_div (a, b) -> Format.fprintf fmt "(%a / %a)" pp_expr a pp_expr b
+
+let cmp_name = function
+  | Op_eq -> "="
+  | Op_ne -> "<>"
+  | Op_lt -> "<"
+  | Op_le -> "<="
+  | Op_gt -> ">"
+  | Op_ge -> ">="
+
+let pp_condition fmt = function
+  | C_join (a, b) -> Format.fprintf fmt "%a = %a" pp_col a pp_col b
+  | C_cmp (c, op, l) -> Format.fprintf fmt "%a %s %a" pp_col c (cmp_name op) pp_lit l
+  | C_between (c, lo, hi) ->
+    Format.fprintf fmt "%a BETWEEN %a AND %a" pp_col c pp_lit lo pp_lit hi
+  | C_band (a, b, lo, hi) ->
+    let off fmt o =
+      if o >= 0 then Format.fprintf fmt "+ %d" o else Format.fprintf fmt "- %d" (-o)
+    in
+    Format.fprintf fmt "%a BETWEEN %a %a AND %a %a" pp_col a pp_col b off lo pp_col b
+      off hi
+  | C_in (c, ls) ->
+    Format.fprintf fmt "%a IN (%a)" pp_col c
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         pp_lit)
+      ls
+
+let pp_statement fmt s =
+  Format.fprintf fmt "SELECT %s%a FROM %a"
+    (if s.online then "ONLINE " else "")
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt { agg; arg } ->
+         match arg with
+         | None -> Format.fprintf fmt "%s(*)" (agg_name agg)
+         | Some e -> Format.fprintf fmt "%s(%a)" (agg_name agg) pp_expr e))
+    s.items
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt (t, a) ->
+         match a with
+         | None -> Format.fprintf fmt "%s" t
+         | Some a -> Format.fprintf fmt "%s %s" t a))
+    s.from;
+  if s.where <> [] then
+    Format.fprintf fmt " WHERE %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt " AND ")
+         pp_condition)
+      s.where;
+  (match s.group_by with
+  | Some c -> Format.fprintf fmt " GROUP BY %a" pp_col c
+  | None -> ());
+  (match s.within_time with
+  | Some t -> Format.fprintf fmt " WITHINTIME %g" t
+  | None -> ());
+  (match s.confidence with
+  | Some c -> Format.fprintf fmt " CONFIDENCE %g" c
+  | None -> ());
+  match s.report_interval with
+  | Some r -> Format.fprintf fmt " REPORTINTERVAL %g" r
+  | None -> ()

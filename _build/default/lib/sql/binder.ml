@@ -1,0 +1,192 @@
+module Query = Wj_core.Query
+module Catalog = Wj_storage.Catalog
+module Table = Wj_storage.Table
+module Schema = Wj_storage.Schema
+module Value = Wj_storage.Value
+
+exception Bind_error of string
+
+type bound = {
+  queries : (Ast.select_item * Query.t) list;
+  online : bool;
+  within_time : float option;
+  confidence : float;
+  report_interval : float option;
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+type scope = {
+  tables : (string * Table.t) array; (* (alias, table) by position *)
+}
+
+let make_scope catalog from =
+  let entries =
+    List.map
+      (fun (name, alias) ->
+        match Catalog.table catalog name with
+        | None -> err "unknown table %s" name
+        | Some t -> (Option.value ~default:name alias, t))
+      from
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (alias, _) ->
+      if Hashtbl.mem seen alias then err "duplicate table alias %s" alias;
+      Hashtbl.add seen alias ())
+    entries;
+  { tables = Array.of_list entries }
+
+(* Resolve a column reference to (position, column index, type). *)
+let resolve scope (r : Ast.column_ref) =
+  match r.table with
+  | Some alias -> (
+    let found = ref None in
+    Array.iteri
+      (fun i (a, t) -> if a = alias && !found = None then found := Some (i, t))
+      scope.tables;
+    match !found with
+    | None -> err "unknown table alias %s" alias
+    | Some (pos, t) -> (
+      match Schema.find (Table.schema t) r.column with
+      | None -> err "table %s has no column %s" alias r.column
+      | Some col -> (pos, col, Schema.ty_of (Table.schema t) col)))
+  | None -> (
+    let matches = ref [] in
+    Array.iteri
+      (fun i (_, t) ->
+        match Schema.find (Table.schema t) r.column with
+        | Some col -> matches := (i, col, Schema.ty_of (Table.schema t) col) :: !matches
+        | None -> ())
+      scope.tables;
+    match !matches with
+    | [ m ] -> m
+    | [] -> err "unknown column %s" r.column
+    | _ :: _ :: _ -> err "ambiguous column %s (qualify it)" r.column)
+
+let literal_to_float = function
+  | Ast.L_int n -> float_of_int n
+  | Ast.L_float f -> f
+  | Ast.L_date d -> float_of_int d
+  | Ast.L_string s -> err "string literal '%s' in arithmetic expression" s
+
+let rec bind_expr scope = function
+  | Ast.E_col r ->
+    let pos, col, ty = resolve scope r in
+    (match ty with
+    | Value.TInt | Value.TFloat -> ()
+    | Value.TStr -> err "column %s is not numeric" r.column);
+    Query.Col (pos, col)
+  | Ast.E_lit l -> Query.Const (literal_to_float l)
+  | Ast.E_neg e -> Query.Neg (bind_expr scope e)
+  | Ast.E_add (a, b) -> Query.Add (bind_expr scope a, bind_expr scope b)
+  | Ast.E_sub (a, b) -> Query.Sub (bind_expr scope a, bind_expr scope b)
+  | Ast.E_mul (a, b) -> Query.Mul (bind_expr scope a, bind_expr scope b)
+  | Ast.E_div (a, b) -> Query.Div (bind_expr scope a, bind_expr scope b)
+
+let literal_to_value column ty (l : Ast.literal) =
+  match (ty, l) with
+  | Value.TInt, Ast.L_int n -> Value.Int n
+  | Value.TInt, Ast.L_date d -> Value.Int d
+  | Value.TFloat, Ast.L_float f -> Value.Float f
+  | Value.TFloat, Ast.L_int n -> Value.Float (float_of_int n)
+  | Value.TStr, Ast.L_string s -> Value.Str s
+  | _, _ -> err "literal type does not match column %s" column
+
+let cmp_of = function
+  | Ast.Op_eq -> Query.Ceq
+  | Ast.Op_ne -> Query.Cne
+  | Ast.Op_lt -> Query.Clt
+  | Ast.Op_le -> Query.Cle
+  | Ast.Op_gt -> Query.Cgt
+  | Ast.Op_ge -> Query.Cge
+
+let bind_condition scope = function
+  | Ast.C_join (a, b) ->
+    let (lp, lc, lty) = resolve scope a and (rp, rc, rty) = resolve scope b in
+    if lp = rp then err "join condition %s = %s stays within one table" a.column b.column;
+    if lty <> Value.TInt || rty <> Value.TInt then
+      err "join columns must be integer-typed (%s = %s)" a.column b.column;
+    `Join { Query.left = (lp, lc); right = (rp, rc); op = Query.Eq }
+  | Ast.C_cmp (r, op, l) ->
+    let pos, col, ty = resolve scope r in
+    `Pred (Query.Cmp { table = pos; column = col; op = cmp_of op; value = literal_to_value r.column ty l })
+  | Ast.C_between (r, lo, hi) ->
+    let pos, col, ty = resolve scope r in
+    `Pred
+      (Query.Between
+         {
+           table = pos;
+           column = col;
+           lo = literal_to_value r.column ty lo;
+           hi = literal_to_value r.column ty hi;
+         })
+  | Ast.C_band (a, b, lo, hi) ->
+    let (ap, ac, aty) = resolve scope a and (bp, bc, bty) = resolve scope b in
+    if ap = bp then err "band join %s/%s stays within one table" a.column b.column;
+    if aty <> Value.TInt || bty <> Value.TInt then
+      err "band join columns must be integer-typed (%s, %s)" a.column b.column;
+    (* a BETWEEN b + lo AND b + hi  <=>  a - b in [lo, hi]. *)
+    `Join { Query.left = (bp, bc); right = (ap, ac); op = Query.Band { lo; hi } }
+  | Ast.C_in (r, ls) ->
+    let pos, col, ty = resolve scope r in
+    `Pred
+      (Query.Member
+         { table = pos; column = col; values = List.map (literal_to_value r.column ty) ls })
+
+let agg_of = function
+  | Ast.A_sum -> Wj_stats.Estimator.Sum
+  | Ast.A_count -> Wj_stats.Estimator.Count
+  | Ast.A_avg -> Wj_stats.Estimator.Avg
+  | Ast.A_variance -> Wj_stats.Estimator.Variance
+  | Ast.A_stdev -> Wj_stats.Estimator.Stdev
+
+let bind catalog (s : Ast.statement) =
+  if s.items = [] then err "no aggregates selected";
+  let scope = make_scope catalog s.from in
+  let joins, predicates =
+    List.fold_left
+      (fun (js, ps) cond ->
+        match bind_condition scope cond with
+        | `Join j -> (j :: js, ps)
+        | `Pred p -> (js, p :: ps))
+      ([], []) s.where
+  in
+  let joins = List.rev joins and predicates = List.rev predicates in
+  let group_by =
+    match s.group_by with
+    | None -> None
+    | Some r ->
+      let pos, col, _ = resolve scope r in
+      Some (pos, col)
+  in
+  let tables = Array.to_list scope.tables in
+  let queries =
+    List.map
+      (fun (item : Ast.select_item) ->
+        let expr =
+          match item.arg with
+          | None -> Query.Const 1.0
+          | Some e -> bind_expr scope e
+        in
+        let q =
+          try
+            Query.make ~tables ~joins ~predicates ~group_by ~agg:(agg_of item.agg)
+              ~expr ()
+          with Invalid_argument msg -> err "%s" msg
+        in
+        (item, q))
+      s.items
+  in
+  {
+    queries;
+    online = s.online;
+    within_time = s.within_time;
+    confidence =
+      (match s.confidence with
+      | None -> 0.95
+      | Some c ->
+        let c = if c > 1.0 then c /. 100.0 else c in
+        if c <= 0.0 || c >= 1.0 then err "confidence out of range" else c);
+    report_interval = s.report_interval;
+  }

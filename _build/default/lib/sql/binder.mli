@@ -1,0 +1,19 @@
+(** Name resolution: AST -> executable {!Wj_core.Query} values.
+
+    A statement with several aggregates binds to several queries sharing
+    the same tables, joins and predicates (they are executed against a
+    shared index registry). *)
+
+exception Bind_error of string
+
+type bound = {
+  queries : (Ast.select_item * Wj_core.Query.t) list;
+  online : bool;
+  within_time : float option;
+  confidence : float;  (** fraction, default 0.95 (input is a percentage) *)
+  report_interval : float option;
+}
+
+val bind : Wj_storage.Catalog.t -> Ast.statement -> bound
+(** Raises {!Bind_error} on unknown tables/columns, ambiguous bare columns,
+    type mismatches, or non-integer join columns. *)

@@ -1,0 +1,110 @@
+module Online = Wj_core.Online
+module Exact = Wj_exec.Exact
+module Value = Wj_storage.Value
+
+type item_outcome =
+  | Online_scalar of Online.outcome
+  | Online_groups of Online.group_outcome
+  | Exact_scalar of Exact.result
+  | Exact_groups of (Value.t * Exact.result) list
+
+type result = {
+  statement : Ast.statement;
+  items : (Ast.select_item * item_outcome) list;
+}
+
+let item_label (item : Ast.select_item) =
+  let name = Ast.agg_name item.agg in
+  match item.arg with
+  | None -> name ^ "(*)"
+  | Some e -> Format.asprintf "%s(%a)" name Ast.pp_expr e
+
+let execute ?(seed = 11) ?(default_time = 5.0) ?on_report catalog sql =
+  let statement = Parser.parse sql in
+  let bound = Binder.bind catalog statement in
+  (* Share physical indexes across the statement's aggregates. *)
+  let registries =
+    let shared = ref None in
+    List.map
+      (fun (_, q) ->
+        let r = Wj_core.Registry.build_for_query ?share:!shared q in
+        (match !shared with None -> shared := Some (q, r) | Some _ -> ());
+        r)
+      bound.queries
+  in
+  let items =
+    List.map2
+      (fun (item, q) registry ->
+        let outcome =
+          if bound.online then begin
+            let max_time = Option.value ~default:default_time bound.within_time in
+            match q.Wj_core.Query.group_by with
+            | Some _ ->
+              let on_group_report =
+                Option.map
+                  (fun f t groups ->
+                    List.iter
+                      (fun (key, (r : Online.report)) ->
+                        f
+                          (Printf.sprintf "[%6.2fs] %s %s = %.6g +/- %.3g" t
+                             (item_label item) (Value.to_display key) r.estimate
+                             r.half_width))
+                      groups)
+                  on_report
+              in
+              Online_groups
+                (Online.run_group_by ~seed ~confidence:bound.confidence ~max_time
+                   ?report_every:bound.report_interval ?on_group_report q registry)
+            | None ->
+              let on_report_fn =
+                Option.map
+                  (fun f (r : Online.report) ->
+                    f
+                      (Printf.sprintf "[%6.2fs] %s = %.6g +/- %.3g (walks %d)"
+                         r.elapsed (item_label item) r.estimate r.half_width r.walks))
+                  on_report
+              in
+              Online_scalar
+                (Online.run ~seed ~confidence:bound.confidence ~max_time
+                   ?report_every:bound.report_interval ?on_report:on_report_fn q
+                   registry)
+          end
+          else
+            match q.Wj_core.Query.group_by with
+            | Some _ -> Exact_groups (Exact.group_aggregate q registry)
+            | None -> Exact_scalar (Exact.aggregate q registry)
+        in
+        (item, outcome))
+      bound.queries registries
+  in
+  { statement; items }
+
+let render r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (item, outcome) ->
+      let label = item_label item in
+      (match outcome with
+      | Online_scalar o ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %.6g +/- %.4g  (walks %d, %.2fs, plan: %s)\n" label
+             o.Online.final.estimate o.Online.final.half_width o.Online.final.walks
+             o.Online.final.elapsed o.Online.plan_description)
+      | Online_groups g ->
+        List.iter
+          (fun (key, (rep : Online.report)) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s [%s] = %.6g +/- %.4g\n" label
+                 (Value.to_display key) rep.estimate rep.half_width))
+          g.Online.groups
+      | Exact_scalar e ->
+        Buffer.add_string buf (Printf.sprintf "%s = %.6g  (exact)\n" label e.Exact.value)
+      | Exact_groups gs ->
+        List.iter
+          (fun (key, (e : Exact.result)) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s [%s] = %.6g  (exact)\n" label (Value.to_display key)
+                 e.Exact.value))
+          gs))
+    r.items;
+  Buffer.contents buf

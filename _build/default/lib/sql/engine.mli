@@ -1,0 +1,31 @@
+(** One-call SQL execution: parse, bind, run.
+
+    [SELECT ONLINE ...] statements run wander join with periodic reports;
+    plain [SELECT ...] statements run the exact executor.  A statement with
+    several aggregates shares one index registry across them. *)
+
+type item_outcome =
+  | Online_scalar of Wj_core.Online.outcome
+  | Online_groups of Wj_core.Online.group_outcome
+  | Exact_scalar of Wj_exec.Exact.result
+  | Exact_groups of (Wj_storage.Value.t * Wj_exec.Exact.result) list
+
+type result = {
+  statement : Ast.statement;
+  items : (Ast.select_item * item_outcome) list;
+}
+
+val execute :
+  ?seed:int ->
+  ?default_time:float ->
+  ?on_report:(string -> unit) ->
+  Wj_storage.Catalog.t ->
+  string ->
+  result
+(** [default_time] bounds ONLINE statements that carry no WITHINTIME clause
+    (default 5 s).  [on_report] receives formatted progress lines when the
+    statement requests REPORTINTERVAL.
+    Raises [Lexer.Lex_error], [Parser.Parse_error] or [Binder.Bind_error]. *)
+
+val render : result -> string
+(** Human-readable rendering of the final estimates/results. *)

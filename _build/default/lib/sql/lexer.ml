@@ -1,0 +1,129 @@
+type token =
+  | IDENT of string
+  | KEYWORD of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "ONLINE"; "FROM"; "WHERE"; "AND"; "GROUP"; "BY"; "BETWEEN"; "IN";
+    "SUM"; "COUNT"; "AVG"; "AVE"; "VARIANCE"; "STDEV"; "DATE"; "WITHINTIME";
+    "CONFIDENCE"; "REPORTINTERVAL"; "AS";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (KEYWORD upper)
+      else emit (IDENT (String.lowercase_ascii word))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      if !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done;
+        emit (FLOAT (float_of_string (String.sub input start (!i - start))))
+      end
+      else emit (INT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if c = '\'' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && input.[!j] <> '\'' do
+        incr j
+      done;
+      if !j >= n then raise (Lex_error ("unterminated string literal", !i));
+      emit (STRING (String.sub input start (!j - start)));
+      i := !j + 1
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "<>" | "!=" ->
+        emit NE;
+        i := !i + 2
+      | "<=" ->
+        emit LE;
+        i := !i + 2
+      | ">=" ->
+        emit GE;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | ',' -> emit COMMA
+        | '.' -> emit DOT
+        | '*' -> emit STAR
+        | '+' -> emit PLUS
+        | '-' -> emit MINUS
+        | '/' -> emit SLASH
+        | '=' -> emit EQ
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, !i)));
+        incr i
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KEYWORD s -> s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "end of input"

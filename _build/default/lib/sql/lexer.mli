@@ -1,0 +1,31 @@
+(** Hand-written lexer for the SQL dialect. *)
+
+type token =
+  | IDENT of string  (** unquoted identifier, lower-cased *)
+  | KEYWORD of string  (** recognised keyword, upper-cased *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** contents of a '...' literal *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int  (** message, character offset *)
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on malformed input (unterminated string, stray
+    character). *)
+
+val token_to_string : token -> string

@@ -1,0 +1,291 @@
+exception Parse_error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st what =
+  raise
+    (Parse_error
+       (Printf.sprintf "expected %s but found %s" what
+          (Lexer.token_to_string (peek st))))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st what
+
+let keyword st kw = expect st (Lexer.KEYWORD kw) kw
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_keyword st kw = accept st (Lexer.KEYWORD kw)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> fail st "an identifier"
+
+(* column: ident | ident.ident *)
+let column_ref st =
+  let first = ident st in
+  if accept st Lexer.DOT then { Ast.table = Some first; column = ident st }
+  else { Ast.table = None; column = first }
+
+let number st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    float_of_int n
+  | Lexer.FLOAT f ->
+    advance st;
+    f
+  | _ -> fail st "a number"
+
+let date_literal st =
+  match peek st with
+  | Lexer.STRING s -> (
+    advance st;
+    match String.split_on_char '-' s with
+    | [ y; m; d ] -> (
+      try Ast.L_date (Wj_storage.Date_codec.of_ymd (int_of_string y) (int_of_string m) (int_of_string d))
+      with Invalid_argument msg | Failure msg ->
+        raise (Parse_error ("bad date literal: " ^ msg)))
+    | _ -> raise (Parse_error ("bad date literal: " ^ s)))
+  | _ -> fail st "a date string"
+
+let literal st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.L_int n
+  | Lexer.FLOAT f ->
+    advance st;
+    Ast.L_float f
+  | Lexer.STRING s ->
+    advance st;
+    Ast.L_string s
+  | Lexer.KEYWORD "DATE" ->
+    advance st;
+    date_literal st
+  | Lexer.MINUS -> (
+    advance st;
+    match peek st with
+    | Lexer.INT n ->
+      advance st;
+      Ast.L_int (-n)
+    | Lexer.FLOAT f ->
+      advance st;
+      Ast.L_float (-.f)
+    | _ -> fail st "a number after unary minus")
+  | _ -> fail st "a literal"
+
+(* Arithmetic expressions with the usual precedence. *)
+let rec expr st =
+  let left = term st in
+  let rec loop acc =
+    if accept st Lexer.PLUS then loop (Ast.E_add (acc, term st))
+    else if accept st Lexer.MINUS then loop (Ast.E_sub (acc, term st))
+    else acc
+  in
+  loop left
+
+and term st =
+  let left = factor st in
+  let rec loop acc =
+    if accept st Lexer.STAR then loop (Ast.E_mul (acc, factor st))
+    else if accept st Lexer.SLASH then loop (Ast.E_div (acc, factor st))
+    else acc
+  in
+  loop left
+
+and factor st =
+  match peek st with
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN ")";
+    e
+  | Lexer.MINUS ->
+    advance st;
+    Ast.E_neg (factor st)
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.KEYWORD "DATE" ->
+    Ast.E_lit (literal st)
+  | Lexer.IDENT _ -> Ast.E_col (column_ref st)
+  | _ -> fail st "an expression"
+
+let agg_kind st =
+  match peek st with
+  | Lexer.KEYWORD "SUM" ->
+    advance st;
+    Ast.A_sum
+  | Lexer.KEYWORD "COUNT" ->
+    advance st;
+    Ast.A_count
+  | Lexer.KEYWORD ("AVG" | "AVE") ->
+    advance st;
+    Ast.A_avg
+  | Lexer.KEYWORD "VARIANCE" ->
+    advance st;
+    Ast.A_variance
+  | Lexer.KEYWORD "STDEV" ->
+    advance st;
+    Ast.A_stdev
+  | _ -> fail st "an aggregate (SUM/COUNT/AVG/VARIANCE/STDEV)"
+
+let select_item st =
+  let agg = agg_kind st in
+  expect st Lexer.LPAREN "(";
+  let arg =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      if agg <> Ast.A_count then
+        raise (Parse_error "only COUNT accepts * as its argument");
+      None
+    end
+    else Some (expr st)
+  in
+  expect st Lexer.RPAREN ")";
+  { Ast.agg; arg }
+
+let from_item st =
+  let table = ident st in
+  ignore (accept_keyword st "AS");
+  match peek st with
+  | Lexer.IDENT alias ->
+    advance st;
+    (table, Some alias)
+  | _ -> (table, None)
+
+let comparison_of_token = function
+  | Lexer.EQ -> Some Ast.Op_eq
+  | Lexer.NE -> Some Ast.Op_ne
+  | Lexer.LT -> Some Ast.Op_lt
+  | Lexer.LE -> Some Ast.Op_le
+  | Lexer.GT -> Some Ast.Op_gt
+  | Lexer.GE -> Some Ast.Op_ge
+  | _ -> None
+
+(* A BETWEEN bound: a literal, or a column with an optional +/- integer
+   offset (the band-join form). *)
+type between_bound =
+  | B_lit of Ast.literal
+  | B_col of Ast.column_ref * int
+
+let between_bound st =
+  match peek st with
+  | Lexer.IDENT _ ->
+    let col = column_ref st in
+    let offset =
+      if accept st Lexer.PLUS then
+        match peek st with
+        | Lexer.INT n ->
+          advance st;
+          n
+        | _ -> fail st "an integer offset"
+      else if accept st Lexer.MINUS then begin
+        match peek st with
+        | Lexer.INT n ->
+          advance st;
+          -n
+        | _ -> fail st "an integer offset"
+      end
+      else 0
+    in
+    B_col (col, offset)
+  | _ -> B_lit (literal st)
+
+let condition st =
+  let lhs = column_ref st in
+  if accept_keyword st "BETWEEN" then begin
+    let lo = between_bound st in
+    keyword st "AND";
+    let hi = between_bound st in
+    match (lo, hi) with
+    | B_lit lo, B_lit hi -> Ast.C_between (lhs, lo, hi)
+    | B_col (c1, o1), B_col (c2, o2) ->
+      if c1 <> c2 then
+        raise (Parse_error "band join bounds must reference the same column");
+      if o1 > o2 then raise (Parse_error "band join with empty range");
+      Ast.C_band (lhs, c1, o1, o2)
+    | _ ->
+      raise (Parse_error "BETWEEN bounds must be both literals or both columns")
+  end
+  else if accept_keyword st "IN" then begin
+    expect st Lexer.LPAREN "(";
+    let rec items acc =
+      let l = literal st in
+      if accept st Lexer.COMMA then items (l :: acc) else List.rev (l :: acc)
+    in
+    let ls = items [] in
+    expect st Lexer.RPAREN ")";
+    Ast.C_in (lhs, ls)
+  end
+  else begin
+    match comparison_of_token (peek st) with
+    | Some op -> (
+      advance st;
+      match peek st with
+      | Lexer.IDENT _ ->
+        if op <> Ast.Op_eq then
+          raise (Parse_error "column-to-column conditions must use =");
+        Ast.C_join (lhs, column_ref st)
+      | _ -> Ast.C_cmp (lhs, op, literal st))
+    | None -> fail st "a comparison operator, BETWEEN or IN"
+  end
+
+let parse input =
+  let st = { tokens = Array.of_list (Lexer.tokenize input); pos = 0 } in
+  keyword st "SELECT";
+  let online = accept_keyword st "ONLINE" in
+  let rec select_items acc =
+    let item = select_item st in
+    if accept st Lexer.COMMA then select_items (item :: acc)
+    else List.rev (item :: acc)
+  in
+  let items = select_items [] in
+  keyword st "FROM";
+  let rec from_items acc =
+    let item = from_item st in
+    if accept st Lexer.COMMA then from_items (item :: acc) else List.rev (item :: acc)
+  in
+  let from = from_items [] in
+  let where =
+    if accept_keyword st "WHERE" then begin
+      let rec conds acc =
+        let c = condition st in
+        if accept_keyword st "AND" then conds (c :: acc) else List.rev (c :: acc)
+      in
+      conds []
+    end
+    else []
+  in
+  let group_by =
+    if accept_keyword st "GROUP" then begin
+      keyword st "BY";
+      Some (column_ref st)
+    end
+    else None
+  in
+  let within_time = if accept_keyword st "WITHINTIME" then Some (number st) else None in
+  let confidence = if accept_keyword st "CONFIDENCE" then Some (number st) else None in
+  let report_interval =
+    if accept_keyword st "REPORTINTERVAL" then Some (number st) else None
+  in
+  expect st Lexer.EOF "end of input";
+  {
+    Ast.online;
+    items;
+    from;
+    where;
+    group_by;
+    within_time;
+    confidence;
+    report_interval;
+  }

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the online-aggregation SQL dialect. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.statement
+(** Raises {!Parse_error} (or {!Lexer.Lex_error}) on malformed input. *)

@@ -1,0 +1,1 @@
+lib/stats/estimator.ml: Array Float Moments Wj_util

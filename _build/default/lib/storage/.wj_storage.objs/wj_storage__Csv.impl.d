@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Buffer Fun List Printf Schema String Table Value

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Printf Schema Value Wj_util

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Float Format Int String

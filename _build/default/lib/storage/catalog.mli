@@ -1,0 +1,28 @@
+(** A named collection of tables and their indexes' metadata.
+
+    The catalog is what the SQL binder and the walk-plan generator consult:
+    which tables exist, and which (table, column) pairs carry an index —
+    index availability determines the direction of edges in the walk-order
+    graph (§4.1). *)
+
+type index_kind = Hash | Ordered
+
+type t
+
+val create : unit -> t
+val add_table : t -> Table.t -> unit
+(** Raises [Invalid_argument] if a table with the same name exists. *)
+
+val table : t -> string -> Table.t option
+val table_exn : t -> string -> Table.t
+val tables : t -> Table.t list
+
+val register_index : t -> table:string -> column:string -> index_kind -> unit
+(** Records that the given column is indexed.  Raises if the table or column
+    is unknown. *)
+
+val indexed : t -> table:string -> column:string -> index_kind option
+(** The strongest registered index on the column, if any ([Ordered] wins over
+    [Hash] since an ordered index also answers equality). *)
+
+val has_index : t -> table:string -> column:string -> bool

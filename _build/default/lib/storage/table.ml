@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  rows : Value.t array Wj_util.Vec.t;
+}
+
+let create ?(capacity = 1024) ~name ~schema () =
+  { name; schema; rows = Wj_util.Vec.create ~capacity () }
+
+let name t = t.name
+let schema t = t.schema
+let length t = Wj_util.Vec.length t.rows
+
+let insert t row =
+  if not (Schema.check_tuple t.schema row) then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): tuple does not match schema" t.name);
+  Wj_util.Vec.push t.rows row;
+  Wj_util.Vec.length t.rows - 1
+
+let row t i = Wj_util.Vec.get t.rows i
+let cell t i col = (Wj_util.Vec.get t.rows i).(col)
+let int_cell t i col = Value.to_int (cell t i col)
+let float_cell t i col = Value.to_float (cell t i col)
+let iteri f t = Wj_util.Vec.iteri f t.rows
+let fold f acc t = Wj_util.Vec.fold_left f acc t.rows
+let column_index t name = Schema.find_exn t.schema name

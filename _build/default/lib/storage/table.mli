@@ -1,0 +1,34 @@
+(** Row-oriented in-memory tables.
+
+    Rows are dense arrays of {!Value.t}, addressed by row id (their insertion
+    position).  Random walks address tuples exclusively through row ids, so
+    the id space must stay dense — there is no delete; analytical workloads
+    in the paper are read-only after load (§3.6). *)
+
+type t
+
+val create : ?capacity:int -> name:string -> schema:Schema.t -> unit -> t
+val name : t -> string
+val schema : t -> Schema.t
+val length : t -> int
+
+val insert : t -> Value.t array -> int
+(** Appends a row (which must match the schema) and returns its row id.
+    The array is stored without copying; callers must not mutate it. *)
+
+val row : t -> int -> Value.t array
+(** The stored row; callers must not mutate it. *)
+
+val cell : t -> int -> int -> Value.t
+(** [cell t row col]. *)
+
+val int_cell : t -> int -> int -> int
+(** Fast path used by indexes and walks; raises if the cell is not [Int]. *)
+
+val float_cell : t -> int -> int -> float
+(** Numeric coercion of the cell. *)
+
+val iteri : (int -> Value.t array -> unit) -> t -> unit
+val fold : ('acc -> Value.t array -> 'acc) -> 'acc -> t -> 'acc
+val column_index : t -> string -> int
+(** Raises [Not_found] for unknown columns. *)

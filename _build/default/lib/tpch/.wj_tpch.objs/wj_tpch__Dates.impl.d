@@ -1,0 +1,1 @@
+lib/tpch/dates.ml: Wj_storage

@@ -1,0 +1,1 @@
+lib/tpch/generator.ml: Array Dates Float List Printf String Wj_storage Wj_util

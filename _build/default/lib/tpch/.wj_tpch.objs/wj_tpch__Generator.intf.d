@@ -1,0 +1,1 @@
+lib/tpch/generator.mli: Wj_storage

@@ -1,0 +1,1 @@
+lib/tpch/queries.ml: Dates Float Generator Wj_core Wj_stats Wj_storage

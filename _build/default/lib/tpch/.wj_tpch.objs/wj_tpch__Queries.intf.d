@@ -1,0 +1,1 @@
+lib/tpch/queries.mli: Generator Wj_core Wj_stats

@@ -1,0 +1,1 @@
+lib/tpch/tbl_loader.ml: Array Dates Filename Fun Generator List Printf String Wj_storage

@@ -1,0 +1,1 @@
+lib/tpch/tbl_loader.mli: Generator Wj_storage

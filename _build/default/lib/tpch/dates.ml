@@ -1,0 +1,3 @@
+(* TPC-H dates are plain Wj_storage day offsets; re-exported here so TPC-H
+   code reads naturally. *)
+include Wj_storage.Date_codec

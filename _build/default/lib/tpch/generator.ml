@@ -1,0 +1,200 @@
+module Table = Wj_storage.Table
+module Schema = Wj_storage.Schema
+module Value = Wj_storage.Value
+module Catalog = Wj_storage.Catalog
+module Prng = Wj_util.Prng
+
+type dataset = {
+  region : Table.t;
+  nation : Table.t;
+  supplier : Table.t;
+  customer : Table.t;
+  orders : Table.t;
+  lineitem : Table.t;
+  sf : float;
+}
+
+let market_segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" |]
+
+let segment_id s =
+  match Array.find_index (String.equal s) market_segments with
+  | Some i -> i
+  | None -> raise Not_found
+
+let return_flags = [| "A"; "N"; "R" |]
+
+let nations =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE";
+    "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN"; "KENYA";
+    "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA"; "SAUDI ARABIA";
+    "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+let nation_key s =
+  match Array.find_index (String.equal s) nations with
+  | Some i -> i
+  | None -> raise Not_found
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let col name ty = { Schema.name; ty }
+
+let region_schema = Schema.make [ col "r_regionkey" TInt; col "r_name" TStr ]
+
+let nation_schema =
+  Schema.make [ col "n_nationkey" TInt; col "n_name" TStr; col "n_regionkey" TInt ]
+
+let supplier_schema =
+  Schema.make
+    [
+      col "s_suppkey" TInt;
+      col "s_name" TStr;
+      col "s_nationkey" TInt;
+      col "s_acctbal" TFloat;
+    ]
+
+let customer_schema =
+  Schema.make
+    [
+      col "c_custkey" TInt;
+      col "c_name" TStr;
+      col "c_nationkey" TInt;
+      col "c_mktsegment" TStr;
+      col "c_mktsegment_id" TInt;
+      col "c_acctbal" TFloat;
+    ]
+
+let orders_schema =
+  Schema.make
+    [
+      col "o_orderkey" TInt;
+      col "o_custkey" TInt;
+      col "o_orderstatus" TStr;
+      col "o_totalprice" TFloat;
+      col "o_orderdate" TInt;
+      col "o_orderpriority" TInt;
+      col "o_shippriority" TInt;
+    ]
+
+let lineitem_schema =
+  Schema.make
+    [
+      col "l_orderkey" TInt;
+      col "l_linenumber" TInt;
+      col "l_suppkey" TInt;
+      col "l_quantity" TFloat;
+      col "l_extendedprice" TFloat;
+      col "l_discount" TFloat;
+      col "l_tax" TFloat;
+      col "l_returnflag" TStr;
+      col "l_returnflag_id" TInt;
+      col "l_shipdate" TInt;
+    ]
+
+(* Order dates leave >= 151 days for shipment + receipt. *)
+let max_orderdate = Dates.max_day - 151
+
+let generate ?(seed = 7) ~sf () =
+  if sf <= 0.0 then invalid_arg "Generator.generate: sf must be positive";
+  let prng = Prng.create (seed lxor 0x47454E) in  (* "GEN": salt the stream *)
+  let scaled base = max 1 (int_of_float (Float.round (float_of_int base *. sf))) in
+  let region = Table.create ~name:"region" ~schema:region_schema () in
+  Array.iteri
+    (fun i name -> ignore (Table.insert region [| Int i; Str name |]))
+    regions;
+  let nation = Table.create ~name:"nation" ~schema:nation_schema () in
+  Array.iteri
+    (fun i name ->
+      ignore (Table.insert nation [| Int i; Str name; Int (i mod Array.length regions) |]))
+    nations;
+  let n_supplier = scaled 10_000 in
+  let supplier = Table.create ~capacity:n_supplier ~name:"supplier" ~schema:supplier_schema () in
+  for i = 0 to n_supplier - 1 do
+    ignore
+      (Table.insert supplier
+         [|
+           Int i;
+           Str (Printf.sprintf "Supplier#%09d" i);
+           Int (Prng.int prng (Array.length nations));
+           Float (Prng.float prng 10999.98 -. 999.99);
+         |])
+  done;
+  let n_customer = scaled 150_000 in
+  let customer = Table.create ~capacity:n_customer ~name:"customer" ~schema:customer_schema () in
+  for i = 0 to n_customer - 1 do
+    let seg = Prng.int prng (Array.length market_segments) in
+    ignore
+      (Table.insert customer
+         [|
+           Int i;
+           Str (Printf.sprintf "Customer#%09d" i);
+           Int (Prng.int prng (Array.length nations));
+           Str market_segments.(seg);
+           Int seg;
+           Float (Prng.float prng 10999.98 -. 999.99);
+         |])
+  done;
+  let n_orders = scaled 1_500_000 in
+  let orders = Table.create ~capacity:n_orders ~name:"orders" ~schema:orders_schema () in
+  let orderdates = Array.make n_orders 0 in
+  for i = 0 to n_orders - 1 do
+    let orderdate = Prng.int prng (max_orderdate + 1) in
+    orderdates.(i) <- orderdate;
+    let status = [| "F"; "O"; "P" |].(Prng.int prng 3) in
+    ignore
+      (Table.insert orders
+         [|
+           Int i;
+           Int (Prng.int prng n_customer);
+           Str status;
+           Float 0.0 (* patched conceptually by lineitem totals; unused by queries *);
+           Int orderdate;
+           Int (1 + Prng.int prng 5);
+           Int 0;
+         |])
+  done;
+  let lineitem = Table.create ~capacity:(n_orders * 4) ~name:"lineitem" ~schema:lineitem_schema () in
+  for o = 0 to n_orders - 1 do
+    let lines = 1 + Prng.int prng 7 in
+    for ln = 0 to lines - 1 do
+      let quantity = float_of_int (1 + Prng.int prng 50) in
+      let price_per_unit = 900.0 +. Prng.float prng 99100.0 in
+      let discount = float_of_int (Prng.int prng 11) /. 100.0 in
+      let tax = float_of_int (Prng.int prng 9) /. 100.0 in
+      let shipdate = orderdates.(o) + 1 + Prng.int prng 121 in
+      let receipt = shipdate + 1 + Prng.int prng 30 in
+      (* TPC-H: lineitems received before 1995-06-17 are flagged A or R,
+         later ones N. *)
+      let flag_id =
+        if receipt <= Dates.of_ymd 1995 6 17 then if Prng.bool prng then 0 else 2
+        else 1
+      in
+      ignore
+        (Table.insert lineitem
+           [|
+             Int o;
+             Int ln;
+             Int (Prng.int prng n_supplier);
+             Float quantity;
+             Float (quantity *. price_per_unit /. 10.0);
+             Float discount;
+             Float tax;
+             Str return_flags.(flag_id);
+             Int flag_id;
+             Int shipdate;
+           |])
+    done
+  done;
+  { region; nation; supplier; customer; orders; lineitem; sf }
+
+let catalog d =
+  let c = Catalog.create () in
+  List.iter (Catalog.add_table c)
+    [ d.region; d.nation; d.supplier; d.customer; d.orders; d.lineitem ];
+  c
+
+let total_rows d =
+  Table.length d.region + Table.length d.nation + Table.length d.supplier
+  + Table.length d.customer + Table.length d.orders + Table.length d.lineitem

@@ -1,0 +1,146 @@
+module Table = Wj_storage.Table
+module Schema = Wj_storage.Schema
+module Value = Wj_storage.Value
+module Csv = Wj_storage.Csv
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Csv.Csv_error (s, line))) fmt
+
+let parse_int ~line text =
+  match int_of_string_opt (String.trim text) with
+  | Some n -> n
+  | None -> fail line "expected an integer, got %S" text
+
+let parse_float ~line text =
+  match float_of_string_opt (String.trim text) with
+  | Some f -> f
+  | None -> fail line "expected a number, got %S" text
+
+let parse_date ~line text =
+  match String.split_on_char '-' (String.trim text) with
+  | [ y; m; d ] -> (
+    try Dates.of_ymd (parse_int ~line y) (parse_int ~line m) (parse_int ~line d)
+    with Invalid_argument msg -> fail line "bad date %S: %s" text msg)
+  | _ -> fail line "bad date %S" text
+
+(* "1-URGENT" -> 1 *)
+let parse_priority ~line text =
+  match String.index_opt text '-' with
+  | Some i -> parse_int ~line (String.sub text 0 i)
+  | None -> parse_int ~line text
+
+let segment_id ~line s =
+  try Generator.segment_id s with Not_found -> fail line "unknown market segment %S" s
+
+let returnflag_id ~line s =
+  match Array.find_index (String.equal s) Generator.return_flags with
+  | Some i -> i
+  | None -> fail line "unknown return flag %S" s
+
+(* Per-kind: (target schema builder, dbgen arity, row translator). *)
+let translate kind ~line (fields : string array) =
+  match kind with
+  | `Region ->
+    [| Value.Int (parse_int ~line fields.(0)); Value.Str fields.(1) |]
+  | `Nation ->
+    [|
+      Value.Int (parse_int ~line fields.(0));
+      Value.Str fields.(1);
+      Value.Int (parse_int ~line fields.(2));
+    |]
+  | `Supplier ->
+    [|
+      Value.Int (parse_int ~line fields.(0));
+      Value.Str fields.(1);
+      Value.Int (parse_int ~line fields.(3));
+      Value.Float (parse_float ~line fields.(5));
+    |]
+  | `Customer ->
+    let seg = fields.(6) in
+    [|
+      Value.Int (parse_int ~line fields.(0));
+      Value.Str fields.(1);
+      Value.Int (parse_int ~line fields.(3));
+      Value.Str seg;
+      Value.Int (segment_id ~line seg);
+      Value.Float (parse_float ~line fields.(5));
+    |]
+  | `Orders ->
+    [|
+      Value.Int (parse_int ~line fields.(0));
+      Value.Int (parse_int ~line fields.(1));
+      Value.Str fields.(2);
+      Value.Float (parse_float ~line fields.(3));
+      Value.Int (parse_date ~line fields.(4));
+      Value.Int (parse_priority ~line fields.(5));
+      Value.Int (parse_int ~line fields.(7));
+    |]
+  | `Lineitem ->
+    let flag = fields.(8) in
+    [|
+      Value.Int (parse_int ~line fields.(0));
+      Value.Int (parse_int ~line fields.(3));
+      Value.Int (parse_int ~line fields.(2));
+      Value.Float (parse_float ~line fields.(4));
+      Value.Float (parse_float ~line fields.(5));
+      Value.Float (parse_float ~line fields.(6));
+      Value.Float (parse_float ~line fields.(7));
+      Value.Str flag;
+      Value.Int (returnflag_id ~line flag);
+      Value.Int (parse_date ~line fields.(10));
+    |]
+
+let spec kind =
+  match kind with
+  | `Region -> ("region", Generator.region_schema, 3)
+  | `Nation -> ("nation", Generator.nation_schema, 4)
+  | `Supplier -> ("supplier", Generator.supplier_schema, 7)
+  | `Customer -> ("customer", Generator.customer_schema, 8)
+  | `Orders -> ("orders", Generator.orders_schema, 9)
+  | `Lineitem -> ("lineitem", Generator.lineitem_schema, 16)
+
+let load_table path kind =
+  let name, schema, arity = spec kind in
+  let table = Table.create ~name ~schema () in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           if String.trim line <> "" then begin
+             let fields = Csv.split_line ~separator:'|' line in
+             (* dbgen terminates every record with a trailing '|'. *)
+             let fields =
+               match List.rev fields with
+               | "" :: rest -> Array.of_list (List.rev rest)
+               | _ -> Array.of_list fields
+             in
+             if Array.length fields <> arity then
+               fail !line_no "expected %d dbgen fields, got %d" arity
+                 (Array.length fields);
+             ignore (Table.insert table (translate kind ~line:!line_no fields))
+           end
+         done
+       with End_of_file -> ());
+      table)
+
+let load_dir dir =
+  let path name = Filename.concat dir (name ^ ".tbl") in
+  let region = load_table (path "region") `Region in
+  let nation = load_table (path "nation") `Nation in
+  let supplier = load_table (path "supplier") `Supplier in
+  let customer = load_table (path "customer") `Customer in
+  let orders = load_table (path "orders") `Orders in
+  let lineitem = load_table (path "lineitem") `Lineitem in
+  {
+    Generator.region;
+    nation;
+    supplier;
+    customer;
+    orders;
+    lineitem;
+    sf = float_of_int (Table.length orders) /. 1_500_000.0;
+  }

@@ -1,0 +1,25 @@
+(** Loader for official TPC-H dbgen [.tbl] files.
+
+    Reads [region.tbl], [nation.tbl], [supplier.tbl], [customer.tbl],
+    [orders.tbl] and [lineitem.tbl] from a directory into the same schemas
+    the synthetic {!Generator} produces, so every query, index and
+    experiment in this repository runs unchanged on real dbgen output:
+
+    - only the columns the benchmark queries touch are retained;
+    - dates parse from [yyyy-mm-dd] into day offsets;
+    - categorical columns gain their dictionary-encoded [_id] twins;
+    - [o_orderpriority] ("1-URGENT" ... "5-LOW") keeps its numeric prefix.
+
+    dbgen uses 1-based, sometimes sparse keys; they are loaded verbatim —
+    join consistency only needs both sides to come from the same run. *)
+
+val load_dir : string -> Generator.dataset
+(** Raises [Sys_error] when a file is missing and
+    [Wj_storage.Csv.Csv_error] on malformed records.  The [sf] field is
+    inferred from the orders cardinality. *)
+
+val load_table :
+  string ->
+  [ `Region | `Nation | `Supplier | `Customer | `Orders | `Lineitem ] ->
+  Wj_storage.Table.t
+(** Load a single [.tbl] file as the given table kind. *)

@@ -1,0 +1,97 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the seed into the four xoshiro words, as
+   recommended by the xoshiro authors. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+(* 62 uniform random bits as a non-negative OCaml int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then bits62 t land (bound - 1)
+  else begin
+    (* Rejection sampling over the largest multiple of [bound] below 2^62. *)
+    let max62 = (1 lsl 62) - 1 in
+    let limit = max62 - (((max62 mod bound) + 1) mod bound) in
+    let rec loop () =
+      let r = bits62 t in
+      if r <= limit then r mod bound else loop ()
+    in
+    loop ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let mantissa = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (float_of_int mantissa *. 0x1p-53)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: rate must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. rate
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    The whole repository routes randomness through this module so that every
+    experiment is reproducible from a single integer seed.  The generator is
+    xoshiro256** seeded via splitmix64, which is both fast and of high
+    statistical quality — important here because wander join's unbiasedness
+    argument assumes the per-step choices are (close to) independent
+    uniforms. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator deterministically from [seed]. *)
+
+val copy : t -> t
+(** Independent copy with identical state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  Streams from
+    [split] are statistically independent of the parent's subsequent
+    output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound); requires [bound > 0].
+    Uses rejection sampling, so there is no modulo bias. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform on the inclusive range [lo, hi]; requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate). *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

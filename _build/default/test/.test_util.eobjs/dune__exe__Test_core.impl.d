@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Fun List Option Printf QCheck QCheck_alcotest Wj_core Wj_exec Wj_index Wj_stats Wj_storage Wj_util

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Fun Hashtbl List Option Printf Wj_core Wj_exec Wj_stats Wj_storage Wj_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest String Sys Wj_core Wj_exec Wj_index Wj_sql Wj_stats Wj_storage Wj_tpch Wj_util

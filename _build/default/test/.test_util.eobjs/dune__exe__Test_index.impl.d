@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Wj_index Wj_storage Wj_util

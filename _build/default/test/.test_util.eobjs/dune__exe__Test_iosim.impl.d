@@ -1,0 +1,1 @@
+test/test_iosim.ml: Alcotest Printf Wj_core Wj_iosim Wj_util

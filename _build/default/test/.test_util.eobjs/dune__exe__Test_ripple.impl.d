@@ -1,0 +1,1 @@
+test/test_ripple.ml: Alcotest Array Float List Printf Wj_core Wj_exec Wj_ripple Wj_stats Wj_storage Wj_util

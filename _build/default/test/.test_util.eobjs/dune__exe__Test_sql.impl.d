@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Float Format Lazy List Printf String Wj_core Wj_exec Wj_sql Wj_stats Wj_storage Wj_tpch

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List Printf Wj_stats Wj_util

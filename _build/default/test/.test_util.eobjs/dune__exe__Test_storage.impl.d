@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array List QCheck QCheck_alcotest Wj_storage

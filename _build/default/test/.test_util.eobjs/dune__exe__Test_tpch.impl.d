@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Float Lazy List Printf Wj_core Wj_exec Wj_storage Wj_tpch

@@ -1,0 +1,171 @@
+(* Tests for wj_iosim: LRU buffer pool, cost model, simulation glue. *)
+
+module Buffer_pool = Wj_iosim.Buffer_pool
+module Cost_model = Wj_iosim.Cost_model
+module Sim = Wj_iosim.Sim
+module Timer = Wj_util.Timer
+module Walker = Wj_core.Walker
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ---- Buffer_pool ----------------------------------------------------- *)
+
+let test_pool_hits_and_misses () =
+  let p = Buffer_pool.create ~capacity:2 in
+  Alcotest.(check bool) "first access misses" false (Buffer_pool.touch p ~table:0 ~page:0);
+  Alcotest.(check bool) "repeat hits" true (Buffer_pool.touch p ~table:0 ~page:0);
+  Alcotest.(check bool) "second page misses" false (Buffer_pool.touch p ~table:0 ~page:1);
+  Alcotest.(check int) "hits" 1 (Buffer_pool.hits p);
+  Alcotest.(check int) "misses" 2 (Buffer_pool.misses p);
+  Alcotest.(check int) "resident" 2 (Buffer_pool.resident p)
+
+let test_pool_lru_eviction () =
+  let p = Buffer_pool.create ~capacity:2 in
+  ignore (Buffer_pool.touch p ~table:0 ~page:0);
+  ignore (Buffer_pool.touch p ~table:0 ~page:1);
+  (* Touch page 0 so page 1 becomes LRU. *)
+  ignore (Buffer_pool.touch p ~table:0 ~page:0);
+  ignore (Buffer_pool.touch p ~table:0 ~page:2);
+  (* page 1 evicted *)
+  Alcotest.(check bool) "page 0 resident" true (Buffer_pool.contains p ~table:0 ~page:0);
+  Alcotest.(check bool) "page 1 evicted" false (Buffer_pool.contains p ~table:0 ~page:1);
+  Alcotest.(check bool) "page 2 resident" true (Buffer_pool.contains p ~table:0 ~page:2);
+  Alcotest.(check int) "capacity respected" 2 (Buffer_pool.resident p)
+
+let test_pool_tables_disambiguated () =
+  let p = Buffer_pool.create ~capacity:4 in
+  ignore (Buffer_pool.touch p ~table:0 ~page:7);
+  Alcotest.(check bool) "same page other table misses" false
+    (Buffer_pool.touch p ~table:1 ~page:7);
+  Alcotest.(check int) "two pages" 2 (Buffer_pool.resident p)
+
+let test_pool_clear_and_stats () =
+  let p = Buffer_pool.create ~capacity:3 in
+  ignore (Buffer_pool.touch p ~table:0 ~page:0);
+  ignore (Buffer_pool.touch p ~table:0 ~page:0);
+  Buffer_pool.reset_stats p;
+  Alcotest.(check int) "stats reset" 0 (Buffer_pool.hits p + Buffer_pool.misses p);
+  Alcotest.(check int) "still resident" 1 (Buffer_pool.resident p);
+  Buffer_pool.clear p;
+  Alcotest.(check int) "cleared" 0 (Buffer_pool.resident p);
+  Alcotest.(check bool) "gone" false (Buffer_pool.contains p ~table:0 ~page:0)
+
+let test_pool_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Buffer_pool.create: capacity must be positive") (fun () ->
+      ignore (Buffer_pool.create ~capacity:0))
+
+let test_pool_heavy_churn () =
+  (* Sequential sweep over 10x the capacity: everything misses; then a
+     re-sweep of the last <capacity> pages hits. *)
+  let cap = 50 in
+  let p = Buffer_pool.create ~capacity:cap in
+  for page = 0 to (10 * cap) - 1 do
+    ignore (Buffer_pool.touch p ~table:0 ~page)
+  done;
+  Alcotest.(check int) "all missed" (10 * cap) (Buffer_pool.misses p);
+  Buffer_pool.reset_stats p;
+  for page = (10 * cap) - cap to (10 * cap) - 1 do
+    ignore (Buffer_pool.touch p ~table:0 ~page)
+  done;
+  Alcotest.(check int) "tail resident" cap (Buffer_pool.hits p)
+
+(* ---- Cost_model ------------------------------------------------------ *)
+
+let test_cost_model () =
+  let m = Cost_model.default in
+  Alcotest.(check int) "pages round up" 4 (Cost_model.pages_of_rows m (3 * m.rows_per_page + 1));
+  Alcotest.(check int) "exact pages" 3 (Cost_model.pages_of_rows m (3 * m.rows_per_page));
+  check_float "scan cost" (4.0 *. m.seq_io)
+    (Cost_model.scan_seconds m ~rows:((3 * m.rows_per_page) + 1));
+  Alcotest.(check bool) "random >> seq" true (m.random_io > m.seq_io);
+  Alcotest.(check bool) "seq >> ram" true (m.seq_io > m.ram_access)
+
+(* ---- Sim ------------------------------------------------------------- *)
+
+let test_sim_requires_virtual_clock () =
+  Alcotest.check_raises "wall clock rejected"
+    (Invalid_argument "Sim.create: clock must be virtual") (fun () ->
+      ignore (Sim.create ~pool_pages:10 ~clock:(Timer.wall ()) ()))
+
+let test_sim_walker_tracer_charges () =
+  let clock = Timer.virtual_ () in
+  let sim = Sim.create ~pool_pages:10 ~clock () in
+  let m = Sim.model sim in
+  (* First row access: miss -> random I/O. *)
+  Sim.walker_tracer sim (Walker.Row_access (0, 0));
+  check_float "miss cost" m.random_io (Timer.elapsed clock);
+  (* Same page again: hit -> RAM. *)
+  Sim.walker_tracer sim (Walker.Row_access (0, 1));
+  check_float "hit cost" (m.random_io +. m.ram_access) (Timer.elapsed clock);
+  (* Index probe: per-level cached cost. *)
+  Sim.walker_tracer sim (Walker.Index_probe (0, 3));
+  check_float "probe cost"
+    (m.random_io +. m.ram_access +. (3.0 *. m.index_level_cost))
+    (Timer.elapsed clock)
+
+let test_sim_ripple_tracer () =
+  let clock = Timer.virtual_ () in
+  let sim = Sim.create ~pool_pages:10 ~clock () in
+  let m = Sim.model sim in
+  Sim.ripple_tracer sim ~pos:0 ~slot:0 ~sequential:true;
+  check_float "seq miss" m.seq_io (Timer.elapsed clock);
+  Sim.ripple_tracer sim ~pos:0 ~slot:1 ~sequential:true;
+  check_float "same page hit" (m.seq_io +. m.ram_access) (Timer.elapsed clock);
+  Sim.ripple_tracer sim ~pos:1 ~slot:999 ~sequential:false;
+  check_float "random miss"
+    (m.seq_io +. m.ram_access +. m.random_io)
+    (Timer.elapsed clock)
+
+let test_sim_scan_and_warm () =
+  let clock = Timer.virtual_ () in
+  let sim = Sim.create ~pool_pages:1000 ~clock () in
+  let m = Sim.model sim in
+  Sim.charge_scan sim ~rows:(10 * m.rows_per_page);
+  check_float "scan" (10.0 *. m.seq_io) (Timer.elapsed clock);
+  (* Warming loads pages without charging. *)
+  let t0 = Timer.elapsed clock in
+  Sim.warm sim ~table:3 ~rows:(5 * m.rows_per_page);
+  check_float "warm free" t0 (Timer.elapsed clock);
+  Sim.walker_tracer sim (Walker.Row_access (3, 0));
+  check_float "warmed page hits" (t0 +. m.ram_access) (Timer.elapsed clock)
+
+let test_sim_end_to_end_locality () =
+  (* A tiny-pool simulation of random walks over a big table must cost more
+     per access than one with a big pool. *)
+  let run pool_pages =
+    let clock = Timer.virtual_ () in
+    let sim = Sim.create ~pool_pages ~clock () in
+    let prng = Wj_util.Prng.create 3 in
+    for _ = 1 to 2000 do
+      Sim.walker_tracer sim (Walker.Row_access (0, Wj_util.Prng.int prng 100_000))
+    done;
+    Timer.elapsed clock
+  in
+  let small = run 4 and large = run 10_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "small pool slower (%.4f vs %.4f)" small large)
+    true (small > large)
+
+let () =
+  Alcotest.run "wj_iosim"
+    [
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_pool_hits_and_misses;
+          Alcotest.test_case "LRU eviction" `Quick test_pool_lru_eviction;
+          Alcotest.test_case "tables disambiguated" `Quick test_pool_tables_disambiguated;
+          Alcotest.test_case "clear and stats" `Quick test_pool_clear_and_stats;
+          Alcotest.test_case "validation" `Quick test_pool_validation;
+          Alcotest.test_case "heavy churn" `Quick test_pool_heavy_churn;
+        ] );
+      ("cost_model", [ Alcotest.test_case "arithmetic" `Quick test_cost_model ]);
+      ( "sim",
+        [
+          Alcotest.test_case "virtual clock required" `Quick test_sim_requires_virtual_clock;
+          Alcotest.test_case "walker tracer" `Quick test_sim_walker_tracer_charges;
+          Alcotest.test_case "ripple tracer" `Quick test_sim_ripple_tracer;
+          Alcotest.test_case "scan and warm" `Quick test_sim_scan_and_warm;
+          Alcotest.test_case "locality effect" `Quick test_sim_end_to_end_locality;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+(* Tests for wj_sql: lexer, parser, binder, engine. *)
+
+module Lexer = Wj_sql.Lexer
+module Parser = Wj_sql.Parser
+module Ast = Wj_sql.Ast
+module Binder = Wj_sql.Binder
+module Engine = Wj_sql.Engine
+module Query = Wj_core.Query
+module Value = Wj_storage.Value
+module Estimator = Wj_stats.Estimator
+
+(* ---- Lexer ----------------------------------------------------------- *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT sum(x) FROM t WHERE a <= 3.5 AND b <> 'hi'" in
+  Alcotest.(check int) "token count" 16 (List.length toks);
+  Alcotest.(check bool) "keyword" true (List.mem (Lexer.KEYWORD "SELECT") toks);
+  Alcotest.(check bool) "agg keyword" true (List.mem (Lexer.KEYWORD "SUM") toks);
+  Alcotest.(check bool) "ident lowercased" true (List.mem (Lexer.IDENT "x") toks);
+  Alcotest.(check bool) "float" true (List.mem (Lexer.FLOAT 3.5) toks);
+  Alcotest.(check bool) "string" true (List.mem (Lexer.STRING "hi") toks);
+  Alcotest.(check bool) "ne" true (List.mem Lexer.NE toks);
+  Alcotest.(check bool) "le" true (List.mem Lexer.LE toks);
+  Alcotest.(check bool) "eof last" true (List.nth toks 15 = Lexer.EOF)
+
+let test_lexer_case_insensitive_keywords () =
+  let toks = Lexer.tokenize "select Sum(X) from T" in
+  Alcotest.(check bool) "select" true (List.mem (Lexer.KEYWORD "SELECT") toks);
+  Alcotest.(check bool) "idents lowercase" true (List.mem (Lexer.IDENT "t") toks)
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize "( ) , . * + - / = < > <= >= <> !=" in
+  Alcotest.(check int) "count" 16 (List.length toks);
+  Alcotest.(check bool) "bang-eq is NE" true
+    (List.filter (fun t -> t = Lexer.NE) toks |> List.length = 2)
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "SELECT 'unterminated");
+     Alcotest.fail "expected Lex_error"
+   with Lexer.Lex_error (msg, _) ->
+     Alcotest.(check string) "message" "unterminated string literal" msg);
+  try
+    ignore (Lexer.tokenize "SELECT #");
+    Alcotest.fail "expected Lex_error"
+  with Lexer.Lex_error (_, off) -> Alcotest.(check int) "offset" 7 off
+
+(* ---- Parser ---------------------------------------------------------- *)
+
+let test_parser_full_statement () =
+  let s =
+    Parser.parse
+      {| SELECT ONLINE SUM(l_price * (1 - l_disc)), COUNT(*)
+         FROM customer c, orders, lineitem
+         WHERE c.key = o_key AND l_ship > DATE '1995-03-15'
+           AND seg BETWEEN 1 AND 3 AND flag IN ('A', 'R')
+         GROUP BY c.seg
+         WITHINTIME 20 CONFIDENCE 95 REPORTINTERVAL 1 |}
+  in
+  Alcotest.(check bool) "online" true s.Ast.online;
+  Alcotest.(check int) "items" 2 (List.length s.items);
+  Alcotest.(check int) "tables" 3 (List.length s.from);
+  Alcotest.(check bool) "alias" true (List.hd s.from = ("customer", Some "c"));
+  Alcotest.(check int) "conditions" 4 (List.length s.where);
+  Alcotest.(check bool) "group by" true (s.group_by <> None);
+  Alcotest.(check bool) "withintime" true (s.within_time = Some 20.0);
+  Alcotest.(check bool) "confidence" true (s.confidence = Some 95.0);
+  Alcotest.(check bool) "reportinterval" true (s.report_interval = Some 1.0)
+
+let test_parser_condition_classification () =
+  let s = Parser.parse "SELECT COUNT(*) FROM a, b WHERE a.x = b.y AND a.z < 5" in
+  (match s.Ast.where with
+  | [ Ast.C_join (l, r); Ast.C_cmp (c, Ast.Op_lt, Ast.L_int 5) ] ->
+    Alcotest.(check string) "join left" "x" l.column;
+    Alcotest.(check string) "join right" "y" r.column;
+    Alcotest.(check string) "cmp col" "z" c.column
+  | _ -> Alcotest.fail "unexpected where shape");
+  Alcotest.(check bool) "not online" false s.online
+
+let test_parser_expr_precedence () =
+  let s = Parser.parse "SELECT SUM(a + b * c) FROM t" in
+  match (List.hd s.Ast.items).arg with
+  | Some (Ast.E_add (Ast.E_col _, Ast.E_mul (Ast.E_col _, Ast.E_col _))) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parser_parens_and_neg () =
+  let s = Parser.parse "SELECT SUM((a - 1) / -b) FROM t" in
+  match (List.hd s.Ast.items).arg with
+  | Some (Ast.E_div (Ast.E_sub _, Ast.E_neg _)) -> ()
+  | _ -> Alcotest.fail "parens/neg wrong"
+
+let test_parser_date_literal () =
+  let s = Parser.parse "SELECT COUNT(*) FROM t WHERE d < DATE '1994-06-30'" in
+  match s.Ast.where with
+  | [ Ast.C_cmp (_, Ast.Op_lt, Ast.L_date day) ] ->
+    Alcotest.(check string) "roundtrip" "1994-06-30" (Wj_storage.Date_codec.to_string day)
+  | _ -> Alcotest.fail "expected date literal"
+
+let expect_parse_error sql =
+  try
+    ignore (Parser.parse sql);
+    Alcotest.fail ("expected Parse_error for: " ^ sql)
+  with Parser.Parse_error _ -> ()
+
+let test_parser_errors () =
+  expect_parse_error "SELECT FROM t";
+  expect_parse_error "SELECT SUM(x) WHERE a = b";
+  expect_parse_error "SELECT SUM(x) FROM t WHERE a BETWEEN 1 2";
+  expect_parse_error "SELECT AVG(*) FROM t";
+  expect_parse_error "SELECT SUM(x) FROM t garbage garbage garbage";
+  expect_parse_error "SELECT SUM(x) FROM t WHERE a < b";
+  (* col-col must be = *)
+  expect_parse_error "SELECT SUM(x) FROM t WHERE d = DATE '1994-13-01'"
+
+let test_parser_pp_roundtrip () =
+  let sql =
+    "SELECT ONLINE SUM(a * b) FROM t1, t2 u WHERE t1.x = u.y AND a > 3 GROUP BY t1.g WITHINTIME 5"
+  in
+  let s = Parser.parse sql in
+  let printed = Format.asprintf "%a" Ast.pp_statement s in
+  let s2 = Parser.parse printed in
+  Alcotest.(check bool) "parse(pp(parse)) = parse" true (s = s2)
+
+(* ---- Binder + Engine ------------------------------------------------- *)
+
+let dataset = lazy (Wj_tpch.Generator.generate ~sf:0.005 ())
+let catalog () = Wj_tpch.Generator.catalog (Lazy.force dataset)
+
+let bind sql = Binder.bind (catalog ()) (Parser.parse sql)
+
+let test_binder_joins_and_predicates () =
+  let b =
+    bind
+      {| SELECT SUM(l_extendedprice) FROM customer, orders, lineitem
+         WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+           AND c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' |}
+  in
+  let _, q = List.hd b.Binder.queries in
+  Alcotest.(check int) "joins" 2 (List.length q.Query.joins);
+  Alcotest.(check int) "predicates" 2 (List.length q.Query.predicates);
+  Alcotest.(check int) "tables" 3 (Query.k q);
+  Alcotest.(check bool) "agg" true (q.Query.agg = Estimator.Sum)
+
+let test_binder_aliases () =
+  let b =
+    bind
+      {| SELECT COUNT(*) FROM nation n1, nation n2, supplier
+         WHERE n1.n_nationkey = s_nationkey AND n2.n_nationkey = s_nationkey |}
+  in
+  let _, q = List.hd b.Binder.queries in
+  Alcotest.(check int) "three positions" 3 (Query.k q);
+  Alcotest.(check bool) "aliases share table" true (q.Query.tables.(0) == q.Query.tables.(1))
+
+let expect_bind_error sql =
+  try
+    ignore (bind sql);
+    Alcotest.fail ("expected Bind_error for: " ^ sql)
+  with Binder.Bind_error _ -> ()
+
+let test_binder_errors () =
+  expect_bind_error "SELECT SUM(x) FROM ghosts";
+  expect_bind_error "SELECT SUM(zzz) FROM customer";
+  (* c_custkey is unique but joining orders brings ambiguity of nothing;
+     ambiguous bare column: both orders and lineitem have no shared names in
+     TPC-H, so use duplicated aliases instead. *)
+  expect_bind_error "SELECT COUNT(*) FROM customer c, orders c WHERE c_custkey = o_custkey";
+  (* string literal on numeric column *)
+  expect_bind_error
+    "SELECT COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey AND c_acctbal = 'x'";
+  (* joining on a string column *)
+  expect_bind_error
+    "SELECT COUNT(*) FROM customer, orders WHERE c_mktsegment = o_orderstatus";
+  (* disconnected join graph *)
+  expect_bind_error "SELECT COUNT(*) FROM customer, orders";
+  (* ambiguous column: nation joined twice, bare n_name *)
+  expect_bind_error
+    "SELECT COUNT(*) FROM nation n1, nation n2, supplier WHERE n1.n_nationkey = s_nationkey AND n2.n_nationkey = s_nationkey AND n_name = 'FRANCE'"
+
+let test_binder_confidence_normalisation () =
+  let b = bind "SELECT ONLINE COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey CONFIDENCE 99" in
+  Alcotest.(check (float 1e-9)) "percent" 0.99 b.Binder.confidence;
+  let b2 = bind "SELECT COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey" in
+  Alcotest.(check (float 1e-9)) "default" 0.95 b2.Binder.confidence
+
+let test_engine_exact_matches_direct () =
+  let d = Lazy.force dataset in
+  let cat = catalog () in
+  let r =
+    Engine.execute cat
+      {| SELECT SUM(l_extendedprice * (1 - l_discount)), COUNT(*)
+         FROM customer, orders, lineitem
+         WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey |}
+  in
+  (* Compare with the direct API. *)
+  let q = Wj_tpch.Queries.build ~variant:Barebone Wj_tpch.Queries.Q3 d in
+  let reg = Wj_tpch.Queries.registry q in
+  let expected = Wj_exec.Exact.aggregate q reg in
+  (match r.Engine.items with
+  | [ (_, Engine.Exact_scalar sum); (_, Engine.Exact_scalar count) ] ->
+    Alcotest.(check (float 1.0)) "sum" expected.value sum.Wj_exec.Exact.value;
+    Alcotest.(check (float 0.0)) "count"
+      (float_of_int expected.join_size)
+      count.Wj_exec.Exact.value
+  | _ -> Alcotest.fail "expected two exact scalars");
+  Alcotest.(check bool) "render non-empty" true (String.length (Engine.render r) > 0)
+
+let test_engine_online_statement () =
+  let cat = catalog () in
+  let r =
+    Engine.execute ~seed:5 cat
+      {| SELECT ONLINE COUNT(*) FROM customer, orders, lineitem
+         WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+         WITHINTIME 0.5 |}
+  in
+  let exact =
+    Engine.execute cat
+      {| SELECT COUNT(*) FROM customer, orders, lineitem
+         WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey |}
+  in
+  match (r.Engine.items, exact.Engine.items) with
+  | [ (_, Engine.Online_scalar o) ], [ (_, Engine.Exact_scalar e) ] ->
+    let err = Float.abs (o.Wj_core.Online.final.estimate -. e.Wj_exec.Exact.value) in
+    Alcotest.(check bool)
+      (Printf.sprintf "online %.1f ~ exact %.1f" o.Wj_core.Online.final.estimate
+         e.Wj_exec.Exact.value)
+      true
+      (err < (4.0 *. o.Wj_core.Online.final.half_width) +. 1.0)
+  | _ -> Alcotest.fail "unexpected outcome shapes"
+
+let test_engine_group_by () =
+  let cat = catalog () in
+  let r =
+    Engine.execute cat
+      {| SELECT SUM(o_totalprice) FROM customer, orders
+         WHERE c_custkey = o_custkey GROUP BY c_mktsegment |}
+  in
+  match r.Engine.items with
+  | [ (_, Engine.Exact_groups groups) ] ->
+    Alcotest.(check int) "five segments" 5 (List.length groups)
+  | _ -> Alcotest.fail "expected groups"
+
+let test_engine_online_group_by () =
+  let cat = catalog () in
+  let r =
+    Engine.execute ~seed:3 cat
+      {| SELECT ONLINE COUNT(*) FROM customer, orders
+         WHERE c_custkey = o_custkey GROUP BY c_mktsegment WITHINTIME 0.4 |}
+  in
+  match r.Engine.items with
+  | [ (_, Engine.Online_groups g) ] ->
+    Alcotest.(check bool) "groups present" true (List.length g.Wj_core.Online.groups = 5)
+  | _ -> Alcotest.fail "expected online groups"
+
+let () =
+  Alcotest.run "wj_sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "case insensitivity" `Quick test_lexer_case_insensitive_keywords;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "full statement" `Quick test_parser_full_statement;
+          Alcotest.test_case "condition classification" `Quick
+            test_parser_condition_classification;
+          Alcotest.test_case "expr precedence" `Quick test_parser_expr_precedence;
+          Alcotest.test_case "parens and neg" `Quick test_parser_parens_and_neg;
+          Alcotest.test_case "date literal" `Quick test_parser_date_literal;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "pp roundtrip" `Quick test_parser_pp_roundtrip;
+        ] );
+      ( "binder",
+        [
+          Alcotest.test_case "joins and predicates" `Quick test_binder_joins_and_predicates;
+          Alcotest.test_case "aliases" `Quick test_binder_aliases;
+          Alcotest.test_case "errors" `Quick test_binder_errors;
+          Alcotest.test_case "confidence" `Quick test_binder_confidence_normalisation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "exact matches direct API" `Quick test_engine_exact_matches_direct;
+          Alcotest.test_case "online statement" `Slow test_engine_online_statement;
+          Alcotest.test_case "group by" `Quick test_engine_group_by;
+          Alcotest.test_case "online group by" `Slow test_engine_online_group_by;
+        ] );
+    ]
