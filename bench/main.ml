@@ -727,6 +727,62 @@ let abl_cardinality () =
     specs
 
 (* ======================================================================= *)
+(* Engine throughput: walks/sec by batch size. *)
+(* ======================================================================= *)
+
+let engine_bench () =
+  header "Engine: walks/sec by batch size (fixed PG plan, 2GB)";
+  let d = Data.get 0.02 in
+  let horizon = if !quick then 0.3 else 1.0 in
+  let batches = [ 1; 8; 64 ] in
+  let entries = ref [] in
+  Printf.printf "%-4s" "qry";
+  List.iter (fun b -> Printf.printf "  %12s" (Printf.sprintf "batch %d" b)) batches;
+  Printf.printf "   (walks/sec)\n";
+  List.iter
+    (fun spec ->
+      let q = Queries.build ~variant:Barebone spec d in
+      let reg = Queries.registry q in
+      let plan = pg_plan q reg in
+      Printf.printf "%-4s" (Queries.name_of spec);
+      let rates =
+        List.map
+          (fun batch ->
+            let out =
+              Online.run ~seed ~max_time:horizon ~plan_choice:(Online.Fixed plan)
+                ~batch q reg
+            in
+            let rate = float_of_int out.final.walks /. out.final.elapsed in
+            Printf.printf "  %12.0f%!" rate;
+            (batch, rate))
+          batches
+      in
+      print_newline ();
+      entries := (Queries.name_of spec, rates) :: !entries)
+    specs;
+  (* Machine-readable drop for regression tracking. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "{\n  \"experiment\": \"engine\",\n  \"unit\": \"walks_per_sec\",\n  \"queries\": {\n";
+  let entries = List.rev !entries in
+  List.iteri
+    (fun i (name, rates) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: {" name);
+      List.iteri
+        (fun j (b, r) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\"batch_%d\": %.1f" (if j = 0 then " " else ", ") b r))
+        rates;
+      Buffer.add_string buf
+        (Printf.sprintf " }%s\n" (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [engine] wrote BENCH_engine.json\n%!"
+
+(* ======================================================================= *)
 (* Bechamel micro-benchmarks. *)
 (* ======================================================================= *)
 
@@ -801,6 +857,7 @@ let experiments =
     ("abl-failfast", abl_failfast);
     ("abl-strat", abl_stratified);
     ("abl-card", abl_cardinality);
+    ("engine", engine_bench);
     ("micro", micro);
   ]
 

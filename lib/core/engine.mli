@@ -1,0 +1,81 @@
+(** Step-centric batched walk engine and the shared execution driver.
+
+    Wander join's hot path is millions of tiny random-walk steps.  The
+    engine keeps a ring of [batch] in-flight walk states — each slot owns a
+    preallocated path buffer, its running Horvitz–Thompson weight and its
+    position in the plan — and advances them in sweeps of one
+    gather -> sample -> update phase per slot, so consecutive probes
+    against the same step's index land back to back and no per-walk
+    closures or path arrays are allocated.
+
+    [batch = 1] (the default everywhere) delegates to {!Walker.walk}: it
+    consumes the same PRNG draws in the same order, so every fixed-seed
+    result of the sequential drivers is reproduced bit for bit.  Larger
+    batches interleave the draws of concurrent walks: still unbiased, same
+    distribution, different stream.
+
+    {!Driver} is the single execution loop shared by the Online, Parallel
+    and Hybrid drivers and by the ripple-join baselines: stop conditions
+    (confidence target, deadline, walk budget, cancellation) plus periodic
+    reporting, with the polling cadence of each check configurable. *)
+
+type t
+
+val create : ?batch:int -> Walker.prepared -> t
+(** [batch] defaults to 1.  Raises [Invalid_argument] when [batch < 1]. *)
+
+val batch : t -> int
+val prepared : t -> Walker.prepared
+
+val next : t -> Wj_util.Prng.t -> Walker.outcome
+(** Advance in-flight walks round-robin until one completes and return its
+    outcome.  A [Success] outcome's [path] aliases the slot's reused
+    buffer: read it before the next [next] call, copy it to retain it. *)
+
+val last_walk_cost : t -> int
+(** Abstract cost of the walk most recently returned by [next]
+    (the engine-side analogue of {!Walker.steps_of_last_walk}). *)
+
+val walk_value : Query.t -> Walker.prepared -> int array -> float
+(** The estimator observation value of a successful path: the aggregate
+    expression for SUM/AVG/VARIANCE/STDEV, 1.0 for COUNT. *)
+
+val feed : Query.t -> Walker.prepared -> Wj_stats.Estimator.t -> Walker.outcome -> unit
+(** The standard estimator sink: a success contributes [(inv_p, value)],
+    a failure contributes a zero observation (§3.1 — failed walks are part
+    of the probability space). *)
+
+module Driver : sig
+  type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+
+  type polls = {
+    target_mask : int;
+        (** poll the target when [walks > mask && walks land mask = 0] *)
+    report_mask : int;  (** gate report-timing checks on [walks land mask = 0] *)
+    cancel_mask : int;  (** poll cancellation when [walks land mask = 0] *)
+  }
+
+  val default_polls : polls
+  (** [{ target_mask = 15; report_mask = 0; cancel_mask = 63 }] — the
+      cadence of the original sequential driver. *)
+
+  val run :
+    ?polls:polls ->
+    ?target_reached:(unit -> bool) ->
+    ?should_stop:(unit -> bool) ->
+    ?max_walks:int ->
+    ?report_every:float ->
+    ?on_report:(unit -> unit) ->
+    max_time:float ->
+    clock:Wj_util.Timer.t ->
+    walks:(unit -> int) ->
+    step:(unit -> unit) ->
+    unit ->
+    stop_reason
+  (** Run [step] (one walk, round, or sample — caller-defined) until a stop
+      condition fires, checking in order: target, cancellation, deadline,
+      budget.  [walks] reports the count of completed steps; [on_report]
+      fires whenever the clock passes a multiple of [report_every] (subject
+      to [report_mask]).  Reading time through a {!Wj_util.Timer.t} keeps
+      the loop usable under the I/O simulator's virtual clocks. *)
+end

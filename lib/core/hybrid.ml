@@ -94,7 +94,7 @@ let replicate_estimate q rep =
     end
 
 let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
-    ?(max_time = 10.0) ?(max_rounds = max_int) ?clock q registry =
+    ?(max_time = 10.0) ?(max_rounds = max_int) ?clock ?(batch = 1) q registry =
   let clock = match clock with Some c -> c | None -> Timer.wall () in
   let prng = Prng.create (seed lxor 0x485942) in  (* "HYB" *)
   let graph = Join_graph.of_query q registry in
@@ -108,6 +108,9 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
       components
   in
   let prepared = Array.of_list (List.map (fun p -> Walker.prepare q registry p) plans) in
+  (* One engine per component, shared by all replicates: with [batch > 1]
+     the in-flight walks of a component interleave across replicates. *)
+  let engines = Array.map (Engine.create ~batch) prepared in
   let cross_conds =
     let comp_of = Array.make (Query.k q) (-1) in
     List.iteri
@@ -169,12 +172,7 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
   in
   let rounds = ref 0 and walks = ref 0 in
   let all_frozen rep = Array.for_all (fun st -> st.frozen) rep.states in
-  let finished () =
-    Timer.elapsed clock >= max_time
-    || !rounds >= max_rounds
-    || Array.for_all all_frozen reps
-  in
-  while not (finished ()) do
+  let round () =
     incr rounds;
     Array.iter
       (fun rep ->
@@ -183,7 +181,7 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
             if not st.frozen then begin
               st.comp_walks <- st.comp_walks + 1;
               incr walks;
-              (match Walker.walk prepared.(ci) prng with
+              (match Engine.next engines.(ci) prng with
               | Walker.Success { path; inv_p } ->
                 let sp = { rows = Array.copy path; inv_p } in
                 combine rep ci sp;
@@ -194,7 +192,17 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
             end)
           rep.states)
       reps
-  done;
+  in
+  (* The driver's step is one round (every live replicate x component walks
+     once); freezing everywhere reads as cancellation, polled every round. *)
+  let (_ : Engine.Driver.stop_reason) =
+    Engine.Driver.run
+      ~polls:{ Engine.Driver.default_polls with cancel_mask = 0 }
+      ~should_stop:(fun () -> Array.for_all all_frozen reps)
+      ~max_walks:max_rounds ~max_time ~clock
+      ~walks:(fun () -> !rounds)
+      ~step:round ()
+  in
   let estimates = Array.map (replicate_estimate q) reps in
   let finite = Array.to_list estimates |> List.filter Float.is_finite in
   let nf = List.length finite in

@@ -41,8 +41,11 @@ val run :
   ?max_time:float ->
   ?max_rounds:int ->
   ?clock:Wj_util.Timer.t ->
+  ?batch:int ->
   Query.t ->
   Registry.t ->
   outcome
 (** Raises [Invalid_argument] if some component admits no walk plan (a
-    table with no usable index at all). *)
+    table with no usable index at all).  [batch] (default 1) sets each
+    component engine's number of in-flight walks; with [batch > 1] a
+    component's walks interleave across replicates (see {!Engine}). *)

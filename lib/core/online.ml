@@ -12,7 +12,11 @@ type report = {
   half_width : float;
 }
 
-type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+type stop_reason = Engine.Driver.stop_reason =
+  | Target_reached
+  | Time_up
+  | Walk_budget_exhausted
+  | Cancelled
 
 type outcome = {
   final : report;
@@ -29,12 +33,6 @@ type plan_choice =
   | Optimize of Optimizer.config
   | Fixed of Walk_plan.t
   | First_enumerated
-
-let value_for_agg q prepared path =
-  match q.Query.agg with
-  | Estimator.Count -> 1.0
-  | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
-    Walker.value_of prepared path
 
 let make_report ~confidence ~elapsed est =
   {
@@ -70,14 +68,14 @@ let pick_plan ~plan_choice ~eager_checks ~tracer q registry prng clock =
 
 let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     ?report_every ?on_report ?clock ?(plan_choice = Optimize Optimizer.default_config)
-    ?(eager_checks = true) ?tracer ?should_stop q registry =
+    ?(eager_checks = true) ?tracer ?should_stop ?(batch = 1) q registry =
   let clock = match clock with Some c -> c | None -> Timer.wall () in
   let prng = Prng.create (seed lxor 0x4F4E4C) in  (* "ONL" *)
   let prepared, plan, est, optimizer_time, optimizer_walks =
     pick_plan ~plan_choice ~eager_checks ~tracer q registry prng clock
   in
+  let engine = Engine.create ~batch prepared in
   let history = ref [] in
-  let next_report = ref (match report_every with Some r -> r | None -> infinity) in
   let emit_report () =
     match on_report with
     | None -> ()
@@ -86,40 +84,20 @@ let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
       history := r :: !history;
       f r
   in
-  let target_reached () =
-    match target with
-    | None -> false
-    | Some tgt ->
-      (* Checking the CI after every single walk is wasteful; poll. *)
-      Estimator.n est >= 16
-      && Estimator.n est land 15 = 0
-      && Target.reached tgt ~estimate:(Estimator.estimate est)
-           ~half_width:(Estimator.half_width est ~confidence)
+  let target_reached =
+    Option.map
+      (fun tgt () ->
+        Target.reached tgt ~estimate:(Estimator.estimate est)
+          ~half_width:(Estimator.half_width est ~confidence))
+      target
   in
-  let stop = ref None in
-  let cancelled () =
-    match should_stop with
-    | None -> false
-    | Some f -> Estimator.n est land 63 = 0 && f ()
+  let step () = Engine.feed q prepared est (Engine.next engine prng) in
+  let stopped_because =
+    Engine.Driver.run ?target_reached ?should_stop ?max_walks ?report_every
+      ~on_report:emit_report ~max_time ~clock
+      ~walks:(fun () -> Estimator.n est)
+      ~step ()
   in
-  while !stop = None do
-    if target_reached () then stop := Some Target_reached
-    else if cancelled () then stop := Some Cancelled
-    else if Timer.elapsed clock >= max_time then stop := Some Time_up
-    else if (match max_walks with Some m -> Estimator.n est >= m | None -> false)
-    then stop := Some Walk_budget_exhausted
-    else begin
-      (match Walker.walk prepared prng with
-      | Walker.Success { path; inv_p } ->
-        Estimator.add est ~u:inv_p ~v:(value_for_agg q prepared path)
-      | Walker.Failure _ -> Estimator.add_failure est);
-      if Timer.elapsed clock >= !next_report then begin
-        emit_report ();
-        next_report :=
-          !next_report +. (match report_every with Some r -> r | None -> infinity)
-      end
-    end
-  done;
   let final = make_report ~confidence ~elapsed:(Timer.elapsed clock) est in
   {
     final;
@@ -128,7 +106,7 @@ let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     plan_description = Walk_plan.describe q plan;
     optimizer_time;
     optimizer_walks;
-    stopped_because = Option.get !stop;
+    stopped_because;
     history = List.rev !history;
   }
 
@@ -142,7 +120,8 @@ type group_outcome = {
 
 let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
     ?report_every ?on_group_report ?clock
-    ?(plan_choice = Optimize Optimizer.default_config) q registry =
+    ?(plan_choice = Optimize Optimizer.default_config) ?should_stop ?(batch = 1) q
+    registry =
   if q.Query.group_by = None then
     invalid_arg "Online.run_group_by: query has no GROUP BY";
   let clock = match clock with Some c -> c | None -> Timer.wall () in
@@ -150,6 +129,7 @@ let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
   let prepared, _plan, _trials, _, _ =
     pick_plan ~plan_choice ~eager_checks:true ~tracer:None q registry prng clock
   in
+  let engine = Engine.create ~batch prepared in
   (* The optimizer's trial estimator cannot be split by group (it does not
      retain paths), so group estimators start from zero walks here. *)
   let groups : (Value.t, Estimator.t) Hashtbl.t = Hashtbl.create 16 in
@@ -175,29 +155,26 @@ let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
       groups []
     |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
   in
-  let next_report = ref (match report_every with Some r -> r | None -> infinity) in
-  let stop = ref false in
-  while not !stop do
-    if Timer.elapsed clock >= max_time then stop := true
-    else if (match max_walks with Some m -> !total >= m | None -> false) then
-      stop := true
-    else begin
-      (match Walker.walk prepared prng with
-      | Walker.Success { path; inv_p } ->
-        let key = Query.group_key q path in
-        let e = group_est key in
-        (* Catch up on misses since this group's last hit, then record. *)
-        Estimator.add_failures e (!total - Estimator.n e);
-        Estimator.add e ~u:inv_p ~v:(value_for_agg q prepared path)
-      | Walker.Failure _ -> ());
-      incr total;
-      if Timer.elapsed clock >= !next_report then begin
-        (match on_group_report with
-        | None -> ()
-        | Some f -> f (Timer.elapsed clock) (snapshot ()));
-        next_report :=
-          !next_report +. (match report_every with Some r -> r | None -> infinity)
-      end
-    end
-  done;
+  let step () =
+    (match Engine.next engine prng with
+    | Walker.Success { path; inv_p } ->
+      let key = Query.group_key q path in
+      let e = group_est key in
+      (* Catch up on misses since this group's last hit, then record. *)
+      Estimator.add_failures e (!total - Estimator.n e);
+      Estimator.add e ~u:inv_p ~v:(Engine.walk_value q prepared path)
+    | Walker.Failure _ -> ());
+    incr total
+  in
+  let emit_report () =
+    match on_group_report with
+    | None -> ()
+    | Some f -> f (Timer.elapsed clock) (snapshot ())
+  in
+  let (_ : stop_reason) =
+    Engine.Driver.run ?should_stop ?max_walks ?report_every ~on_report:emit_report
+      ~max_time ~clock
+      ~walks:(fun () -> !total)
+      ~step ()
+  in
   { groups = snapshot (); total_walks = !total; group_elapsed = Timer.elapsed clock }

@@ -17,7 +17,11 @@ type report = {
   half_width : float;
 }
 
-type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+type stop_reason = Engine.Driver.stop_reason =
+  | Target_reached
+  | Time_up
+  | Walk_budget_exhausted
+  | Cancelled
 
 type outcome = {
   final : report;
@@ -50,11 +54,15 @@ val run :
   ?eager_checks:bool ->
   ?tracer:(Walker.event -> unit) ->
   ?should_stop:(unit -> bool) ->
+  ?batch:int ->
   Query.t ->
   Registry.t ->
   outcome
 (** Defaults: seed 42, confidence 0.95, no target, [max_time] 10 s,
     [max_walks] unlimited, wall clock, optimizer with default config.
+    [batch] (default 1) sets the walk engine's number of in-flight walks;
+    1 reproduces the historical fixed-seed results bit for bit, larger
+    batches interleave PRNG draws across walks (see {!Engine}).
     Raises [Invalid_argument] when the query admits no walk plan. *)
 
 type group_outcome = {
@@ -72,10 +80,13 @@ val run_group_by :
   ?on_group_report:(float -> (Wj_storage.Value.t * report) list -> unit) ->
   ?clock:Wj_util.Timer.t ->
   ?plan_choice:plan_choice ->
+  ?should_stop:(unit -> bool) ->
+  ?batch:int ->
   Query.t ->
   Registry.t ->
   group_outcome
 (** Group-by variant (§3.5): one estimator per group; every walk counts in
     every group's sample size (misses are zeros), keeping each group's
-    estimator unbiased.  Raises [Invalid_argument] when the query has no
-    GROUP BY clause. *)
+    estimator unbiased.  [should_stop] is polled on the same cadence as in
+    {!run} and aborts the loop early; [batch] as in {!run}.  Raises
+    [Invalid_argument] when the query has no GROUP BY clause. *)

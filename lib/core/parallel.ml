@@ -11,7 +11,7 @@ type outcome = {
 }
 
 let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_domain
-    ?(plan_choice = Online.Optimize Optimizer.default_config) q registry =
+    ?(plan_choice = Online.Optimize Optimizer.default_config) ?(batch = 1) q registry =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
@@ -32,24 +32,17 @@ let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_
       let r = Optimizer.choose ~config q registry prng in
       (r.best_plan, r.trial_estimator)
   in
-  let deadline = max_time in
-  let budget = match walks_per_domain with Some w -> w | None -> max_int in
   let worker i () =
     let prng = Prng.create (seed + (1_000_003 * (i + 1))) in
     let prepared = Walker.prepare q registry plan in
+    let engine = Engine.create ~batch prepared in
     let est = Estimator.create q.Query.agg in
-    while Estimator.n est < budget && Timer.elapsed clock < deadline do
-      match Walker.walk prepared prng with
-      | Walker.Success { path; inv_p } ->
-        let v =
-          match q.Query.agg with
-          | Estimator.Count -> 1.0
-          | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
-            Walker.value_of prepared path
-        in
-        Estimator.add est ~u:inv_p ~v
-      | Walker.Failure _ -> Estimator.add_failure est
-    done;
+    let (_ : Engine.Driver.stop_reason) =
+      Engine.Driver.run ?max_walks:walks_per_domain ~max_time ~clock
+        ~walks:(fun () -> Estimator.n est)
+        ~step:(fun () -> Engine.feed q prepared est (Engine.next engine prng))
+        ()
+    in
     est
   in
   let handles = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in

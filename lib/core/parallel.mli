@@ -25,10 +25,12 @@ val run :
   ?max_time:float ->
   ?walks_per_domain:int ->
   ?plan_choice:Online.plan_choice ->
+  ?batch:int ->
   Query.t ->
   Registry.t ->
   outcome
 (** [domains] defaults to [Domain.recommended_domain_count ()].  Each domain
-    performs walks until [max_time] (default 1 s) or [walks_per_domain]
-    expires.  Raises [Invalid_argument] when the query admits no walk
-    plan. *)
+    runs its own {!Engine} ([batch] in-flight walks, default 1) through the
+    shared {!Engine.Driver} until [max_time] (default 1 s) or
+    [walks_per_domain] expires.  Raises [Invalid_argument] when the query
+    admits no walk plan. *)

@@ -15,11 +15,17 @@ type start_sampler =
   | Uniform of { table : Table.t }
   | Olken of { index : Index.t; lo : int; hi : int }
 
+type phase =
+  | Advanced of float
+  | Dead_unbound
+  | Dead_bound
+
 type prepared = {
   query : Query.t;
   plan : Walk_plan.t;
   start : start_sampler;
   start_count : int;
+  start_pred : Query.predicate option; (* the Olken-sampled predicate, if any *)
   start_preds : Query.predicate list; (* checked after sampling the start *)
   preds_by_pos : Query.predicate list array;
   (* Non-tree edges (and, with lazy checks, nothing else) scheduled by the
@@ -29,6 +35,7 @@ type prepared = {
   eager : bool;
   tracer : (event -> unit) option;
   mutable last_steps : int;
+  mutable phase_cost : int; (* abstract cost of the most recent phase *)
 }
 
 (* Integer range implied by a sargable predicate, if any. *)
@@ -47,7 +54,11 @@ let sargable_range (p : Query.predicate) =
   | Query.Cmp _ | Query.Between _ | Query.Member _ -> None
 
 (* Choose the most selective Olken-sampleable predicate on the start table;
-   the remaining predicates stay as post-sampling checks. *)
+   the remaining predicates stay as post-sampling checks.  When two
+   candidates have the same qualifying range count, the tie breaks
+   deterministically to the one appearing first in the query's predicate
+   list ([Query.predicates_on] preserves that order): a candidate only
+   replaces the incumbent when its count is strictly smaller. *)
 let choose_start q registry pos =
   let table = q.Query.tables.(pos) in
   let preds = Query.predicates_on q pos in
@@ -64,18 +75,16 @@ let choose_start q registry pos =
       preds
   in
   match candidates with
-  | [] -> (Uniform { table }, Table.length table, preds)
-  | _ ->
+  | [] -> (Uniform { table }, Table.length table, None, preds)
+  | first :: rest ->
     let best =
       List.fold_left
-        (fun acc ((_, _, _, _, c) as cand) ->
-          match acc with
-          | Some (_, _, _, _, c') when c' <= c -> acc
-          | _ -> Some cand)
-        None candidates
+        (fun ((_, _, _, _, best_c) as acc) ((_, _, _, _, c) as cand) ->
+          if c < best_c then cand else acc)
+        first rest
     in
-    let p, index, lo, hi, count = Option.get best in
-    (Olken { index; lo; hi }, count, List.filter (fun p' -> p' != p) preds)
+    let p, index, lo, hi, count = best in
+    (Olken { index; lo; hi }, count, Some p, List.filter (fun p' -> p' != p) preds)
 
 let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
   let kq = Query.k q in
@@ -90,22 +99,29 @@ let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
       in
       checks_at.(at) <- c :: checks_at.(at))
     plan.nontree;
-  let start, start_count, start_preds = choose_start q registry plan.order.(0) in
+  let start, start_count, start_pred, start_preds =
+    choose_start q registry plan.order.(0)
+  in
   {
     query = q;
     plan;
     start;
     start_count;
+    start_pred;
     start_preds;
     preds_by_pos;
     checks_at;
     eager = eager_checks;
     tracer;
     last_steps = 0;
+    phase_cost = 0;
   }
 
 let start_cardinality t = t.start_count
 let uses_olken_start t = match t.start with Olken _ -> true | Uniform _ -> false
+let start_predicate t = t.start_pred
+let query t = t.query
+let plan t = t.plan
 
 let trace t ev = match t.tracer with None -> () | Some f -> f ev
 
@@ -118,76 +134,101 @@ let sample_start t prng =
     if t.start_count = 0 then None
     else Some (Index.nth_range index ~lo ~hi (Prng.int prng t.start_count))
 
-let walk t prng =
-  let q = t.query in
-  let kq = Query.k q in
-  let plan = t.plan in
-  let path = Array.make kq (-1) in
-  let steps = ref 0 in
-  let ok = ref true in
-  let depth = ref 0 in
-  let inv_p = ref (float_of_int t.start_count) in
-  let start_pos = plan.order.(0) in
-  (* Bind and vet the start tuple. *)
-  (match sample_start t prng with
-  | None -> ok := false
+(* ---- Step-granular phases (shared by [walk] and the batched Engine) --- *)
+
+(* Bind and vet the start tuple into [path].  The abstract cost of the
+   attempt is left in [t.phase_cost]. *)
+let advance_start t prng path =
+  t.phase_cost <- 0;
+  match sample_start t prng with
+  | None -> Dead_unbound
   | Some row ->
-    incr steps;
-    (match t.start with
-    | Uniform _ -> ()
-    | Olken { index; _ } -> steps := !steps + Index.probe_cost index);
+    let q = t.query in
+    t.phase_cost <-
+      (match t.start with
+      | Uniform _ -> 1
+      | Olken { index; _ } -> 1 + Index.probe_cost index);
+    let start_pos = t.plan.order.(0) in
     trace t (Row_access (start_pos, row));
     path.(start_pos) <- row;
-    if List.for_all (fun p -> Query.check_predicate q p row) t.start_preds then begin
-      depth := 1;
-      if not (List.for_all (fun c -> Query.check_join q c path) t.checks_at.(0)) then
-        ok := false
-    end
-    else ok := false);
-  (* Walk the remaining tables (plans over a decomposition component have
-     fewer steps than k - 1). *)
-  let nsteps = Array.length plan.steps in
-  let i = ref 0 in
-  while !ok && !i < nsteps do
-    let step = plan.steps.(!i) in
-    let cond = step.cond in
-    let parent_row = path.(step.parent) in
-    let _, lcol = cond.left in
-    let v = Table.int_cell q.tables.(step.parent) parent_row lcol in
-    let lo, hi = Query.join_key_range cond ~from_left:true v in
-    let probe = Index.probe_cost step.index in
-    trace t (Index_probe (step.into, probe));
-    let d =
+    if List.for_all (fun p -> Query.check_predicate q p row) t.start_preds then
+      if List.for_all (fun c -> Query.check_join q c path) t.checks_at.(0) then
+        Advanced (float_of_int t.start_count)
+      else Dead_bound
+    else Dead_unbound
+
+(* Probe the step's index from the already-bound parent row, sample one
+   neighbour uniformly, bind and vet it. *)
+let advance_step t prng path i =
+  let q = t.query in
+  let step = t.plan.steps.(i) in
+  let cond = step.Walk_plan.cond in
+  let parent_row = path.(step.parent) in
+  let _, lcol = cond.left in
+  let v = Table.int_cell q.tables.(step.parent) parent_row lcol in
+  let lo, hi = Query.join_key_range cond ~from_left:true v in
+  let probe = Index.probe_cost step.index in
+  trace t (Index_probe (step.into, probe));
+  let d =
+    match cond.op with
+    | Query.Eq -> Index.count_eq step.index v
+    | Query.Band _ -> Index.count_range step.index ~lo ~hi
+  in
+  t.phase_cost <- probe;
+  if d = 0 then Dead_unbound
+  else begin
+    let pick = Prng.int prng d in
+    let row =
       match cond.op with
-      | Query.Eq -> Index.count_eq step.index v
-      | Query.Band _ -> Index.count_range step.index ~lo ~hi
+      | Query.Eq -> Index.nth_eq step.index v pick
+      | Query.Band _ -> Index.nth_range step.index ~lo ~hi pick
     in
-    steps := !steps + probe;
-    if d = 0 then ok := false
-    else begin
-      let pick = Prng.int prng d in
-      let row =
-        match cond.op with
-        | Query.Eq -> Index.nth_eq step.index v pick
-        | Query.Band _ -> Index.nth_range step.index ~lo ~hi pick
-      in
-      steps := !steps + probe + 1;
-      trace t (Row_access (step.into, row));
-      path.(step.into) <- row;
-      if
-        List.for_all (fun p -> Query.check_predicate q p row) t.preds_by_pos.(step.into)
-      then begin
-        inv_p := !inv_p *. float_of_int d;
-        depth := !depth + 1;
-        if not (List.for_all (fun c -> Query.check_join q c path) t.checks_at.(!i + 1))
-        then ok := false
-      end
-      else ok := false
-    end;
-    incr i
-  done;
-  t.last_steps <- !steps;
-  if !ok then Success { path; inv_p = !inv_p } else Failure { depth = !depth }
+    t.phase_cost <- t.phase_cost + probe + 1;
+    trace t (Row_access (step.into, row));
+    path.(step.into) <- row;
+    if
+      List.for_all (fun p -> Query.check_predicate q p row) t.preds_by_pos.(step.into)
+    then
+      if List.for_all (fun c -> Query.check_join q c path) t.checks_at.(i + 1) then
+        Advanced (float_of_int d)
+      else Dead_bound
+    else Dead_unbound
+  end
+
+let walk t prng =
+  let path = Array.make (Query.k t.query) (-1) in
+  (* Bind and vet the start tuple. *)
+  match advance_start t prng path with
+  | Dead_unbound ->
+    t.last_steps <- t.phase_cost;
+    Failure { depth = 0 }
+  | Dead_bound ->
+    t.last_steps <- t.phase_cost;
+    Failure { depth = 1 }
+  | Advanced f ->
+    let steps = ref t.phase_cost in
+    let depth = ref 1 in
+    let inv_p = ref f in
+    let ok = ref true in
+    (* Walk the remaining tables (plans over a decomposition component have
+       fewer steps than k - 1). *)
+    let nsteps = Array.length t.plan.steps in
+    let i = ref 0 in
+    while !ok && !i < nsteps do
+      (match advance_step t prng path !i with
+      | Advanced f ->
+        inv_p := !inv_p *. f;
+        incr depth
+      | Dead_unbound -> ok := false
+      | Dead_bound ->
+        incr depth;
+        ok := false);
+      steps := !steps + t.phase_cost;
+      incr i
+    done;
+    t.last_steps <- !steps;
+    if !ok then Success { path; inv_p = !inv_p } else Failure { depth = !depth }
 
 let steps_of_last_walk t = t.last_steps
+let phase_cost t = t.phase_cost
 let value_of t path = Query.eval_expr t.query path

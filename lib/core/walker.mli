@@ -41,8 +41,49 @@ val start_cardinality : prepared -> int
 
 val uses_olken_start : prepared -> bool
 
+val start_predicate : prepared -> Query.predicate option
+(** The sargable predicate served by the Olken start sampler, if any.
+    Among candidates with equal qualifying range counts the choice is
+    deterministic: the predicate listed first in the query's predicate
+    list wins (ties never depend on fold order). *)
+
+val query : prepared -> Query.t
+val plan : prepared -> Walk_plan.t
+
 val walk : prepared -> Wj_util.Prng.t -> outcome
 (** One random walk.  Also drives the tracer, if any. *)
+
+(** {2 Step-granular phases}
+
+    [walk] is the sequential composition of the phases below; the batched
+    {!Engine} interleaves the same phases across many in-flight walks.
+    Both consume identical PRNG draws per walk, so a single-slot engine
+    reproduces [walk] bit for bit. *)
+
+type phase =
+  | Advanced of float
+      (** One more table bound and vetted; multiply the walk's running
+          [inv_p] by the factor (the start phase's factor is the start
+          cardinality, a step's factor is the neighbour count d). *)
+  | Dead_unbound
+      (** The walk died without vetting the attempted table (empty
+          neighbour set, or a predicate rejected the sampled row): the
+          failure depth does not count this table. *)
+  | Dead_bound
+      (** The row was bound and passed its predicates but a non-tree join
+          check failed: the failure depth counts this table. *)
+
+val advance_start : prepared -> Wj_util.Prng.t -> int array -> phase
+(** Sample, bind (into the caller's path buffer) and vet the start tuple.
+    The abstract cost of the attempt is left in {!phase_cost}. *)
+
+val advance_step : prepared -> Wj_util.Prng.t -> int array -> int -> phase
+(** Advance one plan step: probe the step's index from the bound parent
+    row, sample a uniform neighbour, bind and vet it. *)
+
+val phase_cost : prepared -> int
+(** Abstract cost (index-entry accesses + tuple fetches) of the most
+    recent [advance_start]/[advance_step] call. *)
 
 val steps_of_last_walk : prepared -> int
 (** Abstract cost (index-entry accesses + tuple fetches) of the most recent

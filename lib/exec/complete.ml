@@ -6,7 +6,8 @@ type result = {
   online : Online.outcome;
 }
 
-let run ?(seed = 13) ?(confidence = 0.95) ?target ?report_every ?on_report q registry =
+let run ?(seed = 13) ?(confidence = 0.95) ?target ?report_every ?on_report ?batch q
+    registry =
   let finished = Atomic.make false in
   let exact_domain =
     Domain.spawn (fun () ->
@@ -15,7 +16,7 @@ let run ?(seed = 13) ?(confidence = 0.95) ?target ?report_every ?on_report q reg
         (r, t))
   in
   let online =
-    Online.run ~seed ~confidence ?target ?report_every ?on_report
+    Online.run ~seed ~confidence ?target ?report_every ?on_report ?batch
       ~max_time:infinity
       ~should_stop:(fun () -> Atomic.get finished)
       q registry

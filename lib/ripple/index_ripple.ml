@@ -92,40 +92,39 @@ let run ?(seed = 7) ?(confidence = 0.95) ?target ?(max_time = 10.0)
   let n = Table.length table in
   let est = Estimator.create q.Query.agg in
   let completions = ref 0 in
-  let stop = ref false in
-  while not !stop do
-    if
-      Timer.elapsed clock >= max_time
-      || Estimator.n est >= max_samples
-      || n = 0
-    then stop := true
-    else begin
-      let row = Prng.int prng n in
-      let sum, count = complete q plan row in
-      completions := !completions + count;
-      (if count = 0 then Estimator.add_failure est
-       else
-         match q.Query.agg with
-         | Estimator.Count ->
-           (* The COUNT estimator is the mean of the u components, so the
-              whole observation N * count is carried by u. *)
-           Estimator.add est ~u:(float_of_int (n * count)) ~v:1.0
-         | Estimator.Sum ->
-           (* Uniform start tuple has p = 1/N: the observation is
-              u*v = N * (total over completions). *)
-           Estimator.add est ~u:(float_of_int n) ~v:sum
-         | Estimator.Avg | Estimator.Variance | Estimator.Stdev -> assert false);
-      (match target with
-      | None -> ()
-      | Some tgt ->
-        if
-          Estimator.n est >= 16
-          && Estimator.n est land 15 = 0
-          && Target.reached tgt ~estimate:(Estimator.estimate est)
-               ~half_width:(Estimator.half_width est ~confidence)
-        then stop := true)
-    end
-  done;
+  (* One driver step = one sampled start tuple, fully completed. *)
+  let step () =
+    let row = Prng.int prng n in
+    let sum, count = complete q plan row in
+    completions := !completions + count;
+    if count = 0 then Estimator.add_failure est
+    else
+      match q.Query.agg with
+      | Estimator.Count ->
+        (* The COUNT estimator is the mean of the u components, so the
+           whole observation N * count is carried by u. *)
+        Estimator.add est ~u:(float_of_int (n * count)) ~v:1.0
+      | Estimator.Sum ->
+        (* Uniform start tuple has p = 1/N: the observation is
+           u*v = N * (total over completions). *)
+        Estimator.add est ~u:(float_of_int n) ~v:sum
+      | Estimator.Avg | Estimator.Variance | Estimator.Stdev -> assert false
+  in
+  let module Driver = Wj_core.Engine.Driver in
+  let (_ : Driver.stop_reason) =
+    Driver.run
+      ~polls:{ Driver.default_polls with cancel_mask = 0 }
+      ?target_reached:
+        (Option.map
+           (fun tgt () ->
+             Target.reached tgt ~estimate:(Estimator.estimate est)
+               ~half_width:(Estimator.half_width est ~confidence))
+           target)
+      ~should_stop:(fun () -> n = 0) (* an empty start table never samples *)
+      ~max_walks:max_samples ~max_time ~clock
+      ~walks:(fun () -> Estimator.n est)
+      ~step ()
+  in
   {
     elapsed = Timer.elapsed clock;
     samples = Estimator.n est;

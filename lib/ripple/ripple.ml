@@ -338,50 +338,54 @@ let run ?(seed = 99) ?(confidence = 0.95) ?(mode = Random_order) ?target
     }
   in
   let history = ref [] in
-  let next_report = ref report_every in
   let rounds = ref 0 in
-  let stop = ref false in
   let exhausted = Array.make kq false in
-  while not !stop do
-    if Timer.elapsed clock >= max_time || !rounds >= max_rounds then stop := true
-    else if Array.for_all Fun.id exhausted then stop := true
-    else begin
-      incr rounds;
-      for pos = 0 to kq - 1 do
-        if not exhausted.(pos) then begin
-          match next_tuple prng pools.(pos) with
-          | None -> exhausted.(pos) <- true
-          | Some row ->
-            (match tuple_tracer with
-            | None -> ()
-            | Some f -> (
-              match pools.(pos).source with
-              | Shuffled s -> f ~pos ~slot:(s.cursor - 1) ~sequential:true
-              | Sampled _ -> f ~pos ~slot:row ~sequential:false));
-            if Query.row_passes q pos row then begin
-              let s, c = combine pos row in
-              pool_add q pools.(pos) row;
-              let j = Vec.length pools.(pos).rows - 1 in
-              Vec.set pools.(pos).s_sum j s;
-              Vec.set pools.(pos).s_cnt j c
-            end
-        end
-      done;
-      (* Target and report checks are throttled: they cost O(pool sizes). *)
-      if !rounds land 255 = 0 then begin
-        (match target with
-        | None -> ()
-        | Some tgt ->
-          let r = make_report () in
-          if Target.reached tgt ~estimate:r.estimate ~half_width:r.half_width then
-            stop := true);
-        if Timer.elapsed clock >= !next_report then begin
-          let r = make_report () in
-          history := r :: !history;
-          (match on_report with None -> () | Some f -> f r);
-          next_report := !next_report +. report_every
-        end
+  (* One driver step = one ripple round: every non-exhausted table retrieves
+     its next random tuple and the new combinations are enumerated. *)
+  let round () =
+    incr rounds;
+    for pos = 0 to kq - 1 do
+      if not exhausted.(pos) then begin
+        match next_tuple prng pools.(pos) with
+        | None -> exhausted.(pos) <- true
+        | Some row ->
+          (match tuple_tracer with
+          | None -> ()
+          | Some f -> (
+            match pools.(pos).source with
+            | Shuffled s -> f ~pos ~slot:(s.cursor - 1) ~sequential:true
+            | Sampled _ -> f ~pos ~slot:row ~sequential:false));
+          if Query.row_passes q pos row then begin
+            let s, c = combine pos row in
+            pool_add q pools.(pos) row;
+            let j = Vec.length pools.(pos).rows - 1 in
+            Vec.set pools.(pos).s_sum j s;
+            Vec.set pools.(pos).s_cnt j c
+          end
       end
-    end
-  done;
+    done
+  in
+  let module Driver = Wj_core.Engine.Driver in
+  (* Target and report checks are throttled to every 256 rounds: a report
+     costs O(pool sizes).  Exhaustion of every shuffled source reads as
+     cancellation, polled every round. *)
+  let (_ : Driver.stop_reason) =
+    Driver.run
+      ~polls:{ Driver.target_mask = 255; report_mask = 255; cancel_mask = 0 }
+      ?target_reached:
+        (Option.map
+           (fun tgt () ->
+             let r = make_report () in
+             Target.reached tgt ~estimate:r.estimate ~half_width:r.half_width)
+           target)
+      ~should_stop:(fun () -> Array.for_all Fun.id exhausted)
+      ~max_walks:max_rounds ~report_every
+      ~on_report:(fun () ->
+        let r = make_report () in
+        history := r :: !history;
+        match on_report with None -> () | Some f -> f r)
+      ~max_time ~clock
+      ~walks:(fun () -> !rounds)
+      ~step:round ()
+  in
   { final = make_report (); history = List.rev !history; mode }

@@ -19,7 +19,7 @@ let item_label (item : Ast.select_item) =
   | None -> name ^ "(*)"
   | Some e -> Format.asprintf "%s(%a)" name Ast.pp_expr e
 
-let execute ?(seed = 11) ?(default_time = 5.0) ?on_report catalog sql =
+let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?on_report catalog sql =
   let statement = Parser.parse sql in
   let bound = Binder.bind catalog statement in
   (* Share physical indexes across the statement's aggregates. *)
@@ -54,7 +54,8 @@ let execute ?(seed = 11) ?(default_time = 5.0) ?on_report catalog sql =
               in
               Online_groups
                 (Online.run_group_by ~seed ~confidence:bound.confidence ~max_time
-                   ?report_every:bound.report_interval ?on_group_report q registry)
+                   ?report_every:bound.report_interval ?on_group_report ?batch q
+                   registry)
             | None ->
               let on_report_fn =
                 Option.map
@@ -66,8 +67,8 @@ let execute ?(seed = 11) ?(default_time = 5.0) ?on_report catalog sql =
               in
               Online_scalar
                 (Online.run ~seed ~confidence:bound.confidence ~max_time
-                   ?report_every:bound.report_interval ?on_report:on_report_fn q
-                   registry)
+                   ?report_every:bound.report_interval ?on_report:on_report_fn ?batch
+                   q registry)
           end
           else
             match q.Wj_core.Query.group_by with

@@ -18,12 +18,14 @@ type result = {
 val execute :
   ?seed:int ->
   ?default_time:float ->
+  ?batch:int ->
   ?on_report:(string -> unit) ->
   Wj_storage.Catalog.t ->
   string ->
   result
 (** [default_time] bounds ONLINE statements that carry no WITHINTIME clause
-    (default 5 s).  [on_report] receives formatted progress lines when the
+    (default 5 s).  [batch] is handed to the walk engine of every ONLINE
+    aggregate (default 1, see {!Wj_core.Engine}).  [on_report] receives formatted progress lines when the
     statement requests REPORTINTERVAL.
     Raises [Lexer.Lex_error], [Parser.Parse_error] or [Binder.Bind_error]. *)
 

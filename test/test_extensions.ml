@@ -202,6 +202,34 @@ let test_parallel_matches_exact () =
   Alcotest.(check bool) "walks merged" true
     (out.final.walks >= Array.fold_left ( + ) 0 out.per_domain_walks)
 
+(* With one domain, a fixed plan and a batch-1 engine, the parallel driver
+   is the online driver on a relabelled seed: worker 0 draws from
+   [par_seed + 1_000_003] where the online driver draws from
+   [seed lxor 0x4F4E4C], and merging the single worker estimator into the
+   empty seed estimator is the identity.  Estimates and CIs must match bit
+   for bit. *)
+let parallel_online_equiv =
+  let q = chain_query_3 21 in
+  let reg = Registry.build_for_query q in
+  let plan = List.hd (Wj_core.Walk_plan.enumerate ~max_plans:1 q reg) in
+  QCheck.Test.make ~name:"parallel domains:1 batch:1 = online (fixed seed)" ~count:8
+    QCheck.(pair (int_range 0 100_000) (int_range 50 400))
+    (fun (pseed, walks) ->
+      let par =
+        Parallel.run ~seed:pseed ~domains:1 ~batch:1 ~max_time:60.0
+          ~walks_per_domain:walks ~plan_choice:(Online.Fixed plan) q reg
+      in
+      let oseed = (pseed + 1_000_003) lxor 0x4F4E4C in
+      let onl =
+        Online.run ~seed:oseed ~max_walks:walks ~max_time:60.0
+          ~plan_choice:(Online.Fixed plan) q reg
+      in
+      let bits = Int64.bits_of_float in
+      par.final.walks = onl.final.walks
+      && par.final.successes = onl.final.successes
+      && Int64.equal (bits par.final.estimate) (bits onl.final.estimate)
+      && Int64.equal (bits par.final.half_width) (bits onl.final.half_width))
+
 let test_parallel_validation () =
   let q = chain_query_3 13 in
   let reg = Registry.build_for_query q in
@@ -573,6 +601,7 @@ let () =
         [
           Alcotest.test_case "matches exact" `Slow test_parallel_matches_exact;
           Alcotest.test_case "validation" `Quick test_parallel_validation;
+          QCheck_alcotest.to_alcotest parallel_online_equiv;
         ] );
       ( "complete",
         [ Alcotest.test_case "returns exact" `Slow test_complete_returns_exact ] );

@@ -212,6 +212,39 @@ let test_estimator_merge () =
     (Invalid_argument "Estimator.merge: aggregate mismatch") (fun () ->
       ignore (Estimator.merge a (Estimator.create Estimator.Count)))
 
+let test_estimator_merge_associative () =
+  (* Counts are exactly associative; the moment totals drop their Kahan
+     compensation at each merge, so estimates and CIs agree only to
+     floating-point noise. *)
+  let a = run_estimator Estimator.Sum ~fail_prob:0.2 ~n:400 ~seed:11 in
+  let b = run_estimator Estimator.Sum ~fail_prob:0.5 ~n:700 ~seed:12 in
+  let c = run_estimator Estimator.Sum ~fail_prob:0.1 ~n:250 ~seed:13 in
+  let l = Estimator.merge (Estimator.merge a b) c in
+  let r = Estimator.merge a (Estimator.merge b c) in
+  Alcotest.(check int) "n associative" (Estimator.n l) (Estimator.n r);
+  Alcotest.(check int) "successes associative" (Estimator.successes l)
+    (Estimator.successes r);
+  let rel x y = Float.abs (x -. y) /. Float.max 1.0 (Float.abs x) in
+  Alcotest.(check bool) "estimate associative" true
+    (rel (Estimator.estimate l) (Estimator.estimate r) < 1e-9);
+  Alcotest.(check bool) "half_width associative" true
+    (rel
+       (Estimator.half_width l ~confidence:0.95)
+       (Estimator.half_width r ~confidence:0.95)
+    < 1e-9);
+  (* Merging into an empty estimator is the bitwise identity — the parallel
+     driver relies on this for its fixed-plan seed estimator. *)
+  let m = Estimator.merge (Estimator.create Estimator.Sum) a in
+  Alcotest.(check int) "identity n" (Estimator.n a) (Estimator.n m);
+  Alcotest.(check bool) "identity estimate (bitwise)" true
+    (Int64.equal
+       (Int64.bits_of_float (Estimator.estimate a))
+       (Int64.bits_of_float (Estimator.estimate m)));
+  Alcotest.(check bool) "identity half_width (bitwise)" true
+    (Int64.equal
+       (Int64.bits_of_float (Estimator.half_width a ~confidence:0.95))
+       (Int64.bits_of_float (Estimator.half_width m ~confidence:0.95)))
+
 let test_estimator_interval () =
   let est = run_estimator Estimator.Sum ~fail_prob:0.0 ~n:1000 ~seed:9 in
   let lo, hi = Estimator.interval est ~confidence:0.95 in
@@ -273,6 +306,8 @@ let () =
           Alcotest.test_case "all failures" `Quick test_estimator_all_failures;
           Alcotest.test_case "validation" `Quick test_estimator_validation;
           Alcotest.test_case "merge" `Quick test_estimator_merge;
+          Alcotest.test_case "merge associativity" `Quick
+            test_estimator_merge_associative;
           Alcotest.test_case "interval" `Quick test_estimator_interval;
           Alcotest.test_case "agg_to_string" `Quick test_agg_to_string;
         ] );
