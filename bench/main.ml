@@ -783,6 +783,49 @@ let engine_bench () =
   Printf.printf "  [engine] wrote BENCH_engine.json\n%!"
 
 (* ======================================================================= *)
+(* Storage layout: walk and exact-scan throughput over the columnar store. *)
+(* ======================================================================= *)
+
+let layout_bench () =
+  header "Layout: columnar-store throughput (standard queries, 2GB)";
+  let d = Data.get 0.02 in
+  let horizon = if !quick then 0.3 else 1.0 in
+  let entries = ref [] in
+  Printf.printf "%-4s  %14s %16s\n" "qry" "walks/sec" "exact rows/sec";
+  List.iter
+    (fun spec ->
+      let q = Queries.build ~variant:Standard spec d in
+      let reg = Queries.registry q in
+      let plan = pg_plan q reg in
+      let out =
+        Online.run ~seed ~max_time:horizon ~plan_choice:(Online.Fixed plan) q reg
+      in
+      let walk_rate = float_of_int out.final.walks /. out.final.elapsed in
+      let exact, t_exact = Timer.time_it (fun () -> Exact.aggregate q reg) in
+      let scan_rate = float_of_int exact.rows_visited /. t_exact in
+      Printf.printf "%-4s  %14.0f %16.0f\n%!" (Queries.name_of spec) walk_rate
+        scan_rate;
+      entries := (Queries.name_of spec, walk_rate, scan_rate) :: !entries)
+    specs;
+  (* Machine-readable drop for regression tracking across layout changes. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n  \"experiment\": \"layout\",\n  \"queries\": {\n";
+  let entries = List.rev !entries in
+  List.iteri
+    (fun i (name, w, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"walks_per_sec\": %.1f, \"exact_rows_per_sec\": %.1f }%s\n"
+           name w s
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_layout.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [layout] wrote BENCH_layout.json\n%!"
+
+(* ======================================================================= *)
 (* Bechamel micro-benchmarks. *)
 (* ======================================================================= *)
 
@@ -858,6 +901,7 @@ let experiments =
     ("abl-strat", abl_stratified);
     ("abl-card", abl_cardinality);
     ("engine", engine_bench);
+    ("layout", layout_bench);
     ("micro", micro);
   ]
 

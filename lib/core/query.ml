@@ -147,6 +147,147 @@ let check_predicate t p row =
 let row_passes t pos row =
   List.for_all (fun p -> check_predicate t p row) (predicates_on t pos)
 
+(* ---- Compiled accessors (columnar hot path) ---------------------------
+
+   [compile_*] specialize predicate / join / expression evaluation against
+   the tables' typed column cursors once, so a walk step reads ints and
+   floats straight out of flat arrays: no [Value.t] is allocated or matched
+   per row.  Semantics mirror the boxed shims above exactly, including
+   cross-type numeric comparison and NULL ordering. *)
+
+module Bitset = Wj_util.Bitset
+
+(* Row -> Value.compare (cell) value, without constructing the cell. *)
+let compile_cell_cmp tbl column value =
+  let nulls = Table.null_mask tbl column in
+  let null_c = Value.compare Value.Null value in
+  let non_null (cmp : int -> int) =
+    if Bitset.any nulls then fun row ->
+      if Bitset.mem nulls row then null_c else cmp row
+    else cmp
+  in
+  match (Table.cursor tbl column, value) with
+  | Table.Int_cursor a, Value.Int v -> non_null (fun row -> Int.compare a.(row) v)
+  | Table.Int_cursor a, Value.Float f ->
+    non_null (fun row -> Float.compare (float_of_int a.(row)) f)
+  | Table.Int_cursor _, Value.Str _ -> non_null (fun _ -> -1)
+  | Table.Float_cursor a, Value.Int v ->
+    let f = float_of_int v in
+    non_null (fun row -> Float.compare a.(row) f)
+  | Table.Float_cursor a, Value.Float f -> non_null (fun row -> Float.compare a.(row) f)
+  | Table.Float_cursor _, Value.Str _ -> non_null (fun _ -> -1)
+  | Table.Str_cursor (ids, pool), Value.Str s ->
+    non_null (fun row -> String.compare pool.(ids.(row)) s)
+  | Table.Str_cursor _, (Value.Int _ | Value.Float _) -> non_null (fun _ -> 1)
+  | _, Value.Null -> non_null (fun _ -> 1)
+
+let compile_predicate t p =
+  match p with
+  | Cmp { table; column; op; value = Value.Str s }
+    when op = Ceq
+         && (match Table.cursor t.tables.(table) column with
+            | Table.Str_cursor _ -> true
+            | _ -> false) -> (
+    (* Dictionary fast path: string equality is one id compare. *)
+    let tbl = t.tables.(table) in
+    match Table.dict_id tbl ~col:column s with
+    | None -> fun _ -> false
+    | Some id ->
+      let nulls = Table.null_mask tbl column in
+      let ids =
+        match Table.cursor tbl column with
+        | Table.Str_cursor (ids, _) -> ids
+        | _ -> assert false
+      in
+      if Bitset.any nulls then fun row ->
+        (not (Bitset.mem nulls row)) && ids.(row) = id
+      else fun row -> ids.(row) = id)
+  | Cmp { table; column; op; value } ->
+    let cmp = compile_cell_cmp t.tables.(table) column value in
+    (match op with
+    | Ceq -> fun row -> cmp row = 0
+    | Cne -> fun row -> cmp row <> 0
+    | Clt -> fun row -> cmp row < 0
+    | Cle -> fun row -> cmp row <= 0
+    | Cgt -> fun row -> cmp row > 0
+    | Cge -> fun row -> cmp row >= 0)
+  | Between { table; column; lo; hi } ->
+    let cmp_lo = compile_cell_cmp t.tables.(table) column lo in
+    let cmp_hi = compile_cell_cmp t.tables.(table) column hi in
+    fun row -> cmp_lo row >= 0 && cmp_hi row <= 0
+  | Member { table; column; values } -> (
+    let tbl = t.tables.(table) in
+    let nulls = Table.null_mask tbl column in
+    let null_hit = List.mem Value.Null values in
+    let non_null (hit : int -> bool) row =
+      if Bitset.mem nulls row then null_hit else hit row
+    in
+    match Table.cursor tbl column with
+    | Table.Int_cursor a ->
+      non_null (fun row ->
+          let x = a.(row) in
+          List.exists
+            (function
+              | Value.Int y -> x = y
+              | Value.Float y -> Float.equal (float_of_int x) y
+              | Value.Str _ | Value.Null -> false)
+            values)
+    | Table.Float_cursor a ->
+      non_null (fun row ->
+          let x = a.(row) in
+          List.exists
+            (function
+              | Value.Float y -> Float.equal x y
+              | Value.Int y -> Float.equal x (float_of_int y)
+              | Value.Str _ | Value.Null -> false)
+            values)
+    | Table.Str_cursor (ids, pool) ->
+      non_null (fun row ->
+          let x = pool.(ids.(row)) in
+          List.exists
+            (function
+              | Value.Str y -> String.equal x y
+              | Value.Int _ | Value.Float _ | Value.Null -> false)
+            values))
+
+let compile_predicates t pos = Array.of_list (List.map (compile_predicate t) (predicates_on t pos))
+
+let compile_join t cond =
+  let (lp, lc), (rp, rc) = (cond.left, cond.right) in
+  let lread = Table.int_reader t.tables.(lp) lc in
+  let rread = Table.int_reader t.tables.(rp) rc in
+  match cond.op with
+  | Eq -> fun path -> lread path.(lp) = rread path.(rp)
+  | Band { lo; hi } ->
+    fun path ->
+      let d = rread path.(rp) - lread path.(lp) in
+      d >= lo && d <= hi
+
+let rec compile_eval tables = function
+  | Col (pos, col) ->
+    let read = Table.float_reader tables.(pos) col in
+    fun path -> read path.(pos)
+  | Const f -> fun _ -> f
+  | Neg e ->
+    let f = compile_eval tables e in
+    fun path -> -.f path
+  | Add (a, b) ->
+    let fa = compile_eval tables a and fb = compile_eval tables b in
+    fun path -> fa path +. fb path
+  | Sub (a, b) ->
+    let fa = compile_eval tables a and fb = compile_eval tables b in
+    fun path -> fa path -. fb path
+  | Mul (a, b) ->
+    let fa = compile_eval tables a and fb = compile_eval tables b in
+    fun path -> fa path *. fb path
+  | Div (a, b) ->
+    let fa = compile_eval tables a and fb = compile_eval tables b in
+    fun path -> fa path /. fb path
+
+let compile_expr t = compile_eval t.tables t.expr
+
+let int_key_reader t ~pos ~col = Table.int_reader t.tables.(pos) col
+
 let check_join t cond path =
   let (lp, lc), (rp, rc) = (cond.left, cond.right) in
   let lv = Table.int_cell t.tables.(lp) path.(lp) lc in

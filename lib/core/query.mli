@@ -92,6 +92,34 @@ val row_passes : t -> int -> int -> bool
 val check_join : t -> join_cond -> int array -> bool
 (** Does the (fully bound) path satisfy the join condition? *)
 
+(** {2 Compiled accessors}
+
+    The functions above read cells through the boxed {!Table.cell} shim;
+    the [compile_*] family specializes the same semantics against the
+    tables' typed column cursors once, so per-row evaluation on the walk
+    hot path allocates and matches no [Value.t].  Compiled closures
+    snapshot the current column storage: compile after the tables are
+    loaded. *)
+
+val compile_predicate : t -> predicate -> int -> bool
+(** Closure equivalent of {!check_predicate} for one predicate, reading
+    the column's flat array directly (dictionary-id comparison for string
+    equality). *)
+
+val compile_predicates : t -> int -> (int -> bool) array
+(** All predicates on a table position, compiled, in predicate-list order. *)
+
+val compile_join : t -> join_cond -> int array -> bool
+(** Closure equivalent of {!check_join}. *)
+
+val compile_expr : t -> int array -> float
+(** Closure equivalent of {!eval_expr}: the aggregate expression compiled
+    to typed column reads. *)
+
+val int_key_reader : t -> pos:int -> col:int -> int -> int
+(** Compiled join-key reader for a table position's integer column (the
+    per-step index probe key). *)
+
 val join_key_range : join_cond -> from_left:bool -> int -> int * int
 (** [join_key_range cond ~from_left v]: inclusive key range that matching
     tuples on the other side must fall in, given the bound side's value.

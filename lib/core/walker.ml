@@ -20,6 +20,16 @@ type phase =
   | Dead_unbound
   | Dead_bound
 
+(* Per-step compiled form: everything a step touches resolved to typed
+   column reads, so advancing a walk performs no Value.t allocation or
+   matching. *)
+type compiled_step = {
+  step : Walk_plan.step;
+  key_of_parent : int -> int; (* parent row -> join key (flat column read) *)
+  row_checks : (int -> bool) array; (* predicates on the step's table *)
+  path_checks : (int array -> bool) array; (* non-tree joins due after this step *)
+}
+
 type prepared = {
   query : Query.t;
   plan : Walk_plan.t;
@@ -27,11 +37,10 @@ type prepared = {
   start_count : int;
   start_pred : Query.predicate option; (* the Olken-sampled predicate, if any *)
   start_preds : Query.predicate list; (* checked after sampling the start *)
-  preds_by_pos : Query.predicate list array;
-  (* Non-tree edges (and, with lazy checks, nothing else) scheduled by the
-     step index after which both endpoints are bound; index 0 = after the
-     start, i = after steps.(i-1). *)
-  checks_at : Query.join_cond list array;
+  start_checks : (int -> bool) array; (* compiled [start_preds] *)
+  start_path_checks : (int array -> bool) array; (* non-tree joins due at the start *)
+  steps : compiled_step array;
+  extract : int array -> float; (* compiled aggregate expression *)
   eager : bool;
   tracer : (event -> unit) option;
   mutable last_steps : int;
@@ -90,7 +99,6 @@ let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
   let kq = Query.k q in
   let rank = Array.make kq 0 in
   Array.iteri (fun i pos -> rank.(pos) <- i) plan.order;
-  let preds_by_pos = Array.init kq (fun pos -> Query.predicates_on q pos) in
   let checks_at = Array.make kq [] in
   List.iter
     (fun (c : Query.join_cond) ->
@@ -99,8 +107,23 @@ let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
       in
       checks_at.(at) <- c :: checks_at.(at))
     plan.nontree;
+  let compiled_checks_at =
+    Array.map (fun cs -> Array.of_list (List.map (Query.compile_join q) cs)) checks_at
+  in
   let start, start_count, start_pred, start_preds =
     choose_start q registry plan.order.(0)
+  in
+  let steps =
+    Array.mapi
+      (fun i (step : Walk_plan.step) ->
+        let _, lcol = step.cond.Query.left in
+        {
+          step;
+          key_of_parent = Query.int_key_reader q ~pos:step.parent ~col:lcol;
+          row_checks = Query.compile_predicates q step.into;
+          path_checks = compiled_checks_at.(i + 1);
+        })
+      plan.steps
   in
   {
     query = q;
@@ -109,8 +132,10 @@ let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
     start_count;
     start_pred;
     start_preds;
-    preds_by_pos;
-    checks_at;
+    start_checks = Array.of_list (List.map (Query.compile_predicate q) start_preds);
+    start_path_checks = compiled_checks_at.(0);
+    steps;
+    extract = Query.compile_expr q;
     eager = eager_checks;
     tracer;
     last_steps = 0;
@@ -134,6 +159,18 @@ let sample_start t prng =
     if t.start_count = 0 then None
     else Some (Index.nth_range index ~lo ~hi (Prng.int prng t.start_count))
 
+(* Short-circuiting conjunction over compiled checks (the array preserves
+   the predicate-list order the boxed path evaluated in). *)
+let all_row_checks (checks : (int -> bool) array) row =
+  let n = Array.length checks in
+  let rec go i = i >= n || (checks.(i) row && go (i + 1)) in
+  go 0
+
+let all_path_checks (checks : (int array -> bool) array) path =
+  let n = Array.length checks in
+  let rec go i = i >= n || (checks.(i) path && go (i + 1)) in
+  go 0
+
 (* ---- Step-granular phases (shared by [walk] and the batched Engine) --- *)
 
 (* Bind and vet the start tuple into [path].  The abstract cost of the
@@ -143,7 +180,6 @@ let advance_start t prng path =
   match sample_start t prng with
   | None -> Dead_unbound
   | Some row ->
-    let q = t.query in
     t.phase_cost <-
       (match t.start with
       | Uniform _ -> 1
@@ -151,8 +187,8 @@ let advance_start t prng path =
     let start_pos = t.plan.order.(0) in
     trace t (Row_access (start_pos, row));
     path.(start_pos) <- row;
-    if List.for_all (fun p -> Query.check_predicate q p row) t.start_preds then
-      if List.for_all (fun c -> Query.check_join q c path) t.checks_at.(0) then
+    if all_row_checks t.start_checks row then
+      if all_path_checks t.start_path_checks path then
         Advanced (float_of_int t.start_count)
       else Dead_bound
     else Dead_unbound
@@ -160,12 +196,10 @@ let advance_start t prng path =
 (* Probe the step's index from the already-bound parent row, sample one
    neighbour uniformly, bind and vet it. *)
 let advance_step t prng path i =
-  let q = t.query in
-  let step = t.plan.steps.(i) in
+  let c = t.steps.(i) in
+  let step = c.step in
   let cond = step.Walk_plan.cond in
-  let parent_row = path.(step.parent) in
-  let _, lcol = cond.left in
-  let v = Table.int_cell q.tables.(step.parent) parent_row lcol in
+  let v = c.key_of_parent path.(step.parent) in
   let lo, hi = Query.join_key_range cond ~from_left:true v in
   let probe = Index.probe_cost step.index in
   trace t (Index_probe (step.into, probe));
@@ -186,11 +220,8 @@ let advance_step t prng path i =
     t.phase_cost <- t.phase_cost + probe + 1;
     trace t (Row_access (step.into, row));
     path.(step.into) <- row;
-    if
-      List.for_all (fun p -> Query.check_predicate q p row) t.preds_by_pos.(step.into)
-    then
-      if List.for_all (fun c -> Query.check_join q c path) t.checks_at.(i + 1) then
-        Advanced (float_of_int d)
+    if all_row_checks c.row_checks row then
+      if all_path_checks c.path_checks path then Advanced (float_of_int d)
       else Dead_bound
     else Dead_unbound
   end
@@ -212,7 +243,7 @@ let walk t prng =
     let ok = ref true in
     (* Walk the remaining tables (plans over a decomposition component have
        fewer steps than k - 1). *)
-    let nsteps = Array.length t.plan.steps in
+    let nsteps = Array.length t.steps in
     let i = ref 0 in
     while !ok && !i < nsteps do
       (match advance_step t prng path !i with
@@ -231,4 +262,4 @@ let walk t prng =
 
 let steps_of_last_walk t = t.last_steps
 let phase_cost t = t.phase_cost
-let value_of t path = Query.eval_expr t.query path
+let value_of t path = t.extract path

@@ -46,7 +46,15 @@ let pick_plan q registry = function
     | plan :: _ -> plan
     | [] -> invalid_arg "Exact.aggregate: query admits no walk plan")
 
-(* Enumerates every qualifying path and feeds it to [emit]. *)
+(* Short-circuiting conjunction over compiled checks. *)
+let all_checks checks x =
+  let n = Array.length checks in
+  let rec go i = i >= n || (checks.(i) x && go (i + 1)) in
+  go 0
+
+(* Enumerates every qualifying path and feeds it to [emit].  Predicates,
+   join checks and join-key reads are compiled against the typed columns
+   once, so the scan allocates no Value.t per visited row. *)
 let enumerate ?tracer q plan emit =
   let kq = Query.k q in
   let rows_visited = ref 0 in
@@ -59,23 +67,33 @@ let enumerate ?tracer q plan emit =
       let at = max rank.(fst c.left) rank.(fst c.right) in
       checks_at.(at) <- c :: checks_at.(at))
     plan.Walk_plan.nontree;
+  let compiled_checks_at =
+    Array.map (fun cs -> Array.of_list (List.map (Query.compile_join q) cs)) checks_at
+  in
+  let row_checks = Array.init kq (fun pos -> Query.compile_predicates q pos) in
   let path = Array.make kq (-1) in
   let nsteps = Array.length plan.Walk_plan.steps in
+  let key_readers =
+    Array.map
+      (fun (step : Walk_plan.step) ->
+        Query.int_key_reader q ~pos:step.Walk_plan.parent
+          ~col:(snd step.Walk_plan.cond.Query.left))
+      plan.Walk_plan.steps
+  in
   let rec descend i =
     if i > nsteps then ()
     else if i = nsteps then emit path
     else begin
       let step = plan.Walk_plan.steps.(i) in
       let cond = step.Walk_plan.cond in
-      let parent_row = path.(step.Walk_plan.parent) in
-      let v = Table.int_cell q.Query.tables.(step.Walk_plan.parent) parent_row (snd cond.Query.left) in
+      let v = key_readers.(i) path.(step.Walk_plan.parent) in
       let visit row =
         incr rows_visited;
         trace (Walker.Row_access (step.Walk_plan.into, row));
         path.(step.Walk_plan.into) <- row;
         if
-          Query.row_passes q step.Walk_plan.into row
-          && List.for_all (fun c -> Query.check_join q c path) checks_at.(i + 1)
+          all_checks row_checks.(step.Walk_plan.into) row
+          && all_checks compiled_checks_at.(i + 1) path
         then descend (i + 1)
       in
       trace (Walker.Index_probe (step.Walk_plan.into, Index.probe_cost step.Walk_plan.index));
@@ -92,9 +110,7 @@ let enumerate ?tracer q plan emit =
     incr rows_visited;
     trace (Walker.Row_access (start_pos, row));
     path.(start_pos) <- row;
-    if
-      Query.row_passes q start_pos row
-      && List.for_all (fun c -> Query.check_join q c path) checks_at.(0)
+    if all_checks row_checks.(start_pos) row && all_checks compiled_checks_at.(0) path
     then descend 0
   done;
   !rows_visited
@@ -102,12 +118,13 @@ let enumerate ?tracer q plan emit =
 let aggregate ?plan ?tracer q registry =
   let plan = pick_plan q registry plan in
   let acc = new_acc () in
+  let extract = Query.compile_expr q in
   let emit path =
     acc.count <- acc.count + 1;
     match q.Query.agg with
     | Estimator.Count -> ()
     | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
-      let v = Query.eval_expr q path in
+      let v = extract path in
       acc.sum <- acc.sum +. v;
       acc.sum_sq <- acc.sum_sq +. (v *. v)
   in
@@ -119,6 +136,7 @@ let group_aggregate ?plan q registry =
     invalid_arg "Exact.group_aggregate: query has no GROUP BY";
   let plan = pick_plan q registry plan in
   let groups : (Value.t, accumulator) Hashtbl.t = Hashtbl.create 16 in
+  let extract = Query.compile_expr q in
   let emit path =
     let key = Query.group_key q path in
     let acc =
@@ -133,7 +151,7 @@ let group_aggregate ?plan q registry =
     match q.Query.agg with
     | Estimator.Count -> ()
     | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
-      let v = Query.eval_expr q path in
+      let v = extract path in
       acc.sum <- acc.sum +. v;
       acc.sum_sq <- acc.sum_sq +. (v *. v)
   in

@@ -342,9 +342,11 @@ let remove t ~key ~value =
 
 let of_table table ~column =
   let t = create () in
-  Wj_storage.Table.iteri
-    (fun row tuple -> insert t ~key:(Wj_storage.Value.to_int tuple.(column)) ~value:row)
-    table;
+  (* Typed column read: no Value.t is materialized during the build. *)
+  let key = Wj_storage.Table.int_reader table column in
+  for row = 0 to Wj_storage.Table.length table - 1 do
+    insert t ~key:(key row) ~value:row
+  done;
   t
 
 let height t =

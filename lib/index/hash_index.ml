@@ -17,7 +17,11 @@ let insert t ~key ~row =
 
 let build table ~column =
   let t = create_empty ~column in
-  Table.iteri (fun row tuple -> insert t ~key:(Value.to_int tuple.(column)) ~row) table;
+  (* Typed column read: no Value.t is materialized during the build. *)
+  let key = Table.int_reader table column in
+  for row = 0 to Table.length table - 1 do
+    insert t ~key:(key row) ~row
+  done;
   t
 
 let table_column t = t.column

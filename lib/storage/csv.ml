@@ -51,19 +51,22 @@ let render_line ?(separator = ',') fields =
   in
   String.concat (String.make 1 separator) (List.map render fields)
 
-let parse_cell ~line ty text =
-  if text = "" then Value.Null
+(* Parses and stages one cell straight into the table's typed column
+   (empty text is NULL).  Cells staged before a failure are rolled back by
+   the caller. *)
+let push_cell ~line ~table ~col ty text =
+  if text = "" then Table.push_null table ~col
   else
     match ty with
     | Value.TInt -> (
       match int_of_string_opt (String.trim text) with
-      | Some n -> Value.Int n
+      | Some n -> Table.push_int table ~col n
       | None -> fail line "expected an integer, got %S" text)
     | Value.TFloat -> (
       match float_of_string_opt (String.trim text) with
-      | Some f -> Value.Float f
+      | Some f -> Table.push_float table ~col f
       | None -> fail line "expected a number, got %S" text)
-    | Value.TStr -> Value.Str text
+    | Value.TStr -> Table.push_str table ~col text
 
 let load_rows ?(separator = ',') ?(trailing_separator = false) ~schema ~table path =
   let ic = open_in path in
@@ -88,14 +91,20 @@ let load_rows ?(separator = ',') ?(trailing_separator = false) ~schema ~table pa
              in
              if List.length fields <> arity then
                fail !line_no "expected %d fields, got %d" arity (List.length fields);
-             let row =
-               Array.of_list
-                 (List.mapi
-                    (fun i text -> parse_cell ~line:!line_no (Schema.ty_of schema i) text)
-                    fields)
-             in
-             (try ignore (Table.insert table row)
-              with Invalid_argument msg -> fail !line_no "%s" msg);
+             (try
+                List.iteri
+                  (fun col text ->
+                    push_cell ~line:!line_no ~table ~col (Schema.ty_of schema col)
+                      text)
+                  fields;
+                ignore (Table.commit_row table)
+              with
+             | Csv_error _ as e ->
+               Table.rollback_row table;
+               raise e
+             | Invalid_argument msg ->
+               Table.rollback_row table;
+               fail !line_no "%s" msg);
              incr inserted
            end
          done

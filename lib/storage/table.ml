@@ -1,27 +1,280 @@
+module Int_vec = Wj_util.Int_vec
+module Float_vec = Wj_util.Float_vec
+module Bitset = Wj_util.Bitset
+
+type strcol = {
+  ids : Int_vec.t; (* dictionary id per row; sentinel 0/-1 under a null bit *)
+  pool : string Wj_util.Vec.t; (* id -> string *)
+  dict : (string, int) Hashtbl.t; (* string -> id *)
+}
+
+type col =
+  | Icol of Int_vec.t
+  | Fcol of Float_vec.t
+  | Scol of strcol
+
 type t = {
   name : string;
   schema : Schema.t;
-  rows : Value.t array Wj_util.Vec.t;
+  cols : col array;
+  nulls : Bitset.t array; (* per column; bit set = NULL at that row *)
+  mutable nrows : int;
 }
 
 let create ?(capacity = 1024) ~name ~schema () =
-  { name; schema; rows = Wj_util.Vec.create ~capacity () }
+  let cols =
+    Array.init (Schema.arity schema) (fun i ->
+        match Schema.ty_of schema i with
+        | Value.TInt -> Icol (Int_vec.create ~capacity ())
+        | Value.TFloat -> Fcol (Float_vec.create ~capacity ())
+        | Value.TStr ->
+          Scol
+            {
+              ids = Int_vec.create ~capacity ();
+              pool = Wj_util.Vec.create ~capacity:16 ();
+              dict = Hashtbl.create 64;
+            })
+  in
+  {
+    name;
+    schema;
+    cols;
+    nulls = Array.init (Schema.arity schema) (fun _ -> Bitset.create ());
+    nrows = 0;
+  }
 
 let name t = t.name
 let schema t = t.schema
-let length t = Wj_util.Vec.length t.rows
+let length t = t.nrows
+
+let cell_error t ~row ~col what =
+  invalid_arg
+    (Printf.sprintf "Table.%s: %s.%s row %d" what t.name
+       (Schema.column t.schema col).Schema.name row)
+
+let col_length t c =
+  match t.cols.(c) with
+  | Icol v -> Int_vec.length v
+  | Fcol v -> Float_vec.length v
+  | Scol s -> Int_vec.length s.ids
+
+(* ---- Typed column writers -------------------------------------------- *)
+
+let push_error t ~col what =
+  invalid_arg
+    (Printf.sprintf "Table.%s(%s): column %s is %s" what t.name
+       (Schema.column t.schema col).Schema.name
+       (match Schema.ty_of t.schema col with
+       | Value.TInt -> "int"
+       | Value.TFloat -> "float"
+       | Value.TStr -> "str"))
+
+let push_int t ~col v =
+  match t.cols.(col) with
+  | Icol c -> Int_vec.push c v
+  | Fcol _ | Scol _ -> push_error t ~col "push_int"
+
+let push_float t ~col v =
+  match t.cols.(col) with
+  | Fcol c -> Float_vec.push c v
+  | Icol _ | Scol _ -> push_error t ~col "push_float"
+
+let intern s str =
+  match Hashtbl.find_opt s.dict str with
+  | Some id -> id
+  | None ->
+    let id = Wj_util.Vec.length s.pool in
+    Wj_util.Vec.push s.pool str;
+    Hashtbl.add s.dict str id;
+    id
+
+let push_str t ~col v =
+  match t.cols.(col) with
+  | Scol s -> Int_vec.push s.ids (intern s v)
+  | Icol _ | Fcol _ -> push_error t ~col "push_str"
+
+let push_null t ~col =
+  (match t.cols.(col) with
+  | Icol c ->
+    Bitset.set t.nulls.(col) (Int_vec.length c);
+    Int_vec.push c 0
+  | Fcol c ->
+    Bitset.set t.nulls.(col) (Float_vec.length c);
+    Float_vec.push c 0.0
+  | Scol s ->
+    Bitset.set t.nulls.(col) (Int_vec.length s.ids);
+    Int_vec.push s.ids (-1));
+  ()
+
+let commit_row t =
+  let want = t.nrows + 1 in
+  Array.iteri
+    (fun c _ ->
+      if col_length t c <> want then
+        invalid_arg
+          (Printf.sprintf
+             "Table.commit_row(%s): column %s holds %d values for row %d" t.name
+             (Schema.column t.schema c).Schema.name
+             (col_length t c - t.nrows)
+             t.nrows))
+    t.cols;
+  t.nrows <- want;
+  want - 1
+
+let rollback_row t =
+  Array.iteri
+    (fun c _ ->
+      let extra = col_length t c - t.nrows in
+      if extra > 0 then begin
+        for i = t.nrows to t.nrows + extra - 1 do
+          Bitset.clear t.nulls.(c) i
+        done;
+        match t.cols.(c) with
+        | Icol v -> Int_vec.truncate v t.nrows
+        | Fcol v -> Float_vec.truncate v t.nrows
+        | Scol s -> Int_vec.truncate s.ids t.nrows
+      end)
+    t.cols
+
+(* ---- Value.t compatibility shim --------------------------------------- *)
 
 let insert t row =
   if not (Schema.check_tuple t.schema row) then
     invalid_arg
       (Printf.sprintf "Table.insert(%s): tuple does not match schema" t.name);
-  Wj_util.Vec.push t.rows row;
-  Wj_util.Vec.length t.rows - 1
+  Array.iteri
+    (fun col v ->
+      match v with
+      | Value.Null -> push_null t ~col
+      | Value.Int n -> push_int t ~col n
+      | Value.Float f -> push_float t ~col f
+      | Value.Str s -> push_str t ~col s)
+    row;
+  commit_row t
 
-let row t i = Wj_util.Vec.get t.rows i
-let cell t i col = (Wj_util.Vec.get t.rows i).(col)
-let int_cell t i col = Value.to_int (cell t i col)
-let float_cell t i col = Value.to_float (cell t i col)
-let iteri f t = Wj_util.Vec.iteri f t.rows
-let fold f acc t = Wj_util.Vec.fold_left f acc t.rows
+let is_null t row col = Bitset.mem t.nulls.(col) row
+
+let check_row t row what =
+  if row < 0 || row >= t.nrows then
+    invalid_arg (Printf.sprintf "Table.%s(%s): row %d out of bounds" what t.name row)
+
+let cell t row col =
+  check_row t row "cell";
+  if is_null t row col then Value.Null
+  else
+    match t.cols.(col) with
+    | Icol v -> Value.Int (Int_vec.get v row)
+    | Fcol v -> Value.Float (Float_vec.get v row)
+    | Scol s -> Value.Str (Wj_util.Vec.get s.pool (Int_vec.get s.ids row))
+
+let row t i =
+  check_row t i "row";
+  Array.init (Array.length t.cols) (fun c -> cell t i c)
+
+let int_cell t row col =
+  match t.cols.(col) with
+  | Icol v ->
+    if is_null t row col then cell_error t ~row ~col "int_cell: NULL in"
+    else Int_vec.get v row
+  | Fcol _ | Scol _ -> cell_error t ~row ~col "int_cell: non-int column"
+
+let float_cell t row col =
+  match t.cols.(col) with
+  | Fcol v ->
+    if is_null t row col then cell_error t ~row ~col "float_cell: NULL in"
+    else Float_vec.get v row
+  | Icol v ->
+    if is_null t row col then cell_error t ~row ~col "float_cell: NULL in"
+    else float_of_int (Int_vec.get v row)
+  | Scol _ -> cell_error t ~row ~col "float_cell: non-numeric column"
+
+let iteri f t =
+  for i = 0 to t.nrows - 1 do
+    f i (row t i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.nrows - 1 do
+    acc := f !acc (row t i)
+  done;
+  !acc
+
 let column_index t name = Schema.find_exn t.schema name
+
+(* ---- Unboxed accessors and column cursors ----------------------------- *)
+
+let get_int t ~col row =
+  match t.cols.(col) with
+  | Icol v -> Int_vec.get v row
+  | Fcol _ | Scol _ -> push_error t ~col "get_int"
+
+let get_float t ~col row =
+  match t.cols.(col) with
+  | Fcol v -> Float_vec.get v row
+  | Icol _ | Scol _ -> push_error t ~col "get_float"
+
+let get_str_id t ~col row =
+  match t.cols.(col) with
+  | Scol s -> Int_vec.get s.ids row
+  | Icol _ | Fcol _ -> push_error t ~col "get_str_id"
+
+type cursor =
+  | Int_cursor of int array
+  | Float_cursor of float array
+  | Str_cursor of int array * string array
+
+let cursor t col =
+  match t.cols.(col) with
+  | Icol v -> Int_cursor (Int_vec.data v)
+  | Fcol v -> Float_cursor (Float_vec.data v)
+  | Scol s -> Str_cursor (Int_vec.data s.ids, Wj_util.Vec.to_array s.pool)
+
+let null_mask t col = t.nulls.(col)
+
+let dict_id t ~col s =
+  match t.cols.(col) with
+  | Scol sc -> Hashtbl.find_opt sc.dict s
+  | Icol _ | Fcol _ -> push_error t ~col "dict_id"
+
+let dict_value t ~col id =
+  match t.cols.(col) with
+  | Scol sc -> Wj_util.Vec.get sc.pool id
+  | Icol _ | Fcol _ -> push_error t ~col "dict_value"
+
+let dict_size t ~col =
+  match t.cols.(col) with
+  | Scol sc -> Wj_util.Vec.length sc.pool
+  | Icol _ | Fcol _ -> push_error t ~col "dict_size"
+
+let int_reader t col =
+  match t.cols.(col) with
+  | Icol v ->
+    if Bitset.any t.nulls.(col) then begin
+      let nulls = t.nulls.(col) in
+      fun row ->
+        if Bitset.mem nulls row then cell_error t ~row ~col "int_reader: NULL in"
+        else Int_vec.get v row
+    end
+    else fun row -> Int_vec.get v row
+  | Fcol _ | Scol _ -> fun row -> cell_error t ~row ~col "int_reader: non-int column"
+
+let float_reader t col =
+  match t.cols.(col) with
+  | Fcol v ->
+    if Bitset.any t.nulls.(col) then begin
+      let nulls = t.nulls.(col) in
+      fun row ->
+        if Bitset.mem nulls row then cell_error t ~row ~col "float_reader: NULL in"
+        else Float_vec.get v row
+    end
+    else fun row -> Float_vec.get v row
+  | Icol v ->
+    if Bitset.any t.nulls.(col) then begin
+      let nulls = t.nulls.(col) in
+      fun row ->
+        if Bitset.mem nulls row then cell_error t ~row ~col "float_reader: NULL in"
+        else float_of_int (Int_vec.get v row)
+    end
+    else fun row -> float_of_int (Int_vec.get v row)
+  | Scol _ -> fun row -> cell_error t ~row ~col "float_reader: non-numeric column"

@@ -100,41 +100,55 @@ let generate ?(seed = 7) ~sf () =
   if sf <= 0.0 then invalid_arg "Generator.generate: sf must be positive";
   let prng = Prng.create (seed lxor 0x47454E) in  (* "GEN": salt the stream *)
   let scaled base = max 1 (int_of_float (Float.round (float_of_int base *. sf))) in
-  let region = Table.create ~name:"region" ~schema:region_schema () in
-  Array.iteri
-    (fun i name -> ignore (Table.insert region [| Int i; Str name |]))
-    regions;
-  let nation = Table.create ~name:"nation" ~schema:nation_schema () in
+  (* Rows are written straight into the typed columns.  The explicit [let]
+     sequencing below replicates the draw order of the historical row-literal
+     inserts (OCaml evaluates array literals right to left), keeping the PRNG
+     stream — and thus every dataset — bit-identical for a fixed seed. *)
+  let region =
+    Table.create ~capacity:(Array.length regions) ~name:"region"
+      ~schema:region_schema ()
+  in
   Array.iteri
     (fun i name ->
-      ignore (Table.insert nation [| Int i; Str name; Int (i mod Array.length regions) |]))
+      Table.push_int region ~col:0 i;
+      Table.push_str region ~col:1 name;
+      ignore (Table.commit_row region))
+    regions;
+  let nation =
+    Table.create ~capacity:(Array.length nations) ~name:"nation"
+      ~schema:nation_schema ()
+  in
+  Array.iteri
+    (fun i name ->
+      Table.push_int nation ~col:0 i;
+      Table.push_str nation ~col:1 name;
+      Table.push_int nation ~col:2 (i mod Array.length regions);
+      ignore (Table.commit_row nation))
     nations;
   let n_supplier = scaled 10_000 in
   let supplier = Table.create ~capacity:n_supplier ~name:"supplier" ~schema:supplier_schema () in
   for i = 0 to n_supplier - 1 do
-    ignore
-      (Table.insert supplier
-         [|
-           Int i;
-           Str (Printf.sprintf "Supplier#%09d" i);
-           Int (Prng.int prng (Array.length nations));
-           Float (Prng.float prng 10999.98 -. 999.99);
-         |])
+    let acctbal = Prng.float prng 10999.98 -. 999.99 in
+    let nationkey = Prng.int prng (Array.length nations) in
+    Table.push_int supplier ~col:0 i;
+    Table.push_str supplier ~col:1 (Printf.sprintf "Supplier#%09d" i);
+    Table.push_int supplier ~col:2 nationkey;
+    Table.push_float supplier ~col:3 acctbal;
+    ignore (Table.commit_row supplier)
   done;
   let n_customer = scaled 150_000 in
   let customer = Table.create ~capacity:n_customer ~name:"customer" ~schema:customer_schema () in
   for i = 0 to n_customer - 1 do
     let seg = Prng.int prng (Array.length market_segments) in
-    ignore
-      (Table.insert customer
-         [|
-           Int i;
-           Str (Printf.sprintf "Customer#%09d" i);
-           Int (Prng.int prng (Array.length nations));
-           Str market_segments.(seg);
-           Int seg;
-           Float (Prng.float prng 10999.98 -. 999.99);
-         |])
+    let acctbal = Prng.float prng 10999.98 -. 999.99 in
+    let nationkey = Prng.int prng (Array.length nations) in
+    Table.push_int customer ~col:0 i;
+    Table.push_str customer ~col:1 (Printf.sprintf "Customer#%09d" i);
+    Table.push_int customer ~col:2 nationkey;
+    Table.push_str customer ~col:3 market_segments.(seg);
+    Table.push_int customer ~col:4 seg;
+    Table.push_float customer ~col:5 acctbal;
+    ignore (Table.commit_row customer)
   done;
   let n_orders = scaled 1_500_000 in
   let orders = Table.create ~capacity:n_orders ~name:"orders" ~schema:orders_schema () in
@@ -143,17 +157,17 @@ let generate ?(seed = 7) ~sf () =
     let orderdate = Prng.int prng (max_orderdate + 1) in
     orderdates.(i) <- orderdate;
     let status = [| "F"; "O"; "P" |].(Prng.int prng 3) in
-    ignore
-      (Table.insert orders
-         [|
-           Int i;
-           Int (Prng.int prng n_customer);
-           Str status;
-           Float 0.0 (* patched conceptually by lineitem totals; unused by queries *);
-           Int orderdate;
-           Int (1 + Prng.int prng 5);
-           Int 0;
-         |])
+    let priority = 1 + Prng.int prng 5 in
+    let custkey = Prng.int prng n_customer in
+    Table.push_int orders ~col:0 i;
+    Table.push_int orders ~col:1 custkey;
+    Table.push_str orders ~col:2 status;
+    (* patched conceptually by lineitem totals; unused by queries *)
+    Table.push_float orders ~col:3 0.0;
+    Table.push_int orders ~col:4 orderdate;
+    Table.push_int orders ~col:5 priority;
+    Table.push_int orders ~col:6 0;
+    ignore (Table.commit_row orders)
   done;
   let lineitem = Table.create ~capacity:(n_orders * 4) ~name:"lineitem" ~schema:lineitem_schema () in
   for o = 0 to n_orders - 1 do
@@ -171,20 +185,18 @@ let generate ?(seed = 7) ~sf () =
         if receipt <= Dates.of_ymd 1995 6 17 then if Prng.bool prng then 0 else 2
         else 1
       in
-      ignore
-        (Table.insert lineitem
-           [|
-             Int o;
-             Int ln;
-             Int (Prng.int prng n_supplier);
-             Float quantity;
-             Float (quantity *. price_per_unit /. 10.0);
-             Float discount;
-             Float tax;
-             Str return_flags.(flag_id);
-             Int flag_id;
-             Int shipdate;
-           |])
+      let suppkey = Prng.int prng n_supplier in
+      Table.push_int lineitem ~col:0 o;
+      Table.push_int lineitem ~col:1 ln;
+      Table.push_int lineitem ~col:2 suppkey;
+      Table.push_float lineitem ~col:3 quantity;
+      Table.push_float lineitem ~col:4 (quantity *. price_per_unit /. 10.0);
+      Table.push_float lineitem ~col:5 discount;
+      Table.push_float lineitem ~col:6 tax;
+      Table.push_str lineitem ~col:7 return_flags.(flag_id);
+      Table.push_int lineitem ~col:8 flag_id;
+      Table.push_int lineitem ~col:9 shipdate;
+      ignore (Table.commit_row lineitem)
     done
   done;
   { region; nation; supplier; customer; orders; lineitem; sf }

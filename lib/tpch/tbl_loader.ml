@@ -36,75 +36,73 @@ let returnflag_id ~line s =
   | Some i -> i
   | None -> fail line "unknown return flag %S" s
 
-(* Per-kind: (target schema builder, dbgen arity, row translator). *)
-let translate kind ~line (fields : string array) =
+(* Writes one dbgen record straight into the table's typed columns (no
+   intermediate Value.t row).  Cells staged before a parse failure are
+   rolled back by the caller. *)
+let push_row kind ~line table (fields : string array) =
   match kind with
   | `Region ->
-    [| Value.Int (parse_int ~line fields.(0)); Value.Str fields.(1) |]
+    Table.push_int table ~col:0 (parse_int ~line fields.(0));
+    Table.push_str table ~col:1 fields.(1)
   | `Nation ->
-    [|
-      Value.Int (parse_int ~line fields.(0));
-      Value.Str fields.(1);
-      Value.Int (parse_int ~line fields.(2));
-    |]
+    Table.push_int table ~col:0 (parse_int ~line fields.(0));
+    Table.push_str table ~col:1 fields.(1);
+    Table.push_int table ~col:2 (parse_int ~line fields.(2))
   | `Supplier ->
-    [|
-      Value.Int (parse_int ~line fields.(0));
-      Value.Str fields.(1);
-      Value.Int (parse_int ~line fields.(3));
-      Value.Float (parse_float ~line fields.(5));
-    |]
+    Table.push_int table ~col:0 (parse_int ~line fields.(0));
+    Table.push_str table ~col:1 fields.(1);
+    Table.push_int table ~col:2 (parse_int ~line fields.(3));
+    Table.push_float table ~col:3 (parse_float ~line fields.(5))
   | `Customer ->
     let seg = fields.(6) in
-    [|
-      Value.Int (parse_int ~line fields.(0));
-      Value.Str fields.(1);
-      Value.Int (parse_int ~line fields.(3));
-      Value.Str seg;
-      Value.Int (segment_id ~line seg);
-      Value.Float (parse_float ~line fields.(5));
-    |]
+    Table.push_int table ~col:0 (parse_int ~line fields.(0));
+    Table.push_str table ~col:1 fields.(1);
+    Table.push_int table ~col:2 (parse_int ~line fields.(3));
+    Table.push_str table ~col:3 seg;
+    Table.push_int table ~col:4 (segment_id ~line seg);
+    Table.push_float table ~col:5 (parse_float ~line fields.(5))
   | `Orders ->
-    [|
-      Value.Int (parse_int ~line fields.(0));
-      Value.Int (parse_int ~line fields.(1));
-      Value.Str fields.(2);
-      Value.Float (parse_float ~line fields.(3));
-      Value.Int (parse_date ~line fields.(4));
-      Value.Int (parse_priority ~line fields.(5));
-      Value.Int (parse_int ~line fields.(7));
-    |]
+    Table.push_int table ~col:0 (parse_int ~line fields.(0));
+    Table.push_int table ~col:1 (parse_int ~line fields.(1));
+    Table.push_str table ~col:2 fields.(2);
+    Table.push_float table ~col:3 (parse_float ~line fields.(3));
+    Table.push_int table ~col:4 (parse_date ~line fields.(4));
+    Table.push_int table ~col:5 (parse_priority ~line fields.(5));
+    Table.push_int table ~col:6 (parse_int ~line fields.(7))
   | `Lineitem ->
     let flag = fields.(8) in
-    [|
-      Value.Int (parse_int ~line fields.(0));
-      Value.Int (parse_int ~line fields.(3));
-      Value.Int (parse_int ~line fields.(2));
-      Value.Float (parse_float ~line fields.(4));
-      Value.Float (parse_float ~line fields.(5));
-      Value.Float (parse_float ~line fields.(6));
-      Value.Float (parse_float ~line fields.(7));
-      Value.Str flag;
-      Value.Int (returnflag_id ~line flag);
-      Value.Int (parse_date ~line fields.(10));
-    |]
+    Table.push_int table ~col:0 (parse_int ~line fields.(0));
+    Table.push_int table ~col:1 (parse_int ~line fields.(3));
+    Table.push_int table ~col:2 (parse_int ~line fields.(2));
+    Table.push_float table ~col:3 (parse_float ~line fields.(4));
+    Table.push_float table ~col:4 (parse_float ~line fields.(5));
+    Table.push_float table ~col:5 (parse_float ~line fields.(6));
+    Table.push_float table ~col:6 (parse_float ~line fields.(7));
+    Table.push_str table ~col:7 flag;
+    Table.push_int table ~col:8 (returnflag_id ~line flag);
+    Table.push_int table ~col:9 (parse_date ~line fields.(10))
 
+(* Per-kind: (table name, target schema, dbgen arity, rough bytes per dbgen
+   record — used to seed column capacity from the file size). *)
 let spec kind =
   match kind with
-  | `Region -> ("region", Generator.region_schema, 3)
-  | `Nation -> ("nation", Generator.nation_schema, 4)
-  | `Supplier -> ("supplier", Generator.supplier_schema, 7)
-  | `Customer -> ("customer", Generator.customer_schema, 8)
-  | `Orders -> ("orders", Generator.orders_schema, 9)
-  | `Lineitem -> ("lineitem", Generator.lineitem_schema, 16)
+  | `Region -> ("region", Generator.region_schema, 3, 80)
+  | `Nation -> ("nation", Generator.nation_schema, 4, 90)
+  | `Supplier -> ("supplier", Generator.supplier_schema, 7, 140)
+  | `Customer -> ("customer", Generator.customer_schema, 8, 160)
+  | `Orders -> ("orders", Generator.orders_schema, 9, 110)
+  | `Lineitem -> ("lineitem", Generator.lineitem_schema, 16, 130)
 
 let load_table path kind =
-  let name, schema, arity = spec kind in
-  let table = Table.create ~name ~schema () in
+  let name, schema, arity, bytes_per_row = spec kind in
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
+      (* Seed the column vectors from the file size so bulk loads avoid
+         repeated doubling; an under-estimate only costs one more growth. *)
+      let capacity = max 16 (in_channel_length ic / bytes_per_row) in
+      let table = Table.create ~capacity ~name ~schema () in
       let line_no = ref 0 in
       (try
          while true do
@@ -121,7 +119,11 @@ let load_table path kind =
              if Array.length fields <> arity then
                fail !line_no "expected %d dbgen fields, got %d" arity
                  (Array.length fields);
-             ignore (Table.insert table (translate kind ~line:!line_no fields))
+             (try push_row kind ~line:!line_no table fields
+              with e ->
+                Table.rollback_row table;
+                raise e);
+             ignore (Table.commit_row table)
            end
          done
        with End_of_file -> ());

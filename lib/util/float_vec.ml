@@ -1,0 +1,31 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0.0; len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Float_vec.get: index out of bounds";
+  Array.unsafe_get t.data i
+
+let unsafe_get t i = Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Float_vec.set: index out of bounds";
+  t.data.(i) <- x
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Float_vec.truncate: bad length";
+  t.len <- n
+
+let data t = t.data
+let to_array t = Array.sub t.data 0 t.len
