@@ -484,7 +484,7 @@ let tab3 () =
               (pct (rel_err wj.final.estimate truth))
           in
           let d1, d2 =
-            show ~found:(dbo.final.combos > 0)
+            show ~found:(dbo.final.successes > 0)
               (pct (dbo.final.half_width /. Float.abs truth))
               (pct (rel_err dbo.final.estimate truth))
           in
@@ -513,7 +513,7 @@ let tab3 () =
               (pct (rel_err wjv.final.estimate truth))
           in
           let d1, d2 =
-            show ~found:(dbov.final.combos > 0)
+            show ~found:(dbov.final.successes > 0)
               (pct (dbov.final.half_width /. Float.abs truth))
               (pct (rel_err dbov.final.estimate truth))
           in
@@ -783,6 +783,68 @@ let engine_bench () =
   Printf.printf "  [engine] wrote BENCH_engine.json\n%!"
 
 (* ======================================================================= *)
+(* Observability overhead: walks/sec by sink mode. *)
+(* ======================================================================= *)
+
+let obs_bench () =
+  header "Observability: walks/sec by sink mode (fixed PG plan, 2GB)";
+  (* Pay-for-what-you-use check: the no-op sink must sit within noise of
+     the plain run; metrics-only and full-event sinks show the real cost
+     of counting and of the typed event stream. *)
+  let d = Data.get 0.02 in
+  let horizon = if !quick then 0.3 else 1.0 in
+  let entries = ref [] in
+  Printf.printf "%-4s  %12s %12s %12s %12s   (walks/sec)\n" "qry" "baseline" "noop"
+    "metrics" "events";
+  List.iter
+    (fun spec ->
+      let q = Queries.build ~variant:Barebone spec d in
+      let reg = Queries.registry q in
+      let plan = pg_plan q reg in
+      let rate ?sink () =
+        let out =
+          Online.run ~seed ~max_time:horizon ~plan_choice:(Online.Fixed plan) ?sink q
+            reg
+        in
+        float_of_int out.final.walks /. out.final.elapsed
+      in
+      let baseline = rate () in
+      let noop = rate ~sink:Wj_obs.Sink.noop () in
+      let metrics_rate = rate ~sink:(Wj_obs.Sink.of_metrics (Wj_obs.Metrics.create ())) () in
+      let events_rate =
+        let m = Wj_obs.Metrics.create () in
+        let seen = ref 0 in
+        rate ~sink:(Wj_obs.Sink.make ~on_event:(fun _ -> incr seen) ~metrics:m ()) ()
+      in
+      let overhead r = 100.0 *. (1.0 -. (r /. baseline)) in
+      Printf.printf "%-4s  %12.0f %12.0f %12.0f %12.0f   (noop %+.1f%%, metrics %+.1f%%, events %+.1f%%)\n%!"
+        (Queries.name_of spec) baseline noop metrics_rate events_rate (overhead noop)
+        (overhead metrics_rate) (overhead events_rate);
+      entries :=
+        (Queries.name_of spec, baseline, noop, metrics_rate, events_rate) :: !entries)
+    specs;
+  (* Machine-readable drop for regression tracking. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "{\n  \"experiment\": \"obs\",\n  \"unit\": \"walks_per_sec\",\n  \"queries\": {\n";
+  let entries = List.rev !entries in
+  List.iteri
+    (fun i (name, baseline, noop, metrics_rate, events_rate) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"baseline\": %.1f, \"noop\": %.1f, \"metrics\": %.1f, \
+            \"events\": %.1f, \"noop_overhead_pct\": %.2f }%s\n"
+           name baseline noop metrics_rate events_rate
+           (100.0 *. (1.0 -. (noop /. baseline)))
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [obs] wrote BENCH_obs.json\n%!"
+
+(* ======================================================================= *)
 (* Storage layout: walk and exact-scan throughput over the columnar store. *)
 (* ======================================================================= *)
 
@@ -901,6 +963,7 @@ let experiments =
     ("abl-strat", abl_stratified);
     ("abl-card", abl_cardinality);
     ("engine", engine_bench);
+    ("obs", obs_bench);
     ("layout", layout_bench);
     ("micro", micro);
   ]

@@ -24,6 +24,39 @@ let tbl_dir_arg =
   let doc = "Load official dbgen .tbl files from this directory instead of generating." in
   Arg.(value & opt (some dir) None & info [ "tbl-dir" ] ~docv:"DIR" ~doc)
 
+(* --- metrics ---------------------------------------------------------- *)
+
+let metrics_arg =
+  let doc = "Collect walk/driver/index observability metrics and print a snapshot." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_json_arg =
+  let doc = "Write the metrics snapshot as JSON to $(docv) (implies --metrics)." in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+(* When collection is on, hand the run a metrics-backed sink; afterwards
+   render the snapshot (and optionally dump it as JSON). *)
+let metrics_sink ~metrics ~json =
+  if metrics || json <> None then begin
+    let m = Wj_obs.Metrics.create () in
+    (Wj_obs.Sink.of_metrics m, Some m)
+  end
+  else (Wj_obs.Sink.noop, None)
+
+let metrics_finish ~json m_opt =
+  match m_opt with
+  | None -> ()
+  | Some m ->
+    let snap = Wj_obs.Snapshot.of_metrics m in
+    print_string (Wj_obs.Snapshot.render snap);
+    (match json with
+    | None -> ()
+    | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (Wj_obs.Snapshot.to_json snap);
+          output_char oc '\n');
+      Printf.printf "metrics JSON written to %s\n" file)
+
 let load sf seed tbl_dir =
   match tbl_dir with
   | Some dir ->
@@ -45,12 +78,14 @@ let query_cmd =
     let doc = "The SQL statement to execute." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
   in
-  let run sf seed tbl_dir sql =
+  let run sf seed tbl_dir metrics json sql =
     let d = load sf seed tbl_dir in
     let catalog = Wj_tpch.Generator.catalog d in
-    match Wj_sql.Engine.execute ~seed ~on_report:print_endline catalog sql with
+    let sink, m_opt = metrics_sink ~metrics ~json in
+    match Wj_sql.Engine.execute ~seed ~sink ~on_report:print_endline catalog sql with
     | r ->
       print_string (Wj_sql.Engine.render r);
+      metrics_finish ~json m_opt;
       0
     | exception Wj_sql.Lexer.Lex_error (msg, off) ->
       Printf.eprintf "lex error at offset %d: %s\n" off msg;
@@ -64,7 +99,9 @@ let query_cmd =
   in
   let doc = "Execute a SQL statement (use SELECT ONLINE for online aggregation)." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run $ sf_arg $ seed_arg $ tbl_dir_arg $ sql_arg)
+    Term.(
+      const run $ sf_arg $ seed_arg $ tbl_dir_arg $ metrics_arg $ metrics_json_arg
+      $ sql_arg)
 
 (* --- tpch ------------------------------------------------------------- *)
 
@@ -107,11 +144,12 @@ let tpch_cmd =
     in
     Arg.(value & flag & info [ "complete" ] ~doc)
   in
-  let run sf seed tbl_dir spec barebone time target exact complete =
+  let run sf seed tbl_dir spec barebone time target exact complete metrics json =
     let d = load sf seed tbl_dir in
     let variant = if barebone then Wj_tpch.Queries.Barebone else Standard in
     let q = Wj_tpch.Queries.build ~variant spec d in
     let reg = Wj_tpch.Queries.registry q in
+    let sink, m_opt = metrics_sink ~metrics ~json in
     let target = Option.map (fun pct -> Wj_stats.Target.relative (pct /. 100.0)) target in
     if complete then begin
       let r =
@@ -129,7 +167,7 @@ let tpch_cmd =
     end
     else begin
       let out =
-        Wj_core.Online.run ~seed ~max_time:time ?target ~report_every:1.0
+        Wj_core.Online.run ~seed ~max_time:time ?target ~report_every:1.0 ~sink
           ~on_report:(fun r ->
             Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks, %d successes)\n%!"
               r.elapsed r.estimate r.half_width r.walks r.successes)
@@ -144,6 +182,8 @@ let tpch_cmd =
           e.join_size
           (100.0 *. Float.abs ((out.final.estimate -. e.value) /. e.value))
       end;
+      (match m_opt with Some m -> Wj_core.Registry.export_metrics reg m | None -> ());
+      metrics_finish ~json m_opt;
       0
     end
   in
@@ -151,7 +191,7 @@ let tpch_cmd =
   Cmd.v (Cmd.info "tpch" ~doc)
     Term.(
       const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ barebone_arg $ time_arg
-      $ target_arg $ exact_arg $ complete_arg)
+      $ target_arg $ exact_arg $ complete_arg $ metrics_arg $ metrics_json_arg)
 
 (* --- plans ------------------------------------------------------------ *)
 

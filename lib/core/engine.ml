@@ -41,6 +41,7 @@ let batch t = t.batch
 let prepared t = t.prepared
 
 let finish t (slot : slot) outcome =
+  Walker.record_outcome t.prepared ~cost:slot.cost outcome;
   Queue.push { outcome; cost = slot.cost } t.pending;
   slot.next_step <- -1
 
@@ -50,6 +51,7 @@ let turn t prng (slot : slot) =
     (* Begin a new walk in this slot: the previous walk's path buffer is
        only clobbered here, one full drain of [pending] later, so returned
        Success paths stay valid until the next sweep. *)
+    Walker.note_walk_started t.prepared;
     Array.fill slot.path 0 (Array.length slot.path) (-1);
     slot.inv_p <- 1.0;
     slot.depth <- 0;
@@ -128,14 +130,39 @@ let feed q prepared est outcome =
 (* ---- Driver ----------------------------------------------------------- *)
 
 module Driver = struct
-  type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+  type stop_reason = Wj_obs.Event.stop_reason =
+    | Target_reached
+    | Time_up
+    | Walk_budget_exhausted
+    | Cancelled
 
   type polls = { target_mask : int; report_mask : int; cancel_mask : int }
 
   let default_polls = { target_mask = 15; report_mask = 0; cancel_mask = 63 }
 
-  let run ?(polls = default_polls) ?target_reached ?should_stop ?max_walks
-      ?report_every ?on_report ~max_time ~clock ~walks ~step () =
+  (* The [walks land mask = 0] gating only implements "every 2^k walks"
+     when the mask has all low bits set. *)
+  let is_mask m = m >= 0 && m land (m + 1) = 0
+
+  let validate_polls p =
+    let check name m =
+      if not (is_mask m) then
+        invalid_arg
+          (Printf.sprintf "Engine.Driver.run: polls.%s = %d is not 2^k - 1" name m)
+    in
+    check "target_mask" p.target_mask;
+    check "report_mask" p.report_mask;
+    check "cancel_mask" p.cancel_mask
+
+  let run ?(polls = default_polls) ?(sink = Wj_obs.Sink.noop) ?progress
+      ?target_reached ?should_stop ?max_walks ?report_every ?on_report ~max_time
+      ~clock ~walks ~step () =
+    validate_polls polls;
+    let report_ticks =
+      match Wj_obs.Sink.metrics sink with
+      | None -> None
+      | Some m -> Some (Wj_obs.Metrics.counter m "driver.report_ticks")
+    in
     let interval = match report_every with Some r -> r | None -> infinity in
     let next_report = ref interval in
     let target_hit () =
@@ -167,9 +194,23 @@ module Driver = struct
           && Timer.elapsed clock >= !next_report
         then begin
           (match on_report with None -> () | Some f -> f ());
+          (match report_ticks with None -> () | Some c -> Wj_obs.Counter.incr c);
+          (match progress with
+          | Some p when Wj_obs.Sink.wants_events sink ->
+            Wj_obs.Sink.emit sink (Wj_obs.Event.Report (p ()))
+          | Some _ | None -> ());
           next_report := !next_report +. interval
         end
       end
     done;
-    Option.get !stop
+    let reason = Option.get !stop in
+    (match Wj_obs.Sink.metrics sink with
+    | None -> ()
+    | Some m ->
+      Wj_obs.Counter.incr
+        (Wj_obs.Metrics.counter m
+           ("driver.stop." ^ Wj_obs.Event.stop_reason_name reason)));
+    if Wj_obs.Sink.wants_events sink then
+      Wj_obs.Sink.emit sink (Wj_obs.Event.Stopped reason);
+    reason
 end

@@ -46,7 +46,13 @@ val feed : Query.t -> Walker.prepared -> Wj_stats.Estimator.t -> Walker.outcome 
     of the probability space). *)
 
 module Driver : sig
-  type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+  type stop_reason = Wj_obs.Event.stop_reason =
+    | Target_reached
+    | Time_up
+    | Walk_budget_exhausted
+    | Cancelled
+        (** The canonical constructors live in {!Wj_obs.Event.stop_reason};
+            this re-export keeps existing pattern matches compiling. *)
 
   type polls = {
     target_mask : int;
@@ -54,13 +60,22 @@ module Driver : sig
     report_mask : int;  (** gate report-timing checks on [walks land mask = 0] *)
     cancel_mask : int;  (** poll cancellation when [walks land mask = 0] *)
   }
+  (** Invariant: every mask must be of the form [2^k - 1] (0, 1, 3, 7, 15,
+      ...) — the [walks land mask = 0] gating means "every 2^k walks" only
+      for all-low-bits masks; anything else would silently skew the polling
+      cadence.  {!run} validates this and raises [Invalid_argument]. *)
 
   val default_polls : polls
   (** [{ target_mask = 15; report_mask = 0; cancel_mask = 63 }] — the
       cadence of the original sequential driver. *)
 
+  val is_mask : int -> bool
+  (** Whether the int is a valid poll mask ([2^k - 1] for some [k >= 0]). *)
+
   val run :
     ?polls:polls ->
+    ?sink:Wj_obs.Sink.t ->
+    ?progress:(unit -> Wj_obs.Progress.t) ->
     ?target_reached:(unit -> bool) ->
     ?should_stop:(unit -> bool) ->
     ?max_walks:int ->
@@ -77,5 +92,11 @@ module Driver : sig
       budget.  [walks] reports the count of completed steps; [on_report]
       fires whenever the clock passes a multiple of [report_every] (subject
       to [report_mask]).  Reading time through a {!Wj_util.Timer.t} keeps
-      the loop usable under the I/O simulator's virtual clocks. *)
+      the loop usable under the I/O simulator's virtual clocks.
+
+      [sink] observes the loop: each report tick bumps the
+      ["driver.report_ticks"] counter and, when [progress] is given and the
+      sink wants events, emits [Report (progress ())]; the final stop bumps
+      ["driver.stop.<reason>"] and emits [Stopped].  Raises
+      [Invalid_argument] when a poll mask is not of the form [2^k - 1]. *)
 end

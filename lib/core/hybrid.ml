@@ -21,6 +21,7 @@ type outcome = {
   walks : int;
   elapsed : float;
   replicate_estimates : float array;
+  final : Wj_obs.Progress.t;
 }
 
 type stored_path = { rows : int array; inv_p : float }
@@ -93,10 +94,15 @@ let replicate_estimate q rep =
       sqrt (Float.max 0.0 ((wv2 /. w) -. (m1 *. m1)))
     end
 
-let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
-    ?(max_time = 10.0) ?(max_rounds = max_int) ?clock ?(batch = 1) q registry =
-  let clock = match clock with Some c -> c | None -> Timer.wall () in
-  let prng = Prng.create (seed lxor 0x485942) in  (* "HYB" *)
+let run_session ?(config = default_config) ?(max_rounds = max_int)
+    (cfg : Run_config.t) q registry =
+  let clock = Run_config.clock_or_wall cfg in
+  let sink = cfg.sink in
+  let confidence = cfg.Run_config.confidence in
+  let max_rounds =
+    match cfg.Run_config.max_walks with Some m -> m | None -> max_rounds
+  in
+  let prng = Prng.create (cfg.Run_config.seed lxor 0x485942) in  (* "HYB" *)
   let graph = Join_graph.of_query q registry in
   let components = Decompose.decompose graph in
   let m = List.length components in
@@ -107,10 +113,18 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
           c.members)
       components
   in
-  let prepared = Array.of_list (List.map (fun p -> Walker.prepare q registry p) plans) in
+  let prepared =
+    Array.of_list (List.map (fun p -> Walker.prepare ~sink q registry p) plans)
+  in
+  if Wj_obs.Sink.wants_events sink then
+    List.iter
+      (fun p ->
+        Wj_obs.Sink.emit sink
+          (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q p }))
+      plans;
   (* One engine per component, shared by all replicates: with [batch > 1]
      the in-flight walks of a component interleave across replicates. *)
-  let engines = Array.map (Engine.create ~batch) prepared in
+  let engines = Array.map (Engine.create ~batch:cfg.Run_config.batch) prepared in
   let cross_conds =
     let comp_of = Array.make (Query.k q) (-1) in
     List.iteri
@@ -170,7 +184,7 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
     in
     loop 0 1.0
   in
-  let rounds = ref 0 and walks = ref 0 in
+  let rounds = ref 0 and walks = ref 0 and successes = ref 0 in
   let all_frozen rep = Array.for_all (fun st -> st.frozen) rep.states in
   let round () =
     incr rounds;
@@ -183,6 +197,7 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
               incr walks;
               (match Engine.next engines.(ci) prng with
               | Walker.Success { path; inv_p } ->
+                incr successes;
                 let sp = { rows = Array.copy path; inv_p } in
                 combine rep ci sp;
                 Vec.push st.paths sp;
@@ -194,12 +209,17 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
       reps
   in
   (* The driver's step is one round (every live replicate x component walks
-     once); freezing everywhere reads as cancellation, polled every round. *)
+     once); freezing everywhere reads as cancellation, polled every round,
+     composed with the caller's own cancellation if any. *)
+  let frozen_or_cancelled () =
+    Array.for_all all_frozen reps
+    || (match cfg.Run_config.should_stop with None -> false | Some f -> f ())
+  in
   let (_ : Engine.Driver.stop_reason) =
-    Engine.Driver.run
+    Engine.Driver.run ~sink
       ~polls:{ Engine.Driver.default_polls with cancel_mask = 0 }
-      ~should_stop:(fun () -> Array.for_all all_frozen reps)
-      ~max_walks:max_rounds ~max_time ~clock
+      ~should_stop:frozen_or_cancelled ~max_walks:max_rounds
+      ~max_time:cfg.Run_config.max_time ~clock
       ~walks:(fun () -> !rounds)
       ~step:round ()
   in
@@ -217,6 +237,7 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
       Wj_util.Normal.z_of_confidence confidence *. sqrt (var /. float_of_int nf)
     end
   in
+  let elapsed = Timer.elapsed clock in
   {
     estimate = mean;
     half_width;
@@ -224,6 +245,15 @@ let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
     component_plans = List.map (Walk_plan.describe q) plans;
     rounds = !rounds;
     walks = !walks;
-    elapsed = Timer.elapsed clock;
+    elapsed;
     replicate_estimates = estimates;
+    final =
+      Wj_obs.Progress.make ~elapsed ~walks:!walks ~successes:!successes
+        ~estimate:mean ~half_width ();
   }
+
+let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
+    ?(max_time = 10.0) ?(max_rounds = max_int) ?clock ?(batch = 1) ?sink q registry =
+  run_session ~config ~max_rounds
+    (Run_config.make ~seed ~confidence ~max_time ?clock ~batch ?sink ())
+    q registry

@@ -32,7 +32,27 @@ type outcome = {
   walks : int;
   elapsed : float;
   replicate_estimates : float array;
+  final : Wj_obs.Progress.t;
+      (** the unified progress view of the run ([walks] = component walks,
+          [successes] = successful component paths) *)
 }
+
+val run_session :
+  ?config:config ->
+  ?max_rounds:int ->
+  Run_config.t ->
+  Query.t ->
+  Registry.t ->
+  outcome
+(** The run-session entry point.  [cfg.max_walks], when set, overrides
+    [max_rounds] (one round = every live replicate x component walks
+    once); [cfg.should_stop] is polled every round alongside the all-frozen
+    check; [cfg.plan_choice], [cfg.target] and [cfg.report_every] are
+    ignored (component plans are chosen by success-rate trials).
+    [cfg.sink] observes every component walk through {!Walker.prepare},
+    each chosen component plan ([Plan_chosen]) and the stop reason.
+    Raises [Invalid_argument] if some component admits no walk plan (a
+    table with no usable index at all). *)
 
 val run :
   ?seed:int ->
@@ -42,10 +62,10 @@ val run :
   ?max_rounds:int ->
   ?clock:Wj_util.Timer.t ->
   ?batch:int ->
+  ?sink:Wj_obs.Sink.t ->
   Query.t ->
   Registry.t ->
   outcome
-(** Raises [Invalid_argument] if some component admits no walk plan (a
-    table with no usable index at all).  [batch] (default 1) sets each
+(** Thin shim over {!run_session}.  [batch] (default 1) sets each
     component engine's number of in-flight walks; with [batch > 1] a
     component's walks interleave across replicates (see {!Engine}). *)

@@ -3,11 +3,13 @@ module Target = Wj_stats.Target
 module Timer = Wj_util.Timer
 module Prng = Wj_util.Prng
 module Value = Wj_storage.Value
+module Sink = Wj_obs.Sink
 
-type report = {
+type report = Wj_obs.Progress.t = {
   elapsed : float;
   walks : int;
   successes : int;
+  tuples : int;
   estimate : float;
   half_width : float;
 }
@@ -29,7 +31,7 @@ type outcome = {
   history : report list;
 }
 
-type plan_choice =
+type plan_choice = Run_config.plan_choice =
   | Optimize of Optimizer.config
   | Fixed of Walk_plan.t
   | First_enumerated
@@ -39,14 +41,15 @@ let make_report ~confidence ~elapsed est =
     elapsed;
     walks = Estimator.n est;
     successes = Estimator.successes est;
+    tuples = 0;
     estimate = Estimator.estimate est;
     half_width = Estimator.half_width est ~confidence;
   }
 
-let pick_plan ~plan_choice ~eager_checks ~tracer q registry prng clock =
+let pick_plan ~plan_choice ~eager_checks ~tracer ~sink q registry prng clock =
   match plan_choice with
   | Fixed plan ->
-    ( Walker.prepare ~eager_checks ?tracer q registry plan,
+    ( Walker.prepare ~eager_checks ?tracer ~sink q registry plan,
       plan,
       Estimator.create q.Query.agg,
       0.0,
@@ -55,50 +58,53 @@ let pick_plan ~plan_choice ~eager_checks ~tracer q registry prng clock =
     match Walk_plan.enumerate ~max_plans:1 q registry with
     | [] -> invalid_arg "Online.run: query admits no walk plan"
     | plan :: _ ->
-      ( Walker.prepare ~eager_checks ?tracer q registry plan,
+      ( Walker.prepare ~eager_checks ?tracer ~sink q registry plan,
         plan,
         Estimator.create q.Query.agg,
         0.0,
         0 ))
   | Optimize config ->
     let t0 = Timer.elapsed clock in
-    let r = Optimizer.choose ~config ~eager_checks ?tracer q registry prng in
+    let r = Optimizer.choose ~config ~eager_checks ?tracer ~sink q registry prng in
     let dt = Timer.elapsed clock -. t0 in
     (r.best, r.best_plan, r.trial_estimator, dt, r.total_trial_walks)
 
-let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
-    ?report_every ?on_report ?clock ?(plan_choice = Optimize Optimizer.default_config)
-    ?(eager_checks = true) ?tracer ?should_stop ?(batch = 1) q registry =
-  let clock = match clock with Some c -> c | None -> Timer.wall () in
-  let prng = Prng.create (seed lxor 0x4F4E4C) in  (* "ONL" *)
+let run_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t) q
+    registry =
+  let clock = Run_config.clock_or_wall cfg in
+  let sink = cfg.sink in
+  let prng = Prng.create (cfg.seed lxor 0x4F4E4C) in  (* "ONL" *)
   let prepared, plan, est, optimizer_time, optimizer_walks =
-    pick_plan ~plan_choice ~eager_checks ~tracer q registry prng clock
+    pick_plan ~plan_choice:cfg.plan_choice ~eager_checks ~tracer ~sink q registry
+      prng clock
   in
-  let engine = Engine.create ~batch prepared in
+  if Sink.wants_events sink then
+    Sink.emit sink
+      (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
+  let engine = Engine.create ~batch:cfg.batch prepared in
   let history = ref [] in
   let emit_report () =
-    match on_report with
-    | None -> ()
-    | Some f ->
-      let r = make_report ~confidence ~elapsed:(Timer.elapsed clock) est in
-      history := r :: !history;
-      f r
+    let r = make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) est in
+    history := r :: !history;
+    (match on_report with None -> () | Some f -> f r);
+    if Sink.wants_events sink then Sink.emit sink (Wj_obs.Event.Report r)
   in
   let target_reached =
     Option.map
       (fun tgt () ->
         Target.reached tgt ~estimate:(Estimator.estimate est)
-          ~half_width:(Estimator.half_width est ~confidence))
-      target
+          ~half_width:(Estimator.half_width est ~confidence:cfg.confidence))
+      cfg.target
   in
   let step () = Engine.feed q prepared est (Engine.next engine prng) in
   let stopped_because =
-    Engine.Driver.run ?target_reached ?should_stop ?max_walks ?report_every
-      ~on_report:emit_report ~max_time ~clock
+    Engine.Driver.run ~sink ?target_reached ?should_stop:cfg.should_stop
+      ?max_walks:cfg.max_walks ?report_every:cfg.report_every
+      ~on_report:emit_report ~max_time:cfg.max_time ~clock
       ~walks:(fun () -> Estimator.n est)
       ~step ()
   in
-  let final = make_report ~confidence ~elapsed:(Timer.elapsed clock) est in
+  let final = make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) est in
   {
     final;
     estimator = est;
@@ -110,6 +116,14 @@ let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     history = List.rev !history;
   }
 
+let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
+    ?report_every ?on_report ?clock ?(plan_choice = Optimize Optimizer.default_config)
+    ?(eager_checks = true) ?tracer ?should_stop ?(batch = 1) ?sink q registry =
+  run_session ~eager_checks ?tracer ?on_report
+    (Run_config.make ~seed ~confidence ?target ~max_time ?max_walks ?report_every
+       ~batch ?clock ?should_stop ~plan_choice ?sink ())
+    q registry
+
 (* ---- Group-by -------------------------------------------------------- *)
 
 type group_outcome = {
@@ -118,18 +132,20 @@ type group_outcome = {
   group_elapsed : float;
 }
 
-let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
-    ?report_every ?on_group_report ?clock
-    ?(plan_choice = Optimize Optimizer.default_config) ?should_stop ?(batch = 1) q
-    registry =
+let run_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
   if q.Query.group_by = None then
     invalid_arg "Online.run_group_by: query has no GROUP BY";
-  let clock = match clock with Some c -> c | None -> Timer.wall () in
-  let prng = Prng.create (seed lxor 0x4F4E4C) in  (* "ONL" *)
-  let prepared, _plan, _trials, _, _ =
-    pick_plan ~plan_choice ~eager_checks:true ~tracer:None q registry prng clock
+  let clock = Run_config.clock_or_wall cfg in
+  let sink = cfg.sink in
+  let prng = Prng.create (cfg.seed lxor 0x4F4E4C) in  (* "ONL" *)
+  let prepared, plan, _trials, _, _ =
+    pick_plan ~plan_choice:cfg.plan_choice ~eager_checks:true ~tracer:None ~sink q
+      registry prng clock
   in
-  let engine = Engine.create ~batch prepared in
+  if Sink.wants_events sink then
+    Sink.emit sink
+      (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
+  let engine = Engine.create ~batch:cfg.batch prepared in
   (* The optimizer's trial estimator cannot be split by group (it does not
      retain paths), so group estimators start from zero walks here. *)
   let groups : (Value.t, Estimator.t) Hashtbl.t = Hashtbl.create 16 in
@@ -151,7 +167,9 @@ let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
     pad_all ();
     Hashtbl.fold
       (fun key e acc ->
-        (key, make_report ~confidence ~elapsed:(Timer.elapsed clock) e) :: acc)
+        ( key,
+          make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) e )
+        :: acc)
       groups []
     |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
   in
@@ -172,9 +190,19 @@ let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
     | Some f -> f (Timer.elapsed clock) (snapshot ())
   in
   let (_ : stop_reason) =
-    Engine.Driver.run ?should_stop ?max_walks ?report_every ~on_report:emit_report
-      ~max_time ~clock
+    Engine.Driver.run ~sink ?should_stop:cfg.should_stop ?max_walks:cfg.max_walks
+      ?report_every:cfg.report_every ~on_report:emit_report ~max_time:cfg.max_time
+      ~clock
       ~walks:(fun () -> !total)
       ~step ()
   in
   { groups = snapshot (); total_walks = !total; group_elapsed = Timer.elapsed clock }
+
+let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
+    ?report_every ?on_group_report ?clock
+    ?(plan_choice = Optimize Optimizer.default_config) ?should_stop ?(batch = 1)
+    ?sink q registry =
+  run_group_by_session ?on_group_report
+    (Run_config.make ~seed ~confidence ~max_time ?max_walks ?report_every ~batch
+       ?clock ?should_stop ~plan_choice ?sink ())
+    q registry

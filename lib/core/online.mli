@@ -7,15 +7,24 @@
 
     The loop reads time through a {!Wj_util.Timer.t}; handing it a virtual
     clock advanced by an I/O simulator reproduces the paper's
-    limited-memory experiments with unmodified driver code. *)
+    limited-memory experiments with unmodified driver code.
 
-type report = {
+    {!run_session} is the canonical entry point: one {!Run_config.t}
+    carries every shared knob (seed, budgets, reporting, clock,
+    cancellation, plan choice, observability sink).  {!run} is the legacy
+    optional-argument shim over it. *)
+
+type report = Wj_obs.Progress.t = {
   elapsed : float;
   walks : int;
   successes : int;
+  tuples : int;  (** base-table tuples retrieved; 0 where not tracked *)
   estimate : float;
   half_width : float;
 }
+(** The unified progress record ({!Wj_obs.Progress.t} re-exported): the
+    same type flows through [history], [on_report] and the event sink's
+    [Report] events, for every driver. *)
 
 type stop_reason = Engine.Driver.stop_reason =
   | Target_reached
@@ -34,12 +43,28 @@ type outcome = {
   history : report list;  (** periodic reports, oldest first *)
 }
 
-type plan_choice =
+type plan_choice = Run_config.plan_choice =
   | Optimize of Optimizer.config
   | Fixed of Walk_plan.t
   | First_enumerated
       (** the plan in the order the query was written — the "PG plan"
           baseline of Table 2 *)
+
+val run_session :
+  ?eager_checks:bool ->
+  ?tracer:(Walker.event -> unit) ->
+  ?on_report:(report -> unit) ->
+  Run_config.t ->
+  Query.t ->
+  Registry.t ->
+  outcome
+(** The run-session entry point.  [cfg.sink] observes the whole run: plan
+    choice ([Plan_chosen]), every walk and probe (via {!Walker.prepare}),
+    report ticks and the stop reason (via {!Engine.Driver.run}).  Reports
+    are recorded into [history] on every tick whether or not [on_report]
+    is given.  A no-op sink changes nothing: fixed-seed estimates are
+    bit-for-bit those of the uninstrumented driver.  Raises
+    [Invalid_argument] when the query admits no walk plan. *)
 
 val run :
   ?seed:int ->
@@ -55,21 +80,35 @@ val run :
   ?tracer:(Walker.event -> unit) ->
   ?should_stop:(unit -> bool) ->
   ?batch:int ->
+  ?sink:Wj_obs.Sink.t ->
   Query.t ->
   Registry.t ->
   outcome
-(** Defaults: seed 42, confidence 0.95, no target, [max_time] 10 s,
-    [max_walks] unlimited, wall clock, optimizer with default config.
-    [batch] (default 1) sets the walk engine's number of in-flight walks;
-    1 reproduces the historical fixed-seed results bit for bit, larger
-    batches interleave PRNG draws across walks (see {!Engine}).
-    Raises [Invalid_argument] when the query admits no walk plan. *)
+(** Thin shim over {!run_session}.  Defaults: seed 42, confidence 0.95, no
+    target, [max_time] 10 s, [max_walks] unlimited, wall clock, optimizer
+    with default config, no-op sink.  [batch] (default 1) sets the walk
+    engine's number of in-flight walks; 1 reproduces the historical
+    fixed-seed results bit for bit, larger batches interleave PRNG draws
+    across walks (see {!Engine}).  Raises [Invalid_argument] when the
+    query admits no walk plan. *)
 
 type group_outcome = {
   groups : (Wj_storage.Value.t * report) list;  (** sorted by group key *)
   total_walks : int;
   group_elapsed : float;
 }
+
+val run_group_by_session :
+  ?on_group_report:(float -> (Wj_storage.Value.t * report) list -> unit) ->
+  Run_config.t ->
+  Query.t ->
+  Registry.t ->
+  group_outcome
+(** Group-by variant (§3.5) on a {!Run_config.t}: one estimator per group;
+    every walk counts in every group's sample size (misses are zeros),
+    keeping each group's estimator unbiased.  [cfg.target] is ignored
+    (there is no single CI to test).  Raises [Invalid_argument] when the
+    query has no GROUP BY clause. *)
 
 val run_group_by :
   ?seed:int ->
@@ -82,11 +121,10 @@ val run_group_by :
   ?plan_choice:plan_choice ->
   ?should_stop:(unit -> bool) ->
   ?batch:int ->
+  ?sink:Wj_obs.Sink.t ->
   Query.t ->
   Registry.t ->
   group_outcome
-(** Group-by variant (§3.5): one estimator per group; every walk counts in
-    every group's sample size (misses are zeros), keeping each group's
-    estimator unbiased.  [should_stop] is polled on the same cadence as in
-    {!run} and aborts the loop early; [batch] as in {!run}.  Raises
-    [Invalid_argument] when the query has no GROUP BY clause. *)
+(** Thin shim over {!run_group_by_session}.  [should_stop] is polled on
+    the same cadence as in {!run} and aborts the loop early; [batch] as in
+    {!run}. *)

@@ -44,8 +44,8 @@ let run_one_walk q trial prng =
   | Walker.Failure _ -> Estimator.add_failure trial.est);
   trial.steps <- trial.steps + Walker.steps_of_last_walk trial.prepared
 
-let choose ?(config = default_config) ?(eager_checks = true) ?tracer ?plans q registry
-    prng =
+let choose ?(config = default_config) ?(eager_checks = true) ?tracer
+    ?(sink = Wj_obs.Sink.noop) ?plans q registry prng =
   let plans =
     match plans with Some ps -> ps | None -> Walk_plan.enumerate q registry
   in
@@ -55,7 +55,7 @@ let choose ?(config = default_config) ?(eager_checks = true) ?tracer ?plans q re
     List.map
       (fun plan ->
         {
-          prepared = Walker.prepare ~eager_checks ?tracer q registry plan;
+          prepared = Walker.prepare ~eager_checks ?tracer ~sink q registry plan;
           tplan = plan;
           est = Estimator.create q.Query.agg;
           walks = 0;

@@ -42,11 +42,14 @@ val choose :
   ?config:config ->
   ?eager_checks:bool ->
   ?tracer:(Walker.event -> unit) ->
+  ?sink:Wj_obs.Sink.t ->
   ?plans:Walk_plan.t list ->
   Query.t ->
   Registry.t ->
   Wj_util.Prng.t ->
   result
 (** Runs the trial protocol over [plans] (default: all enumerated plans).
-    Raises [Invalid_argument] when no walk plan exists — use {!Decompose} /
+    [sink] is threaded to every trial {!Walker.prepare}, so trial walks
+    count in the sink's walker metrics like any other walk.  Raises
+    [Invalid_argument] when no walk plan exists — use {!Decompose} /
     {!Hybrid} in that case. *)

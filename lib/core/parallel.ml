@@ -1,6 +1,7 @@
 module Estimator = Wj_stats.Estimator
 module Timer = Wj_util.Timer
 module Prng = Wj_util.Prng
+module Sink = Wj_obs.Sink
 
 type outcome = {
   final : Online.report;
@@ -10,35 +11,47 @@ type outcome = {
   per_domain_walks : int array;
 }
 
-let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_domain
-    ?(plan_choice = Online.Optimize Optimizer.default_config) ?(batch = 1) q registry =
+let run_session ?domains ?walks_per_domain (cfg : Run_config.t) q registry =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
     | Some _ -> invalid_arg "Parallel.run: domains must be >= 1"
     | None -> Domain.recommended_domain_count ()
   in
-  let clock = Timer.wall () in
-  let prng = Prng.create (seed lxor 0x504152) (* "PAR" *) in
-  (* Plan selection happens once, sequentially. *)
+  let clock = Run_config.clock_or_wall cfg in
+  let sink = cfg.sink in
+  let prng = Prng.create (cfg.seed lxor 0x504152) (* "PAR" *) in
+  (* Plan selection happens once, sequentially, with the full sink. *)
   let plan, seed_estimator =
-    match plan_choice with
-    | Online.Fixed plan -> (plan, Estimator.create q.Query.agg)
-    | Online.First_enumerated -> (
+    match cfg.plan_choice with
+    | Run_config.Fixed plan -> (plan, Estimator.create q.Query.agg)
+    | Run_config.First_enumerated -> (
       match Walk_plan.enumerate ~max_plans:1 q registry with
       | [] -> invalid_arg "Parallel.run: query admits no walk plan"
       | plan :: _ -> (plan, Estimator.create q.Query.agg))
-    | Online.Optimize config ->
-      let r = Optimizer.choose ~config q registry prng in
+    | Run_config.Optimize config ->
+      let r = Optimizer.choose ~config ~sink q registry prng in
       (r.best_plan, r.trial_estimator)
   in
+  if Sink.wants_events sink then
+    Sink.emit sink
+      (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
+  (* Spawned domains get a metrics-only view of the sink: the flat counter
+     cells are shared (increments race benignly, counts are approximate
+     under contention — the documented tradeoff), but the event callback
+     only ever fires from the calling domain. *)
+  let worker_sink i =
+    if i = 0 then sink
+    else match Sink.metrics sink with None -> Sink.noop | Some m -> Sink.of_metrics m
+  in
   let worker i () =
-    let prng = Prng.create (seed + (1_000_003 * (i + 1))) in
-    let prepared = Walker.prepare q registry plan in
-    let engine = Engine.create ~batch prepared in
+    let prng = Prng.create (cfg.seed + (1_000_003 * (i + 1))) in
+    let prepared = Walker.prepare ~sink:(worker_sink i) q registry plan in
+    let engine = Engine.create ~batch:cfg.batch prepared in
     let est = Estimator.create q.Query.agg in
     let (_ : Engine.Driver.stop_reason) =
-      Engine.Driver.run ?max_walks:walks_per_domain ~max_time ~clock
+      Engine.Driver.run ~sink:(worker_sink i) ?max_walks:walks_per_domain
+        ?should_stop:cfg.should_stop ~max_time:cfg.max_time ~clock
         ~walks:(fun () -> Estimator.n est)
         ~step:(fun () -> Engine.feed q prepared est (Engine.next engine prng))
         ()
@@ -52,15 +65,20 @@ let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_
   let merged = List.fold_left Estimator.merge seed_estimator parts in
   {
     final =
-      {
-        Online.elapsed = Timer.elapsed clock;
-        walks = Estimator.n merged;
-        successes = Estimator.successes merged;
-        estimate = Estimator.estimate merged;
-        half_width = Estimator.half_width merged ~confidence;
-      };
+      Wj_obs.Progress.make ~elapsed:(Timer.elapsed clock) ~walks:(Estimator.n merged)
+        ~successes:(Estimator.successes merged)
+        ~estimate:(Estimator.estimate merged)
+        ~half_width:(Estimator.half_width merged ~confidence:cfg.confidence)
+        ();
     estimator = merged;
     plan_description = Walk_plan.describe q plan;
     domains_used = domains;
     per_domain_walks;
   }
+
+let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_domain
+    ?(plan_choice = Online.Optimize Optimizer.default_config) ?(batch = 1) ?sink q
+    registry =
+  run_session ?domains ?walks_per_domain
+    (Run_config.make ~seed ~confidence ~max_time ~plan_choice ~batch ?sink ())
+    q registry

@@ -72,6 +72,14 @@ let build_for_query ?(ordered_predicates = true) ?share q =
       q.Query.predicates;
   t
 
+let iter t f = Hashtbl.iter (fun (pos, column) idx -> f ~pos ~column idx) t.slots
+
+let export_metrics t m =
+  iter t (fun ~pos ~column idx ->
+      Wj_obs.Gauge.set
+        (Wj_obs.Metrics.gauge m (Printf.sprintf "index.pos%d.col%d.probes" pos column))
+        (float_of_int (Index.probes idx)))
+
 let total_entries t =
   Hashtbl.fold
     (fun _ idx acc ->

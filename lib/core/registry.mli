@@ -28,5 +28,12 @@ val build_for_query :
     the same physical table and column (aliased tables share indexes, as in
     a real system). *)
 
+val iter : t -> (pos:int -> column:int -> Wj_index.Index.t -> unit) -> unit
+(** Visit every registered slot (iteration order unspecified). *)
+
+val export_metrics : t -> Wj_obs.Metrics.t -> unit
+(** Snapshot each index's lifetime probe count into an
+    ["index.pos<i>.col<j>.probes"] gauge. *)
+
 val total_entries : t -> int
 (** Combined entry count across all indexes (memory accounting). *)

@@ -1,0 +1,53 @@
+type plan_choice =
+  | Optimize of Optimizer.config
+  | Fixed of Walk_plan.t
+  | First_enumerated
+
+type t = {
+  seed : int;
+  confidence : float;
+  target : Wj_stats.Target.t option;
+  max_time : float;
+  max_walks : int option;
+  report_every : float option;
+  batch : int;
+  clock : Wj_util.Timer.t option;
+  should_stop : (unit -> bool) option;
+  plan_choice : plan_choice;
+  sink : Wj_obs.Sink.t;
+}
+
+let default =
+  {
+    seed = 42;
+    confidence = 0.95;
+    target = None;
+    max_time = 10.0;
+    max_walks = None;
+    report_every = None;
+    batch = 1;
+    clock = None;
+    should_stop = None;
+    plan_choice = Optimize Optimizer.default_config;
+    sink = Wj_obs.Sink.noop;
+  }
+
+let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
+    ?report_every ?(batch = 1) ?clock ?should_stop
+    ?(plan_choice = Optimize Optimizer.default_config) ?(sink = Wj_obs.Sink.noop) () =
+  {
+    seed;
+    confidence;
+    target;
+    max_time;
+    max_walks;
+    report_every;
+    batch;
+    clock;
+    should_stop;
+    plan_choice;
+    sink;
+  }
+
+let clock_or_wall t =
+  match t.clock with Some c -> c | None -> Wj_util.Timer.wall ()

@@ -1,0 +1,52 @@
+(** One record for everything a run session shares across drivers.
+
+    The Online, Parallel and Hybrid drivers (and {!Wj_sql.Engine} above
+    them) historically grew the same optional arguments independently:
+    seed, confidence, budgets, reporting cadence, clock, cancellation,
+    plan choice.  [Run_config.t] is the single source of truth for those
+    knobs plus the observability {!Wj_obs.Sink.t}; the legacy
+    optional-argument entry points are thin shims over [make]. *)
+
+type plan_choice =
+  | Optimize of Optimizer.config
+  | Fixed of Walk_plan.t
+  | First_enumerated
+      (** the plan in the order the query was written — the "PG plan"
+          baseline of Table 2 *)
+
+type t = {
+  seed : int;  (** PRNG seed; each driver XORs in its own tag *)
+  confidence : float;  (** CI confidence level, default 0.95 *)
+  target : Wj_stats.Target.t option;  (** stop when the CI reaches this *)
+  max_time : float;  (** seconds, on [clock] *)
+  max_walks : int option;  (** walk/round/sample budget *)
+  report_every : float option;  (** periodic report interval, seconds *)
+  batch : int;  (** engine in-flight walks; 1 = sequential walker *)
+  clock : Wj_util.Timer.t option;  (** [None] = wall clock *)
+  should_stop : (unit -> bool) option;  (** cooperative cancellation *)
+  plan_choice : plan_choice;
+  sink : Wj_obs.Sink.t;  (** observability; default {!Wj_obs.Sink.noop} *)
+}
+
+val default : t
+(** seed 42, confidence 0.95, no target, 10 s, unlimited walks, no
+    reports, batch 1, wall clock, optimizer default config, no-op sink. *)
+
+val make :
+  ?seed:int ->
+  ?confidence:float ->
+  ?target:Wj_stats.Target.t ->
+  ?max_time:float ->
+  ?max_walks:int ->
+  ?report_every:float ->
+  ?batch:int ->
+  ?clock:Wj_util.Timer.t ->
+  ?should_stop:(unit -> bool) ->
+  ?plan_choice:plan_choice ->
+  ?sink:Wj_obs.Sink.t ->
+  unit ->
+  t
+(** Defaults as in {!default}. *)
+
+val clock_or_wall : t -> Wj_util.Timer.t
+(** The configured clock, or a fresh wall clock started now. *)

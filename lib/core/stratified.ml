@@ -169,6 +169,7 @@ let run ?(seed = 31) ?(confidence = 0.95) ?(allocation = Adaptive) ?(max_time = 
                    Online.elapsed;
                    walks = Estimator.n s.est;
                    successes = Estimator.successes s.est;
+                   tuples = 0;
                    estimate = Estimator.estimate s.est;
                    half_width = Estimator.half_width s.est ~confidence;
                  };

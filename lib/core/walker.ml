@@ -2,10 +2,46 @@ module Index = Wj_index.Index
 module Table = Wj_storage.Table
 module Value = Wj_storage.Value
 module Prng = Wj_util.Prng
+module Counter = Wj_obs.Counter
+module Histogram = Wj_obs.Histogram
 
 type event =
   | Row_access of int * int
   | Index_probe of int * int
+
+(* Metric handles resolved once at prepare time, so the hot path pays one
+   [option] branch per site when metrics are off and plain array stores
+   when they are on. *)
+type instr = {
+  i_walks : Counter.t;
+  i_successes : Counter.t;
+  i_failures : Counter.t;
+  i_fail_depth : Histogram.t; (* bucket = failure depth *)
+  i_reject_empty : Counter.t; (* empty neighbour set / empty start *)
+  i_reject_pred : Counter.t; (* a predicate rejected the sampled row *)
+  i_reject_nontree : Counter.t; (* a non-tree join check failed *)
+  i_phase_attempts : Histogram.t; (* bucket = phase index (0 = start) *)
+  i_phase_cost : Histogram.t; (* bucket = phase index, weight = cost *)
+  i_index_probes : Counter.t;
+  i_row_accesses : Counter.t;
+}
+
+let instr_of_metrics m ~k =
+  let c name = Wj_obs.Metrics.counter m name in
+  let h buckets name = Wj_obs.Metrics.histogram m ~buckets name in
+  {
+    i_walks = c "walker.walks";
+    i_successes = c "walker.successes";
+    i_failures = c "walker.failures";
+    i_fail_depth = h (k + 1) "walker.failure_depth";
+    i_reject_empty = c "walker.rejects.empty";
+    i_reject_pred = c "walker.rejects.predicate";
+    i_reject_nontree = c "walker.rejects.nontree";
+    i_phase_attempts = h (max 1 k) "walker.phase_attempts";
+    i_phase_cost = h (max 1 k) "walker.phase_cost";
+    i_index_probes = c "walker.index_probes";
+    i_row_accesses = c "walker.row_accesses";
+  }
 
 type outcome =
   | Success of { path : int array; inv_p : float }
@@ -42,7 +78,9 @@ type prepared = {
   steps : compiled_step array;
   extract : int array -> float; (* compiled aggregate expression *)
   eager : bool;
-  tracer : (event -> unit) option;
+  tracer : (event -> unit) option; (* legacy tracer composed with the sink *)
+  emit : (Wj_obs.Event.t -> unit) option; (* walk lifecycle events *)
+  stats : instr option;
   mutable last_steps : int;
   mutable phase_cost : int; (* abstract cost of the most recent phase *)
 }
@@ -95,8 +133,33 @@ let choose_start q registry pos =
     let p, index, lo, hi, count = best in
     (Olken { index; lo; hi }, count, Some p, List.filter (fun p' -> p' != p) preds)
 
-let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
+let prepare ?(eager_checks = true) ?tracer ?(sink = Wj_obs.Sink.noop) q registry
+    (plan : Walk_plan.t) =
   let kq = Query.k q in
+  (* Row accesses and index probes flow through the legacy tracer slot so
+     the hot path keeps a single dispatch point; the sink's callback is
+     composed behind it, translating to the typed events. *)
+  let tracer =
+    if Wj_obs.Sink.wants_events sink then
+      Some
+        (fun ev ->
+          (match tracer with None -> () | Some f -> f ev);
+          Wj_obs.Sink.emit sink
+            (match ev with
+            | Row_access (pos, row) -> Wj_obs.Event.Row_access { pos; row }
+            | Index_probe (pos, cost) -> Wj_obs.Event.Index_probe { pos; cost }))
+    else tracer
+  in
+  let emit =
+    if Wj_obs.Sink.wants_events sink then
+      Some (fun ev -> Wj_obs.Sink.emit sink ev)
+    else None
+  in
+  let stats =
+    match Wj_obs.Sink.metrics sink with
+    | None -> None
+    | Some m -> Some (instr_of_metrics m ~k:kq)
+  in
   let rank = Array.make kq 0 in
   Array.iteri (fun i pos -> rank.(pos) <- i) plan.order;
   let checks_at = Array.make kq [] in
@@ -138,6 +201,8 @@ let prepare ?(eager_checks = true) ?tracer q registry (plan : Walk_plan.t) =
     extract = Query.compile_expr q;
     eager = eager_checks;
     tracer;
+    emit;
+    stats;
     last_steps = 0;
     phase_cost = 0;
   }
@@ -148,7 +213,35 @@ let start_predicate t = t.start_pred
 let query t = t.query
 let plan t = t.plan
 
-let trace t ev = match t.tracer with None -> () | Some f -> f ev
+(* The event is only constructed inside the [Some] branch: an untraced,
+   unmetered walker allocates nothing here. *)
+let[@inline] note_row_access t pos row =
+  (match t.stats with None -> () | Some s -> Counter.incr s.i_row_accesses);
+  match t.tracer with None -> () | Some f -> f (Row_access (pos, row))
+
+let[@inline] note_index_probe t pos cost =
+  (match t.stats with None -> () | Some s -> Counter.incr s.i_index_probes);
+  match t.tracer with None -> () | Some f -> f (Index_probe (pos, cost))
+
+let[@inline] note_walk_started t =
+  match t.emit with None -> () | Some f -> f Wj_obs.Event.Walk_started
+
+let record_outcome t ~cost outcome =
+  (match t.stats with
+  | None -> ()
+  | Some s -> (
+    Counter.incr s.i_walks;
+    match outcome with
+    | Success _ -> Counter.incr s.i_successes
+    | Failure { depth } ->
+      Counter.incr s.i_failures;
+      Histogram.observe s.i_fail_depth depth));
+  match t.emit with
+  | None -> ()
+  | Some f -> (
+    match outcome with
+    | Success _ -> f (Wj_obs.Event.Walk_succeeded { cost })
+    | Failure { depth } -> f (Wj_obs.Event.Walk_failed { depth; cost }))
 
 let sample_start t prng =
   match t.start with
@@ -177,21 +270,37 @@ let all_path_checks (checks : (int array -> bool) array) path =
    attempt is left in [t.phase_cost]. *)
 let advance_start t prng path =
   t.phase_cost <- 0;
-  match sample_start t prng with
-  | None -> Dead_unbound
-  | Some row ->
-    t.phase_cost <-
-      (match t.start with
-      | Uniform _ -> 1
-      | Olken { index; _ } -> 1 + Index.probe_cost index);
-    let start_pos = t.plan.order.(0) in
-    trace t (Row_access (start_pos, row));
-    path.(start_pos) <- row;
-    if all_row_checks t.start_checks row then
-      if all_path_checks t.start_path_checks path then
-        Advanced (float_of_int t.start_count)
-      else Dead_bound
-    else Dead_unbound
+  let result =
+    match sample_start t prng with
+    | None ->
+      (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_empty);
+      Dead_unbound
+    | Some row ->
+      t.phase_cost <-
+        (match t.start with
+        | Uniform _ -> 1
+        | Olken { index; _ } -> 1 + Index.probe_cost index);
+      let start_pos = t.plan.order.(0) in
+      note_row_access t start_pos row;
+      path.(start_pos) <- row;
+      if all_row_checks t.start_checks row then
+        if all_path_checks t.start_path_checks path then
+          Advanced (float_of_int t.start_count)
+        else begin
+          (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_nontree);
+          Dead_bound
+        end
+      else begin
+        (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_pred);
+        Dead_unbound
+      end
+  in
+  (match t.stats with
+  | None -> ()
+  | Some s ->
+    Histogram.observe s.i_phase_attempts 0;
+    Histogram.add s.i_phase_cost 0 t.phase_cost);
+  result
 
 (* Probe the step's index from the already-bound parent row, sample one
    neighbour uniformly, bind and vet it. *)
@@ -202,31 +311,48 @@ let advance_step t prng path i =
   let v = c.key_of_parent path.(step.parent) in
   let lo, hi = Query.join_key_range cond ~from_left:true v in
   let probe = Index.probe_cost step.index in
-  trace t (Index_probe (step.into, probe));
+  note_index_probe t step.into probe;
   let d =
     match cond.op with
     | Query.Eq -> Index.count_eq step.index v
     | Query.Band _ -> Index.count_range step.index ~lo ~hi
   in
   t.phase_cost <- probe;
-  if d = 0 then Dead_unbound
-  else begin
-    let pick = Prng.int prng d in
-    let row =
-      match cond.op with
-      | Query.Eq -> Index.nth_eq step.index v pick
-      | Query.Band _ -> Index.nth_range step.index ~lo ~hi pick
-    in
-    t.phase_cost <- t.phase_cost + probe + 1;
-    trace t (Row_access (step.into, row));
-    path.(step.into) <- row;
-    if all_row_checks c.row_checks row then
-      if all_path_checks c.path_checks path then Advanced (float_of_int d)
-      else Dead_bound
-    else Dead_unbound
-  end
+  let result =
+    if d = 0 then begin
+      (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_empty);
+      Dead_unbound
+    end
+    else begin
+      let pick = Prng.int prng d in
+      let row =
+        match cond.op with
+        | Query.Eq -> Index.nth_eq step.index v pick
+        | Query.Band _ -> Index.nth_range step.index ~lo ~hi pick
+      in
+      t.phase_cost <- t.phase_cost + probe + 1;
+      note_row_access t step.into row;
+      path.(step.into) <- row;
+      if all_row_checks c.row_checks row then
+        if all_path_checks c.path_checks path then Advanced (float_of_int d)
+        else begin
+          (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_nontree);
+          Dead_bound
+        end
+      else begin
+        (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_pred);
+        Dead_unbound
+      end
+    end
+  in
+  (match t.stats with
+  | None -> ()
+  | Some s ->
+    Histogram.observe s.i_phase_attempts (i + 1);
+    Histogram.add s.i_phase_cost (i + 1) t.phase_cost);
+  result
 
-let walk t prng =
+let walk_impl t prng =
   let path = Array.make (Query.k t.query) (-1) in
   (* Bind and vet the start tuple. *)
   match advance_start t prng path with
@@ -259,6 +385,12 @@ let walk t prng =
     done;
     t.last_steps <- !steps;
     if !ok then Success { path; inv_p = !inv_p } else Failure { depth = !depth }
+
+let walk t prng =
+  note_walk_started t;
+  let outcome = walk_impl t prng in
+  record_outcome t ~cost:t.last_steps outcome;
+  outcome
 
 let steps_of_last_walk t = t.last_steps
 let phase_cost t = t.phase_cost

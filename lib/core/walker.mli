@@ -26,6 +26,7 @@ type prepared
 val prepare :
   ?eager_checks:bool ->
   ?tracer:(event -> unit) ->
+  ?sink:Wj_obs.Sink.t ->
   Query.t ->
   Registry.t ->
   Walk_plan.t ->
@@ -33,7 +34,17 @@ val prepare :
 (** [eager_checks] (default true) verifies predicates and non-tree edges at
     the earliest step where their tables are bound; when false, everything
     is checked only once the full path is assembled (the paper's plain
-    description — kept for the fail-fast ablation). *)
+    description — kept for the fail-fast ablation).
+
+    [sink] (default {!Wj_obs.Sink.noop}) receives the walker's typed
+    events ([Walk_started] / [Walk_succeeded] / [Walk_failed] /
+    [Row_access] / [Index_probe], fired at exactly the points the legacy
+    [tracer] fired) and, when it carries a metrics registry, per-phase
+    step counts, rejection causes and a failure-depth histogram under the
+    ["walker.*"] families.  Handles are resolved here, once: a no-op sink
+    costs one branch per site and changes no PRNG draw, so fixed-seed
+    results are bit-for-bit those of an unobserved run.  [tracer] is the
+    legacy untyped hook, kept for the I/O simulator; both may be given. *)
 
 val start_cardinality : prepared -> int
 (** The |R_{λ(1)}| (or Olken-reduced qualifying count) used in the
@@ -51,7 +62,9 @@ val query : prepared -> Query.t
 val plan : prepared -> Walk_plan.t
 
 val walk : prepared -> Wj_util.Prng.t -> outcome
-(** One random walk.  Also drives the tracer, if any. *)
+(** One random walk.  Also drives the tracer/sink, if any, and records the
+    walk's outcome (see {!record_outcome}) — callers composing walks out of
+    the phases below must do both themselves. *)
 
 (** {2 Step-granular phases}
 
@@ -84,6 +97,17 @@ val advance_step : prepared -> Wj_util.Prng.t -> int array -> int -> phase
 val phase_cost : prepared -> int
 (** Abstract cost (index-entry accesses + tuple fetches) of the most
     recent [advance_start]/[advance_step] call. *)
+
+val note_walk_started : prepared -> unit
+(** Emit [Walk_started] to the sink, if it wants events.  {!walk} calls
+    this itself; phase-level callers (the batched engine) call it when a
+    slot begins a new walk. *)
+
+val record_outcome : prepared -> cost:int -> outcome -> unit
+(** Count the walk in the sink's metrics (walks / successes / failures /
+    failure-depth histogram) and emit [Walk_succeeded]/[Walk_failed].
+    Must fire exactly once per walk: {!walk} does it internally; the
+    batched engine does it when a slot's walk completes. *)
 
 val steps_of_last_walk : prepared -> int
 (** Abstract cost (index-entry accesses + tuple fetches) of the most recent

@@ -21,7 +21,12 @@ type node = {
   mutable size : int;
 }
 
-type t = { tdeg : int; mutable root : node; mutable length : int }
+type t = {
+  tdeg : int;
+  mutable root : node;
+  mutable length : int;
+  mutable probes : int; (* root-to-leaf query descents since build/reset *)
+}
 
 (* Placeholder filling unused child slots; never dereferenced. *)
 let dummy =
@@ -49,7 +54,7 @@ let make_internal tdeg =
 
 let create ?(min_degree = 16) () =
   if min_degree < 2 then invalid_arg "Btree.create: min_degree must be >= 2";
-  { tdeg = min_degree; root = make_leaf min_degree; length = 0 }
+  { tdeg = min_degree; root = make_leaf min_degree; length = 0; probes = 0 }
 
 let length t = t.length
 let full tdeg node = node.nkeys = (2 * tdeg) - 1
@@ -147,9 +152,13 @@ let rec rank_lt_node node k =
     sum_child_sizes node 0 (j - 1) + rank_lt_node node.children.(j) k
   end
 
-let rank_lt t k = rank_lt_node t.root k
+let rank_lt t k =
+  t.probes <- t.probes + 1;
+  rank_lt_node t.root k
 
-let rank_le t k = if k = max_int then t.length else rank_lt_node t.root (k + 1)
+let rank_le t k =
+  t.probes <- t.probes + 1;
+  if k = max_int then t.length else rank_lt_node t.root (k + 1)
 
 let rec nth_node node r =
   if node.is_leaf then (node.keys.(r), node.vals.(r))
@@ -164,6 +173,7 @@ let rec nth_node node r =
 
 let nth t r =
   if r < 0 || r >= t.length then invalid_arg "Btree.nth: rank out of range";
+  t.probes <- t.probes + 1;
   nth_node t.root r
 
 let count_range t ~lo ~hi = if lo > hi then 0 else rank_le t hi - rank_lt t lo
@@ -199,7 +209,12 @@ let rec iter_range_node node ~lo ~hi f =
         iter_range_node node.children.(i) ~lo ~hi f
     done
 
-let iter_range t ~lo ~hi f = if lo <= hi then iter_range_node t.root ~lo ~hi f
+let iter_range t ~lo ~hi f =
+  t.probes <- t.probes + 1;
+  if lo <= hi then iter_range_node t.root ~lo ~hi f
+
+let probes t = t.probes
+let reset_probes t = t.probes <- 0
 
 let min_key t = if t.length = 0 then None else Some (fst (nth t 0))
 let max_key t = if t.length = 0 then None else Some (fst (nth t (t.length - 1)))

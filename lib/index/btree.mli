@@ -55,6 +55,15 @@ val iter_range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 (** [iter_range t ~lo ~hi f] calls [f key value] on qualifying entries in
     key order. *)
 
+val probes : t -> int
+(** Number of root-to-leaf query descents ([rank_lt]/[rank_le]/[nth]/
+    [iter_range] and everything built on them: [count_range] costs two
+    descents, [nth_in_range] three) since the build or the last
+    {!reset_probes}.  An always-on plain-int counter; approximate under
+    multicore races. *)
+
+val reset_probes : t -> unit
+
 val min_key : t -> int option
 val max_key : t -> int option
 

@@ -2,9 +2,15 @@ module Vec = Wj_util.Vec
 module Table = Wj_storage.Table
 module Value = Wj_storage.Value
 
-type t = { column : int; buckets : (int, int Vec.t) Hashtbl.t; mutable entries : int }
+type t = {
+  column : int;
+  buckets : (int, int Vec.t) Hashtbl.t;
+  mutable entries : int;
+  mutable probes : int; (* query lookups served since build/reset *)
+}
 
-let create_empty ~column = { column; buckets = Hashtbl.create 1024; entries = 0 }
+let create_empty ~column =
+  { column; buckets = Hashtbl.create 1024; entries = 0; probes = 0 }
 
 let insert t ~key ~row =
   (match Hashtbl.find_opt t.buckets key with
@@ -27,22 +33,29 @@ let build table ~column =
 let table_column t = t.column
 
 let count t key =
+  t.probes <- t.probes + 1;
   match Hashtbl.find_opt t.buckets key with None -> 0 | Some rows -> Vec.length rows
 
 let nth t key k =
+  t.probes <- t.probes + 1;
   match Hashtbl.find_opt t.buckets key with
   | None -> invalid_arg "Hash_index.nth: absent key"
   | Some rows -> Vec.get rows k
 
 let sample t prng key =
+  t.probes <- t.probes + 1;
   match Hashtbl.find_opt t.buckets key with
   | None -> None
   | Some rows -> Some (Vec.get rows (Wj_util.Prng.int prng (Vec.length rows)))
 
 let iter_key t key f =
+  t.probes <- t.probes + 1;
   match Hashtbl.find_opt t.buckets key with
   | None -> ()
   | Some rows -> Vec.iter f rows
+
+let probes t = t.probes
+let reset_probes t = t.probes <- 0
 
 let distinct_keys t = Hashtbl.length t.buckets
 let total_entries t = t.entries

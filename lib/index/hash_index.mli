@@ -31,6 +31,14 @@ val sample : t -> Wj_util.Prng.t -> int -> int option
 (** Uniformly random matching row id, or [None] when the key is absent. *)
 
 val iter_key : t -> int -> (int -> unit) -> unit
+
+val probes : t -> int
+(** Number of query lookups ([count]/[nth]/[sample]/[iter_key]) served
+    since the build or the last {!reset_probes}.  An always-on plain-int
+    counter (one store per lookup); approximate under multicore races. *)
+
+val reset_probes : t -> unit
+
 val distinct_keys : t -> int
 val total_entries : t -> int
 val memory_words : t -> int

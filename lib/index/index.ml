@@ -45,3 +45,11 @@ let iter_range t ~lo ~hi f =
 
 let supports_range t = match t.kind with Hash _ -> false | Ordered _ -> true
 let probe_cost t = match t.kind with Hash _ -> 1 | Ordered b -> Btree.height b
+
+let probes t =
+  match t.kind with Hash h -> Hash_index.probes h | Ordered b -> Btree.probes b
+
+let reset_probes t =
+  match t.kind with
+  | Hash h -> Hash_index.reset_probes h
+  | Ordered b -> Btree.reset_probes b

@@ -42,3 +42,10 @@ val probe_cost : t -> int
 (** Abstract cost of one lookup, in index-entry accesses: 1 for hash,
     tree height for ordered.  Feeds the optimizer's E[T] estimate and the
     I/O simulation. *)
+
+val probes : t -> int
+(** Lifetime query-probe count of the underlying physical index (bucket
+    lookups for hash, root-to-leaf descents for ordered).  Always on; the
+    observability layer snapshots these into gauges. *)
+
+val reset_probes : t -> unit

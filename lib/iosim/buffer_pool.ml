@@ -11,6 +11,7 @@ type t = {
   sentinel : node; (* sentinel.next = most recent, sentinel.prev = least *)
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable observer : (hit:bool -> table:int -> page:int -> unit) option;
 }
 
 let make_sentinel () =
@@ -25,6 +26,7 @@ let create ~capacity =
     sentinel = make_sentinel ();
     hit_count = 0;
     miss_count = 0;
+    observer = None;
   }
 
 let capacity t = t.cap
@@ -40,6 +42,9 @@ let push_front t node =
   t.sentinel.next.prev <- node;
   t.sentinel.next <- node
 
+let notify t ~hit ~table ~page =
+  match t.observer with None -> () | Some f -> f ~hit ~table ~page
+
 let touch t ~table ~page =
   let key = (table, page) in
   match Hashtbl.find_opt t.table key with
@@ -47,6 +52,7 @@ let touch t ~table ~page =
     t.hit_count <- t.hit_count + 1;
     unlink node;
     push_front t node;
+    notify t ~hit:true ~table ~page;
     true
   | None ->
     t.miss_count <- t.miss_count + 1;
@@ -58,11 +64,14 @@ let touch t ~table ~page =
     let node = { key; prev = t.sentinel; next = t.sentinel } in
     Hashtbl.add t.table key node;
     push_front t node;
+    notify t ~hit:false ~table ~page;
     false
 
 let contains t ~table ~page = Hashtbl.mem t.table (table, page)
 let hits t = t.hit_count
 let misses t = t.miss_count
+let accesses t = t.hit_count + t.miss_count
+let set_observer t obs = t.observer <- obs
 
 let reset_stats t =
   t.hit_count <- 0;

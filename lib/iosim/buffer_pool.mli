@@ -22,6 +22,17 @@ val contains : t -> table:int -> page:int -> bool
 
 val hits : t -> int
 val misses : t -> int
+
+val accesses : t -> int
+(** [hits t + misses t] — every [touch] is exactly one of the two, so the
+    identity holds at all times (the reconciliation tests rely on it). *)
+
+val set_observer : t -> (hit:bool -> table:int -> page:int -> unit) option -> unit
+(** Install (or remove, with [None]) a callback fired on every [touch],
+    after the hit/miss counters are updated.  Used by {!Sim.attach_pool_events}
+    to translate pool traffic into typed observability events; at most one
+    observer is active at a time. *)
+
 val reset_stats : t -> unit
 val clear : t -> unit
 (** Empties the pool (drops all pages and statistics). *)

@@ -25,12 +25,33 @@ val ripple_tracer : t -> pos:int -> slot:int -> sequential:bool -> unit
     sequential I/O on the first touch of each storage page; index-sampled
     retrievals charge a random I/O per miss. *)
 
+val sink : ?metrics:Wj_obs.Metrics.t -> t -> Wj_obs.Sink.t
+(** Observability-native equivalent of {!walker_tracer}: a sink whose event
+    callback charges the clock for [Row_access] / [Index_probe] with the
+    same arithmetic as the tracer, and — when [metrics] is given — refreshes
+    the pool/clock gauges ([pool.hits], [pool.misses], [pool.accesses],
+    [pool.resident], [pool.capacity], [sim.charged_seconds]) on every
+    [Report] and [Stopped] event. *)
+
+val attach_pool_events : t -> Wj_obs.Sink.t -> unit
+(** Forward every buffer-pool access as a typed [Pool_hit] / [Pool_miss]
+    event into the sink's callback (no-op for sinks without one).  Replaces
+    any previously installed pool observer. *)
+
+val export_gauges : t -> Wj_obs.Metrics.t -> unit
+(** One-shot snapshot of the pool/clock gauges listed under {!sink}. *)
+
 val charge_scan : t -> rows:int -> unit
 (** Charge a full sequential table scan (full-join baseline). *)
 
 val charge_seconds : t -> float -> unit
 (** Charge arbitrary CPU work (e.g. per-combo processing). *)
 
+val charged_seconds : t -> float
+(** Total virtual time charged through this simulation since creation —
+    every [charge_*] call and tracer/sink access accumulates here. *)
+
 val warm : t -> table:int -> rows:int -> unit
 (** Pre-load a table's pages (sufficient-memory scenario), without charging
-    time and without counting statistics. *)
+    time, counting statistics, or emitting pool events (any observer
+    installed by {!attach_pool_events} is detached). *)

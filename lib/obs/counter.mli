@@ -1,0 +1,22 @@
+(** Monotonic event counter: one cell of a flat int array.
+
+    The hot-path operations compile to a single unboxed load/store pair —
+    no allocation, no locks.  Word-sized stores are atomic on every
+    platform OCaml targets, so concurrent writers never tear a value;
+    simultaneous increments may however lose updates ("lock-free-style"):
+    counts read under multicore contention are approximate, which is the
+    usual trade observability systems make to stay off the hot path. *)
+
+type t
+
+val create : unit -> t
+(** A standalone counter (its own one-cell array), starting at 0. *)
+
+val of_cells : int array -> int -> t
+(** A counter backed by cell [off] of a caller-owned arena ({!Metrics}
+    carves all its counters out of shared chunks). *)
+
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+val reset : t -> unit

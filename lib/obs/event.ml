@@ -1,0 +1,34 @@
+type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+
+type t =
+  | Walk_started
+  | Walk_succeeded of { cost : int }
+  | Walk_failed of { depth : int; cost : int }
+  | Index_probe of { pos : int; cost : int }
+  | Row_access of { pos : int; row : int }
+  | Pool_hit of { table : int; page : int }
+  | Pool_miss of { table : int; page : int }
+  | Plan_chosen of { description : string }
+  | Report of Progress.t
+  | Stopped of stop_reason
+
+let stop_reason_name = function
+  | Target_reached -> "target_reached"
+  | Time_up -> "time_up"
+  | Walk_budget_exhausted -> "walk_budget_exhausted"
+  | Cancelled -> "cancelled"
+
+let describe = function
+  | Walk_started -> "walk_started"
+  | Walk_succeeded { cost } -> Printf.sprintf "walk_succeeded cost=%d" cost
+  | Walk_failed { depth; cost } -> Printf.sprintf "walk_failed depth=%d cost=%d" depth cost
+  | Index_probe { pos; cost } -> Printf.sprintf "index_probe pos=%d cost=%d" pos cost
+  | Row_access { pos; row } -> Printf.sprintf "row_access pos=%d row=%d" pos row
+  | Pool_hit { table; page } -> Printf.sprintf "pool_hit table=%d page=%d" table page
+  | Pool_miss { table; page } -> Printf.sprintf "pool_miss table=%d page=%d" table page
+  | Plan_chosen { description } -> "plan_chosen " ^ description
+  | Report p ->
+    Printf.sprintf "report elapsed=%.3f walks=%d successes=%d estimate=%g +/-%g"
+      p.Progress.elapsed p.Progress.walks p.Progress.successes p.Progress.estimate
+      p.Progress.half_width
+  | Stopped r -> "stopped " ^ stop_reason_name r

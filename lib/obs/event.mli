@@ -1,0 +1,37 @@
+(** The typed event taxonomy of a run session.
+
+    Every observable moment of the execution stack is one constructor:
+    walk lifecycle (started / succeeded / failed-at-depth), physical
+    access (index probe, row access, buffer-pool hit/miss), and driver
+    milestones (plan chosen, report tick, stop reason).  Events subsume
+    the old untyped [Walker.event] tracer: [Row_access] and [Index_probe]
+    are emitted at exactly the points — and in exactly the order — the
+    tracer used to fire, so the I/O simulator consumes them unchanged.
+
+    Emission is pay-for-what-you-use: producers construct an event only
+    when a sink with an event callback is attached ({!Sink.wants_events}),
+    so the default no-op sink costs one branch per site. *)
+
+type stop_reason = Target_reached | Time_up | Walk_budget_exhausted | Cancelled
+(** Canonical stop taxonomy; [Engine.Driver.stop_reason] aliases it. *)
+
+type t =
+  | Walk_started
+  | Walk_succeeded of { cost : int }
+      (** [cost]: abstract index-entry accesses + tuple fetches of the walk. *)
+  | Walk_failed of { depth : int; cost : int }
+      (** [depth]: tables bound before the walk died (§3.1 failure). *)
+  | Index_probe of { pos : int; cost : int }
+      (** Probe against table position [pos]'s step index; [cost] in
+          abstract index-entry accesses. *)
+  | Row_access of { pos : int; row : int }  (** Tuple fetch. *)
+  | Pool_hit of { table : int; page : int }
+  | Pool_miss of { table : int; page : int }
+  | Plan_chosen of { description : string }
+  | Report of Progress.t  (** Periodic report tick. *)
+  | Stopped of stop_reason  (** The driver resolved its stop condition. *)
+
+val stop_reason_name : stop_reason -> string
+
+val describe : t -> string
+(** One-line rendering for logging sinks. *)

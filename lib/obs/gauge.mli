@@ -1,0 +1,19 @@
+(** Last-value-wins gauge: one cell of a flat float array.
+
+    Gauges report a level (buffer-pool residency, simulated seconds
+    charged) rather than a count; [set] overwrites, [add] accumulates.
+    Float stores are word-sized on 64-bit platforms, so concurrent writers
+    never tear a value. *)
+
+type t
+
+val create : unit -> t
+(** A standalone gauge (its own one-cell array), starting at 0. *)
+
+val of_cells : float array -> int -> t
+(** A gauge backed by cell [off] of a caller-owned arena. *)
+
+val set : t -> float -> unit
+val add : t -> float -> unit
+val value : t -> float
+val reset : t -> unit

@@ -1,0 +1,92 @@
+type family =
+  | Counter of Counter.t
+  | Histogram of Histogram.t
+  | Gauge of Gauge.t
+
+(* Arena chunks never move once allocated, so handles can capture the
+   backing array directly; growing the registry allocates further chunks
+   instead of resizing. *)
+let chunk_size = 256
+
+type t = {
+  mutable ichunk : int array;
+  mutable iused : int;
+  mutable fchunk : float array;
+  mutable fused : int;
+  table : (string, family) Hashtbl.t;
+}
+
+let create () =
+  {
+    ichunk = Array.make chunk_size 0;
+    iused = 0;
+    fchunk = Array.make chunk_size 0.0;
+    fused = 0;
+    table = Hashtbl.create 64;
+  }
+
+let alloc_int t n =
+  if n > chunk_size then (Array.make n 0, 0)
+  else begin
+    if t.iused + n > chunk_size then begin
+      t.ichunk <- Array.make chunk_size 0;
+      t.iused <- 0
+    end;
+    let off = t.iused in
+    t.iused <- t.iused + n;
+    (t.ichunk, off)
+  end
+
+let alloc_float t =
+  if t.fused >= chunk_size then begin
+    t.fchunk <- Array.make chunk_size 0.0;
+    t.fused <- 0
+  end;
+  let off = t.fused in
+  t.fused <- t.fused + 1;
+  (t.fchunk, off)
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " is registered as another kind")
+
+let counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let cells, off = alloc_int t 1 in
+    let c = Counter.of_cells cells off in
+    Hashtbl.add t.table name (Counter c);
+    c
+
+let histogram t ?(buckets = 32) name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    let cells, off = alloc_int t buckets in
+    let h = Histogram.of_cells cells off ~buckets in
+    Hashtbl.add t.table name (Histogram h);
+    h
+
+let gauge t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let cells, off = alloc_float t in
+    let g = Gauge.of_cells cells off in
+    Hashtbl.add t.table name (Gauge g);
+    g
+
+let families t =
+  Hashtbl.fold (fun name fam acc -> (name, fam) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ fam ->
+      match fam with
+      | Counter c -> Counter.reset c
+      | Histogram h -> Histogram.reset h
+      | Gauge g -> Gauge.reset g)
+    t.table

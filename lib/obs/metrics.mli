@@ -1,0 +1,39 @@
+(** Registry of named metric families.
+
+    A [Metrics.t] owns flat int/float arenas out of which {!Counter},
+    {!Histogram} and {!Gauge} instances are carved, plus a name table.
+    Lookups are find-or-create: asking twice for ["walker.walks"] returns
+    the same counter, so independently prepared walkers (optimizer trials,
+    parallel domains, hybrid components) sharing one registry accumulate
+    into the same cells.
+
+    Registration ([counter]/[histogram]/[gauge]) allocates and is meant
+    for setup time; the returned handles are then free of any name lookup
+    on the hot path.  Read a consistent-enough view with {!Snapshot}. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+(** Find-or-create.  Raises [Invalid_argument] when the name is already
+    registered as a different family kind. *)
+
+val histogram : t -> ?buckets:int -> string -> Histogram.t
+(** Find-or-create; [buckets] (default 32) only applies on creation — a
+    later request with a different bucket count returns the existing
+    histogram unchanged (observations clamp). *)
+
+val gauge : t -> string -> Gauge.t
+(** Find-or-create.  Raises [Invalid_argument] on a kind mismatch. *)
+
+type family =
+  | Counter of Counter.t
+  | Histogram of Histogram.t
+  | Gauge of Gauge.t
+
+val families : t -> (string * family) list
+(** All registered families, sorted by name. *)
+
+val reset : t -> unit
+(** Zero every cell; registrations survive. *)

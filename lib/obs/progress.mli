@@ -1,0 +1,56 @@
+(** The unified progress record of every driver.
+
+    Historically each driver reported through its own record
+    ([Online.report], [Ripple.report], [Index_ripple.report], the
+    stratified/hybrid equivalents) with per-driver field names for the
+    same three quantities: work performed, work that contributed to the
+    estimate, and the current estimate with its confidence half-width.
+    [Progress.t] is the single shape carried by every driver's [history]
+    and by {!Event.Report} ticks.
+
+    Field mapping from the deprecated records (the old names remain
+    available as accessor functions during the deprecation window):
+
+    - [walks]: driver work units — walks (wander join), rounds (ripple),
+      samples (index ripple).
+    - [successes]: contributing units — successful walks, qualifying
+      combinations ([combos]), completions.
+    - [tuples]: tuples retrieved so far; 0 where the driver does not
+      track it. *)
+
+type t = {
+  elapsed : float;
+  walks : int;
+  successes : int;
+  tuples : int;
+  estimate : float;
+  half_width : float;
+}
+
+val make :
+  ?tuples:int ->
+  elapsed:float ->
+  walks:int ->
+  successes:int ->
+  estimate:float ->
+  half_width:float ->
+  unit ->
+  t
+(** [tuples] defaults to 0. *)
+
+val success_rate : t -> float
+(** [successes / walks]; 0 when no work was performed yet. *)
+
+(** {2 Deprecated field names of the pre-unification records} *)
+
+val rounds : t -> int  (** = [walks] (was [Ripple.report.rounds]) *)
+
+val samples : t -> int  (** = [walks] (was [Index_ripple.report.samples]) *)
+
+val combos : t -> int  (** = [successes] (was [Ripple.report.combos]) *)
+
+val completions : t -> int
+(** = [successes] (was [Index_ripple.report.completions]) *)
+
+val tuples_retrieved : t -> int
+(** = [tuples] (was [Ripple.report.tuples_retrieved]) *)

@@ -1,0 +1,24 @@
+type t = { on_event : (Event.t -> unit) option; metrics : Metrics.t option }
+
+let noop = { on_event = None; metrics = None }
+let make ?on_event ?metrics () = { on_event; metrics }
+let of_fn f = { on_event = Some f; metrics = None }
+let of_metrics m = { on_event = None; metrics = Some m }
+let metrics t = t.metrics
+let wants_events t = t.on_event <> None
+let is_noop t = t.on_event = None && t.metrics = None
+
+let[@inline] emit t ev = match t.on_event with None -> () | Some f -> f ev
+
+let tee a b =
+  let on_event =
+    match (a.on_event, b.on_event) with
+    | None, f | f, None -> f
+    | Some f, Some g ->
+      Some
+        (fun ev ->
+          f ev;
+          g ev)
+  in
+  let metrics = match a.metrics with Some _ as m -> m | None -> b.metrics in
+  { on_event; metrics }

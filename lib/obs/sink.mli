@@ -1,0 +1,34 @@
+(** Where a run session's observability goes.
+
+    A sink couples an optional typed event callback with an optional
+    {!Metrics.t} registry.  Producers (walker, engine, drivers, buffer
+    pool) interrogate the sink once at setup: with {!noop} they keep zero
+    instrumentation on the hot path — no event allocation, no counter
+    stores — which is what keeps fixed-seed walks/sec at the
+    uninstrumented baseline.
+
+    The callback sees every event; cheap per-phase counting should go
+    through [metrics] instead, which producers translate into direct
+    counter/histogram handles at prepare time. *)
+
+type t
+
+val noop : t
+(** Observe nothing (the default everywhere). *)
+
+val make : ?on_event:(Event.t -> unit) -> ?metrics:Metrics.t -> unit -> t
+val of_fn : (Event.t -> unit) -> t
+val of_metrics : Metrics.t -> t
+
+val metrics : t -> Metrics.t option
+val wants_events : t -> bool
+val is_noop : t -> bool
+
+val emit : t -> Event.t -> unit
+(** Deliver one event to the callback, if any.  Hot paths must guard the
+    event's construction behind {!wants_events}; [emit] itself is then
+    only reached when a callback exists. *)
+
+val tee : t -> t -> t
+(** Both callbacks fire (left first); the left metrics registry wins when
+    both are present. *)

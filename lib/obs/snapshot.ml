@@ -1,0 +1,247 @@
+type entry =
+  | Counter of int
+  | Gauge of float
+  | Histogram of int array
+
+type t = (string * entry) list
+
+let of_metrics m =
+  List.map
+    (fun (name, fam) ->
+      match fam with
+      | Metrics.Counter c -> (name, Counter (Counter.value c))
+      | Metrics.Histogram h -> (name, Histogram (Histogram.to_array h))
+      | Metrics.Gauge g -> (name, Gauge (Gauge.value g)))
+    (Metrics.families m)
+
+let counter_value t name =
+  match List.assoc_opt name t with Some (Counter n) -> n | _ -> 0
+
+let gauge_value t name =
+  match List.assoc_opt name t with Some (Gauge v) -> v | _ -> 0.0
+
+let histogram_value t name =
+  match List.assoc_opt name t with Some (Histogram a) -> a | _ -> [||]
+
+let entry_equal a b =
+  match (a, b) with
+  | Counter x, Counter y -> x = y
+  | Histogram x, Histogram y -> x = y
+  | Gauge x, Gauge y -> (Float.is_nan x && Float.is_nan y) || x = y
+  | _ -> false
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (n1, e1) (n2, e2) -> n1 = n2 && entry_equal e1 e2) a b
+
+(* ---- text rendering --------------------------------------------------- *)
+
+let render t =
+  let buf = Buffer.create 512 in
+  let section title pred show =
+    let rows = List.filter (fun (_, e) -> pred e) t in
+    if rows <> [] then begin
+      Buffer.add_string buf (title ^ ":\n");
+      List.iter
+        (fun (name, e) -> Buffer.add_string buf (Printf.sprintf "  %-36s %s\n" name (show e)))
+        rows
+    end
+  in
+  section "counters"
+    (function Counter _ -> true | _ -> false)
+    (function Counter n -> string_of_int n | _ -> assert false);
+  section "histograms"
+    (function Histogram _ -> true | _ -> false)
+    (function
+      | Histogram a ->
+        let total = Array.fold_left ( + ) 0 a in
+        let cells =
+          Array.to_list (Array.mapi (fun i n -> (i, n)) a)
+          |> List.filter (fun (_, n) -> n <> 0)
+          |> List.map (fun (i, n) -> Printf.sprintf "%d:%d" i n)
+        in
+        Printf.sprintf "%s (total %d)"
+          (if cells = [] then "-" else String.concat " " cells)
+          total
+      | _ -> assert false);
+  section "gauges"
+    (function Gauge _ -> true | _ -> false)
+    (function Gauge v -> Printf.sprintf "%.6g" v | _ -> assert false);
+  Buffer.contents buf
+
+(* ---- JSON ------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_to_json v =
+  if Float.is_nan v then "\"nan\""
+  else if v = infinity then "\"inf\""
+  else if v = neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" v
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let obj title pred show =
+    let rows = List.filter (fun (_, e) -> pred e) t in
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": {" title);
+    List.iteri
+      (fun i (name, e) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\n    \"%s\": %s" (if i = 0 then "" else ",") (json_escape name)
+             (show e)))
+      rows;
+    Buffer.add_string buf (if rows = [] then "}" else "\n  }")
+  in
+  Buffer.add_string buf "{\n";
+  obj "counters"
+    (function Counter _ -> true | _ -> false)
+    (function Counter n -> string_of_int n | _ -> assert false);
+  Buffer.add_string buf ",\n";
+  obj "gauges"
+    (function Gauge _ -> true | _ -> false)
+    (function Gauge v -> float_to_json v | _ -> assert false);
+  Buffer.add_string buf ",\n";
+  obj "histograms"
+    (function Histogram _ -> true | _ -> false)
+    (function
+      | Histogram a ->
+        "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int a)) ^ "]"
+      | _ -> assert false);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(* Minimal JSON reader for the shape [to_json] emits: an object of three
+   objects whose values are ints, numbers/strings, or int arrays. *)
+module Parse = struct
+  type state = { s : string; mutable pos : int }
+
+  let error st msg = failwith (Printf.sprintf "Snapshot.of_json: %s at offset %d" msg st.pos)
+
+  let rec skip_ws st =
+    if st.pos < String.length st.s then
+      match st.s.[st.pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        st.pos <- st.pos + 1;
+        skip_ws st
+      | _ -> ()
+
+  let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+  let expect st c =
+    skip_ws st;
+    match peek st with
+    | Some c' when c' = c -> st.pos <- st.pos + 1
+    | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+  let try_char st c =
+    skip_ws st;
+    match peek st with
+    | Some c' when c' = c ->
+      st.pos <- st.pos + 1;
+      true
+    | _ -> false
+
+  let string_lit st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if st.pos >= String.length st.s then error st "unterminated string";
+      let c = st.s.[st.pos] in
+      st.pos <- st.pos + 1;
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        if st.pos >= String.length st.s then error st "bad escape";
+        let e = st.s.[st.pos] in
+        st.pos <- st.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if st.pos + 4 > String.length st.s then error st "bad \\u escape";
+          let code = int_of_string ("0x" ^ String.sub st.s st.pos 4) in
+          st.pos <- st.pos + 4;
+          Buffer.add_char buf (Char.chr (code land 0xff))
+        | _ -> error st "bad escape");
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+
+  let number st =
+    skip_ws st;
+    let start = st.pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while st.pos < String.length st.s && is_num_char st.s.[st.pos] do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = start then error st "expected number";
+    String.sub st.s start (st.pos - start)
+
+  (* Iterate the "name": <value> pairs of an object. *)
+  let obj st f =
+    expect st '{';
+    if not (try_char st '}') then begin
+      let rec pairs () =
+        let name = (skip_ws st; string_lit st) in
+        expect st ':';
+        f name;
+        if try_char st ',' then pairs () else expect st '}'
+      in
+      pairs ()
+    end
+
+  let int_array st =
+    expect st '[';
+    if try_char st ']' then [||]
+    else begin
+      let acc = ref [] in
+      let rec go () =
+        acc := int_of_string (number st) :: !acc;
+        if try_char st ',' then go () else expect st ']'
+      in
+      go ();
+      Array.of_list (List.rev !acc)
+    end
+
+  let gauge_value st =
+    skip_ws st;
+    match peek st with
+    | Some '"' -> (
+      match string_lit st with
+      | "nan" -> Float.nan
+      | "inf" -> infinity
+      | "-inf" -> neg_infinity
+      | s -> error st ("unknown gauge literal " ^ s))
+    | _ -> float_of_string (number st)
+end
+
+let of_json s =
+  let st = { Parse.s; pos = 0 } in
+  let acc = ref [] in
+  Parse.obj st (fun section ->
+      match section with
+      | "counters" ->
+        Parse.obj st (fun name -> acc := (name, Counter (int_of_string (Parse.number st))) :: !acc)
+      | "gauges" -> Parse.obj st (fun name -> acc := (name, Gauge (Parse.gauge_value st)) :: !acc)
+      | "histograms" ->
+        Parse.obj st (fun name -> acc := (name, Histogram (Parse.int_array st)) :: !acc)
+      | s -> Parse.error st ("unknown section " ^ s));
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc

@@ -7,13 +7,17 @@ module Target = Wj_stats.Target
 module Timer = Wj_util.Timer
 module Prng = Wj_util.Prng
 
-type report = {
+type report = Wj_obs.Progress.t = {
   elapsed : float;
-  samples : int;
-  completions : int;
+  walks : int;
+  successes : int;
+  tuples : int;
   estimate : float;
   half_width : float;
 }
+
+let samples = Wj_obs.Progress.samples
+let completions = Wj_obs.Progress.completions
 
 (* Sum of the aggregate expression over all completions of [row] bound at
    the plan's start position; also counts them. *)
@@ -68,7 +72,7 @@ let complete q (plan : Walk_plan.t) row =
   (!sum, !count)
 
 let run ?(seed = 7) ?(confidence = 0.95) ?target ?(max_time = 10.0)
-    ?(max_samples = max_int) ?clock ?start q registry =
+    ?(max_samples = max_int) ?clock ?start ?(sink = Wj_obs.Sink.noop) q registry =
   (match q.Query.agg with
   | Estimator.Sum | Estimator.Count -> ()
   | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
@@ -110,10 +114,21 @@ let run ?(seed = 7) ?(confidence = 0.95) ?target ?(max_time = 10.0)
         Estimator.add est ~u:(float_of_int n) ~v:sum
       | Estimator.Avg | Estimator.Variance | Estimator.Stdev -> assert false
   in
+  let make_report () =
+    {
+      elapsed = Timer.elapsed clock;
+      walks = Estimator.n est;
+      successes = !completions;
+      tuples = Estimator.n est;
+      estimate = Estimator.estimate est;
+      half_width = Estimator.half_width est ~confidence;
+    }
+  in
   let module Driver = Wj_core.Engine.Driver in
   let (_ : Driver.stop_reason) =
     Driver.run
       ~polls:{ Driver.default_polls with cancel_mask = 0 }
+      ~sink ~progress:make_report
       ?target_reached:
         (Option.map
            (fun tgt () ->
@@ -125,10 +140,4 @@ let run ?(seed = 7) ?(confidence = 0.95) ?target ?(max_time = 10.0)
       ~walks:(fun () -> Estimator.n est)
       ~step ()
   in
-  {
-    elapsed = Timer.elapsed clock;
-    samples = Estimator.n est;
-    completions = !completions;
-    estimate = Estimator.estimate est;
-    half_width = Estimator.half_width est ~confidence;
-  }
+  make_report ()

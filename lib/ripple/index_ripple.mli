@@ -8,13 +8,19 @@
     per-sample completion (one sampled customer can join thousands of
     lineitems). *)
 
-type report = {
+type report = Wj_obs.Progress.t = {
   elapsed : float;
-  samples : int;
-  completions : int;  (** join results enumerated so far *)
+  walks : int;  (** sampled start tuples *)
+  successes : int;  (** join results enumerated so far *)
+  tuples : int;
   estimate : float;
   half_width : float;
 }
+(** Re-export of the unified progress record ({!Wj_obs.Progress.t}); the
+    historical field names survive as the accessors below. *)
+
+val samples : report -> int
+val completions : report -> int
 
 val run :
   ?seed:int ->
@@ -24,9 +30,11 @@ val run :
   ?max_samples:int ->
   ?clock:Wj_util.Timer.t ->
   ?start:int ->
+  ?sink:Wj_obs.Sink.t ->
   Wj_core.Query.t ->
   Wj_core.Registry.t ->
   report
 (** [start] picks the sampled table position (default: the first position
-    of the first enumerated walk plan).  Supports SUM and COUNT.
+    of the first enumerated walk plan).  [sink] observes the driver loop;
+    defaults to {!Wj_obs.Sink.noop}.  Supports SUM and COUNT.
     Raises [Invalid_argument] when no walk plan starts at [start]. *)

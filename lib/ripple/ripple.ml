@@ -10,14 +10,18 @@ module Vec = Wj_util.Vec
 
 type mode = Random_order | Index_assisted
 
-type report = {
+type report = Wj_obs.Progress.t = {
   elapsed : float;
-  rounds : int;
-  tuples_retrieved : int;
-  combos : int;
+  walks : int;
+  successes : int;
+  tuples : int;
   estimate : float;
   half_width : float;
 }
+
+let rounds = Wj_obs.Progress.rounds
+let combos = Wj_obs.Progress.combos
+let tuples_retrieved = Wj_obs.Progress.tuples_retrieved
 
 type outcome = {
   final : report;
@@ -190,7 +194,7 @@ let check_joins q =
 
 let run ?(seed = 99) ?(confidence = 0.95) ?(mode = Random_order) ?target
     ?(max_time = 10.0) ?(max_rounds = max_int) ?(report_every = infinity) ?on_report
-    ?clock ?tuple_tracer q registry =
+    ?clock ?tuple_tracer ?(sink = Wj_obs.Sink.noop) q registry =
   check_agg q;
   check_joins q;
   let clock = match clock with Some c -> c | None -> Timer.wall () in
@@ -330,9 +334,9 @@ let run ?(seed = 99) ?(confidence = 0.95) ?(mode = Random_order) ?target
     let est, sd = current () in
     {
       elapsed = Timer.elapsed clock;
-      rounds = pools.(0).attempts;
-      tuples_retrieved = Array.fold_left (fun a p -> a + p.attempts) 0 pools;
-      combos = !combos;
+      walks = pools.(0).attempts;
+      tuples = Array.fold_left (fun a p -> a + p.attempts) 0 pools;
+      successes = !combos;
       estimate = est;
       half_width = (if sd = infinity then infinity else z *. sd);
     }
@@ -372,6 +376,7 @@ let run ?(seed = 99) ?(confidence = 0.95) ?(mode = Random_order) ?target
   let (_ : Driver.stop_reason) =
     Driver.run
       ~polls:{ Driver.target_mask = 255; report_mask = 255; cancel_mask = 0 }
+      ~sink ~progress:make_report
       ?target_reached:
         (Option.map
            (fun tgt () ->

@@ -23,14 +23,20 @@
 
 type mode = Random_order | Index_assisted
 
-type report = {
+type report = Wj_obs.Progress.t = {
   elapsed : float;
-  rounds : int;
-  tuples_retrieved : int;
-  combos : int;  (** join results discovered so far *)
+  walks : int;  (** ripple rounds completed (one tuple per table per round) *)
+  successes : int;  (** join results (combos) discovered so far *)
+  tuples : int;  (** tuples retrieved across all tables *)
   estimate : float;
   half_width : float;
 }
+(** Re-export of the unified progress record ({!Wj_obs.Progress.t}); the
+    historical ripple field names survive as the accessors below. *)
+
+val rounds : report -> int
+val combos : report -> int
+val tuples_retrieved : report -> int
 
 type outcome = {
   final : report;
@@ -49,10 +55,14 @@ val run :
   ?on_report:(report -> unit) ->
   ?clock:Wj_util.Timer.t ->
   ?tuple_tracer:(pos:int -> slot:int -> sequential:bool -> unit) ->
+  ?sink:Wj_obs.Sink.t ->
   Wj_core.Query.t ->
   Wj_core.Registry.t ->
   outcome
-(** [tuple_tracer ~pos ~slot ~sequential] fires on every retrieved tuple
+(** [sink] observes the driver loop (report ticks, [Report] progress events,
+    stop reasons); defaults to {!Wj_obs.Sink.noop}.
+
+    [tuple_tracer ~pos ~slot ~sequential] fires on every retrieved tuple
     (I/O simulation hook): [slot] is the storage position — the scan cursor
     for [Random_order] tables (read sequentially from their shuffled
     on-disk order) and the row id for index-sampled tables ([sequential =

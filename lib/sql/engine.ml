@@ -19,9 +19,28 @@ let item_label (item : Ast.select_item) =
   | None -> name ^ "(*)"
   | Some e -> Format.asprintf "%s(%a)" name Ast.pp_expr e
 
-let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?on_report catalog sql =
+let execute_session ?on_report (cfg : Wj_core.Run_config.t) catalog sql =
   let statement = Parser.parse sql in
   let bound = Binder.bind catalog statement in
+  (* Statement clauses override the session config: WITHINTIME beats
+     [cfg.max_time], CONFIDENCE beats [cfg.confidence], REPORTINTERVAL
+     beats [cfg.report_every]. *)
+  let cfg =
+    {
+      cfg with
+      Wj_core.Run_config.confidence =
+        (match statement.Ast.confidence with
+        | Some _ -> bound.Binder.confidence
+        | None -> cfg.Wj_core.Run_config.confidence);
+      max_time =
+        Option.value bound.Binder.within_time
+          ~default:cfg.Wj_core.Run_config.max_time;
+      report_every =
+        (match bound.Binder.report_interval with
+        | Some _ as r -> r
+        | None -> cfg.Wj_core.Run_config.report_every);
+    }
+  in
   (* Share physical indexes across the statement's aggregates. *)
   let registries =
     let shared = ref None in
@@ -37,7 +56,6 @@ let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?on_report catalog sql =
       (fun (item, q) registry ->
         let outcome =
           if bound.online then begin
-            let max_time = Option.value ~default:default_time bound.within_time in
             match q.Wj_core.Query.group_by with
             | Some _ ->
               let on_group_report =
@@ -52,10 +70,7 @@ let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?on_report catalog sql =
                       groups)
                   on_report
               in
-              Online_groups
-                (Online.run_group_by ~seed ~confidence:bound.confidence ~max_time
-                   ?report_every:bound.report_interval ?on_group_report ?batch q
-                   registry)
+              Online_groups (Online.run_group_by_session ?on_group_report cfg q registry)
             | None ->
               let on_report_fn =
                 Option.map
@@ -65,10 +80,7 @@ let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?on_report catalog sql =
                          r.elapsed (item_label item) r.estimate r.half_width r.walks))
                   on_report
               in
-              Online_scalar
-                (Online.run ~seed ~confidence:bound.confidence ~max_time
-                   ?report_every:bound.report_interval ?on_report:on_report_fn ?batch
-                   q registry)
+              Online_scalar (Online.run_session ?on_report:on_report_fn cfg q registry)
           end
           else
             match q.Wj_core.Query.group_by with
@@ -79,6 +91,11 @@ let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?on_report catalog sql =
       bound.queries registries
   in
   { statement; items }
+
+let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?sink ?on_report catalog sql =
+  execute_session ?on_report
+    (Wj_core.Run_config.make ~seed ~max_time:default_time ?batch ?sink ())
+    catalog sql
 
 let render r =
   let buf = Buffer.create 256 in

@@ -15,18 +15,34 @@ type result = {
   items : (Ast.select_item * item_outcome) list;
 }
 
+val execute_session :
+  ?on_report:(string -> unit) ->
+  Wj_core.Run_config.t ->
+  Wj_storage.Catalog.t ->
+  string ->
+  result
+(** The run-session entry point: every ONLINE aggregate of the statement
+    runs under the given {!Wj_core.Run_config.t} (seed, budgets, batch,
+    clock, cancellation, sink).  Statement clauses override the config —
+    WITHINTIME beats [cfg.max_time], CONFIDENCE beats [cfg.confidence],
+    REPORTINTERVAL beats [cfg.report_every].  [cfg.sink] observes every
+    ONLINE aggregate in turn (metric families accumulate across them).
+    [on_report] receives formatted progress lines on every report tick.
+    Raises [Lexer.Lex_error], [Parser.Parse_error] or [Binder.Bind_error]. *)
+
 val execute :
   ?seed:int ->
   ?default_time:float ->
   ?batch:int ->
+  ?sink:Wj_obs.Sink.t ->
   ?on_report:(string -> unit) ->
   Wj_storage.Catalog.t ->
   string ->
   result
-(** [default_time] bounds ONLINE statements that carry no WITHINTIME clause
-    (default 5 s).  [batch] is handed to the walk engine of every ONLINE
-    aggregate (default 1, see {!Wj_core.Engine}).  [on_report] receives formatted progress lines when the
-    statement requests REPORTINTERVAL.
+(** Thin shim over {!execute_session}.  [default_time] bounds ONLINE
+    statements that carry no WITHINTIME clause (default 5 s).  [batch] is
+    handed to the walk engine of every ONLINE aggregate (default 1, see
+    {!Wj_core.Engine}).
     Raises [Lexer.Lex_error], [Parser.Parse_error] or [Binder.Bind_error]. *)
 
 val render : result -> string

@@ -1,0 +1,340 @@
+(* Tests for wj_obs and its integration: primitives, snapshot JSON,
+   driver poll-mask validation, metric reconciliation against walk
+   outcomes, sink transparency (bit-for-bit fixed-seed results), and the
+   Run_config session API vs the legacy optional-argument shims. *)
+
+module Counter = Wj_obs.Counter
+module Histogram = Wj_obs.Histogram
+module Gauge = Wj_obs.Gauge
+module Metrics = Wj_obs.Metrics
+module Snapshot = Wj_obs.Snapshot
+module Sink = Wj_obs.Sink
+module Event = Wj_obs.Event
+module Progress = Wj_obs.Progress
+module Query = Wj_core.Query
+module Registry = Wj_core.Registry
+module Online = Wj_core.Online
+module Engine = Wj_core.Engine
+module Run_config = Wj_core.Run_config
+module Table = Wj_storage.Table
+module Schema = Wj_storage.Schema
+module Value = Wj_storage.Value
+module Timer = Wj_util.Timer
+module Buffer_pool = Wj_iosim.Buffer_pool
+module Sim = Wj_iosim.Sim
+module Estimator = Wj_stats.Estimator
+
+(* ---- data builders (chain join as in test_core) ----------------------- *)
+
+let int_table name cols rows =
+  let schema =
+    Schema.make (List.map (fun c -> { Schema.name = c; ty = Value.TInt }) cols)
+  in
+  let t = Table.create ~name ~schema () in
+  List.iter
+    (fun r ->
+      ignore (Table.insert t (Array.of_list (List.map (fun x -> Value.Int x) r))))
+    rows;
+  t
+
+let chain_query () =
+  let r1 =
+    int_table "r1" [ "a"; "b" ]
+      [ [ 1; 10 ]; [ 2; 10 ]; [ 3; 20 ]; [ 4; 30 ]; [ 5; 30 ]; [ 6; 40 ]; [ 7; 50 ] ]
+  in
+  let r2 =
+    int_table "r2" [ "b"; "c" ]
+      [ [ 10; 100 ]; [ 10; 200 ]; [ 20; 200 ]; [ 30; 300 ]; [ 40; 300 ]; [ 40; 400 ];
+        [ 99; 999 ] ]
+  in
+  let r3 =
+    int_table "r3" [ "c"; "d" ]
+      [ [ 100; 7 ]; [ 200; 11 ]; [ 200; 13 ]; [ 300; 17 ]; [ 400; 19 ]; [ 500; 23 ] ]
+  in
+  Query.make
+    ~tables:[ ("r1", r1); ("r2", r2); ("r3", r3) ]
+    ~joins:
+      [
+        { left = (0, 1); right = (1, 0); op = Eq };
+        { left = (1, 1); right = (2, 0); op = Eq };
+      ]
+    ~agg:Estimator.Sum ~expr:(Col (2, 1)) ()
+
+(* ---- primitives -------------------------------------------------------- *)
+
+let test_counter () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Alcotest.(check int) "fresh" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.add c 41;
+  Alcotest.(check int) "incr+add" 42 (Counter.value c);
+  let c' = Metrics.counter m "c" in
+  Counter.incr c';
+  Alcotest.(check int) "same cell through find-or-create" 43 (Counter.value c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+let test_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:4 "h" in
+  Histogram.observe h 0;
+  Histogram.observe h 3;
+  Histogram.observe h 99;
+  (* clamped to last bucket *)
+  Histogram.observe h (-5);
+  (* clamped to first bucket *)
+  Histogram.add h 1 10;
+  Alcotest.(check (array int)) "buckets" [| 2; 10; 0; 2 |] (Histogram.to_array h);
+  Alcotest.(check int) "total" 14 (Histogram.total h)
+
+let test_gauge () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "g" in
+  Gauge.set g 1.5;
+  Gauge.add g 2.25;
+  Alcotest.(check (float 1e-12)) "set+add" 3.75 (Gauge.value g)
+
+let test_metrics_kind_mismatch () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "histogram over counter name"
+    (Invalid_argument "Metrics: x is registered as another kind") (fun () ->
+      ignore (Metrics.histogram m "x"))
+
+(* ---- snapshot: render + JSON round-trip -------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let m = Metrics.create () in
+  Counter.add (Metrics.counter m "walks") 12345;
+  Counter.add (Metrics.counter m "successes") 67;
+  Histogram.observe (Metrics.histogram m ~buckets:3 "depths") 1;
+  Histogram.observe (Metrics.histogram m ~buckets:3 "depths") 1;
+  Histogram.observe (Metrics.histogram m ~buckets:3 "depths") 2;
+  Gauge.set (Metrics.gauge m "charged") 0.1234567890123456789;
+  Gauge.set (Metrics.gauge m "weird.nan") nan;
+  Gauge.set (Metrics.gauge m "weird.inf") infinity;
+  let snap = Snapshot.of_metrics m in
+  let json = Snapshot.to_json snap in
+  let back = Snapshot.of_json json in
+  Alcotest.(check bool) "round-trips" true (Snapshot.equal snap back);
+  Alcotest.(check int) "counter read" 12345 (Snapshot.counter_value back "walks");
+  Alcotest.(check (array int))
+    "histogram read" [| 0; 2; 1 |]
+    (Snapshot.histogram_value back "depths");
+  Alcotest.(check bool)
+    "nan survives" true
+    (Float.is_nan (Snapshot.gauge_value back "weird.nan"));
+  Alcotest.(check bool)
+    "inf survives" true
+    (Snapshot.gauge_value back "weird.inf" = infinity);
+  (* Render mentions every family name. *)
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let rendered = Snapshot.render snap in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " rendered") true (contains_sub rendered name))
+    [ "walks"; "successes"; "depths"; "charged" ]
+
+(* ---- driver poll-mask validation --------------------------------------- *)
+
+let test_polls_mask_validation () =
+  List.iter
+    (fun m -> Alcotest.(check bool) (string_of_int m) true (Engine.Driver.is_mask m))
+    [ 0; 1; 3; 7; 15; 63; 255 ];
+  List.iter
+    (fun m -> Alcotest.(check bool) (string_of_int m) false (Engine.Driver.is_mask m))
+    [ -1; 2; 4; 5; 6; 100 ];
+  let clock = Timer.virtual_ () in
+  let run polls =
+    ignore
+      (Engine.Driver.run ~polls ~max_time:1.0 ~clock
+         ~walks:(fun () -> 0)
+         ~step:(fun () -> Timer.advance clock 1.0)
+         ())
+  in
+  run { Engine.Driver.target_mask = 15; report_mask = 0; cancel_mask = 63 };
+  Alcotest.check_raises "non-mask rejected"
+    (Invalid_argument "Engine.Driver.run: polls.target_mask = 5 is not 2^k - 1")
+    (fun () -> run { Engine.Driver.target_mask = 5; report_mask = 0; cancel_mask = 63 })
+
+(* ---- reconciliation ----------------------------------------------------- *)
+
+let test_walk_reconciliation () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let m = Metrics.create () in
+  let out =
+    Online.run ~seed:4242 ~max_walks:5_000 ~max_time:60.0
+      ~plan_choice:Online.First_enumerated ~sink:(Sink.of_metrics m) q reg
+  in
+  let snap = Snapshot.of_metrics m in
+  let walks = Snapshot.counter_value snap "walker.walks" in
+  let successes = Snapshot.counter_value snap "walker.successes" in
+  let failures = Snapshot.counter_value snap "walker.failures" in
+  let depth_total =
+    Array.fold_left ( + ) 0 (Snapshot.histogram_value snap "walker.failure_depth")
+  in
+  Alcotest.(check int) "driver saw every walk" out.Online.final.walks walks;
+  Alcotest.(check int) "walks = successes + failures" walks (successes + failures);
+  Alcotest.(check int) "failures = sum of failure-depth histogram" failures depth_total;
+  Alcotest.(check int) "estimator successes" out.Online.final.successes successes;
+  Alcotest.(check bool)
+    "stop reason recorded" true
+    (Snapshot.counter_value snap "driver.stop.walk_budget_exhausted" = 1)
+
+let test_batch_reconciliation () =
+  (* The engine path (batch > 1) must count outcomes exactly once too. *)
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let m = Metrics.create () in
+  ignore
+    (Online.run ~seed:7 ~max_walks:3_000 ~max_time:60.0 ~batch:8
+       ~plan_choice:Online.First_enumerated ~sink:(Sink.of_metrics m) q reg);
+  let snap = Snapshot.of_metrics m in
+  let walks = Snapshot.counter_value snap "walker.walks" in
+  Alcotest.(check bool) "walks counted" true (walks >= 3_000);
+  Alcotest.(check int)
+    "walks = successes + failures" walks
+    (Snapshot.counter_value snap "walker.successes"
+    + Snapshot.counter_value snap "walker.failures")
+
+let test_pool_reconciliation () =
+  let pool = Buffer_pool.create ~capacity:4 in
+  let hits = ref 0 and misses = ref 0 in
+  Buffer_pool.set_observer pool
+    (Some (fun ~hit ~table:_ ~page:_ -> if hit then incr hits else incr misses));
+  for i = 0 to 99 do
+    ignore (Buffer_pool.touch pool ~table:0 ~page:(i mod 6))
+  done;
+  Alcotest.(check int) "hits + misses = accesses"
+    (Buffer_pool.accesses pool)
+    (Buffer_pool.hits pool + Buffer_pool.misses pool);
+  Alcotest.(check int) "accesses = touches" 100 (Buffer_pool.accesses pool);
+  Alcotest.(check int) "observer saw hits" (Buffer_pool.hits pool) !hits;
+  Alcotest.(check int) "observer saw misses" (Buffer_pool.misses pool) !misses
+
+let test_sim_sink_charges () =
+  (* Sim.sink must reproduce walker_tracer's charging on typed events. *)
+  let clock = Timer.virtual_ () in
+  let sim = Sim.create ~pool_pages:8 ~clock () in
+  let m = Metrics.create () in
+  let sink = Sim.sink ~metrics:m sim in
+  Sink.emit sink (Event.Row_access { pos = 0; row = 0 });
+  Sink.emit sink (Event.Row_access { pos = 0; row = 0 });
+  Sink.emit sink (Event.Index_probe { pos = 0; cost = 3 });
+  Alcotest.(check bool) "time charged" true (Sim.charged_seconds sim > 0.0);
+  Alcotest.(check (float 1e-12))
+    "clock advanced by exactly the charges" (Sim.charged_seconds sim)
+    (Timer.elapsed clock);
+  Sink.emit sink (Event.Stopped Event.Time_up);
+  let snap = Snapshot.of_metrics m in
+  Alcotest.(check (float 1e-9)) "gauge pool.hits" 1.0 (Snapshot.gauge_value snap "pool.hits");
+  Alcotest.(check (float 1e-9))
+    "gauge pool.misses" 1.0
+    (Snapshot.gauge_value snap "pool.misses");
+  Alcotest.(check (float 1e-9))
+    "gauge pool.accesses" 2.0
+    (Snapshot.gauge_value snap "pool.accesses");
+  Alcotest.(check (float 1e-12))
+    "gauge sim.charged_seconds" (Sim.charged_seconds sim)
+    (Snapshot.gauge_value snap "sim.charged_seconds")
+
+(* ---- sink transparency -------------------------------------------------- *)
+
+let test_sink_transparency () =
+  (* Fixed seed + walk budget: a full sink must not change a single PRNG
+     draw, so estimates are bit-for-bit those of the no-op run. *)
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let run sink =
+    Online.run ~seed:99 ~max_walks:4_000 ~max_time:60.0 ?sink q reg
+  in
+  let plain = run None in
+  let m = Metrics.create () in
+  let events = ref 0 in
+  let full = run (Some (Sink.make ~on_event:(fun _ -> incr events) ~metrics:m ())) in
+  Alcotest.(check bool) "events flowed" true (!events > 0);
+  Alcotest.(check int) "same walks" plain.Online.final.walks full.Online.final.walks;
+  Alcotest.(check bool)
+    "bit-for-bit estimate" true
+    (Int64.equal
+       (Int64.bits_of_float plain.Online.final.estimate)
+       (Int64.bits_of_float full.Online.final.estimate));
+  Alcotest.(check bool)
+    "bit-for-bit half-width" true
+    (Int64.equal
+       (Int64.bits_of_float plain.Online.final.half_width)
+       (Int64.bits_of_float full.Online.final.half_width))
+
+(* ---- Run_config sessions vs legacy shims -------------------------------- *)
+
+let run_config_equiv =
+  QCheck.Test.make ~name:"run_session (Run_config) = legacy run" ~count:25
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 100 2_000) (int_range 1 4)
+        (int_range 0 2))
+    (fun (seed, max_walks, batch, conf_ix) ->
+      let confidence = [| 0.9; 0.95; 0.99 |].(conf_ix) in
+      let q = chain_query () in
+      let reg = Registry.build_for_query q in
+      let legacy = Online.run ~seed ~confidence ~max_walks ~batch ~max_time:60.0 q reg in
+      let cfg = Run_config.make ~seed ~confidence ~max_walks ~batch ~max_time:60.0 () in
+      let session = Online.run_session cfg q reg in
+      legacy.Online.final.walks = session.Online.final.walks
+      && Int64.equal
+           (Int64.bits_of_float legacy.Online.final.estimate)
+           (Int64.bits_of_float session.Online.final.estimate)
+      && Int64.equal
+           (Int64.bits_of_float legacy.Online.final.half_width)
+           (Int64.bits_of_float session.Online.final.half_width))
+
+let test_progress_accessors () =
+  let p =
+    Progress.make ~elapsed:1.0 ~walks:10 ~successes:4 ~tuples:30 ~estimate:5.0
+      ~half_width:0.5 ()
+  in
+  Alcotest.(check int) "rounds" 10 (Progress.rounds p);
+  Alcotest.(check int) "samples" 10 (Progress.samples p);
+  Alcotest.(check int) "combos" 4 (Progress.combos p);
+  Alcotest.(check int) "completions" 4 (Progress.completions p);
+  Alcotest.(check int) "tuples_retrieved" 30 (Progress.tuples_retrieved p);
+  Alcotest.(check (float 1e-12)) "success_rate" 0.4 (Progress.success_rate p)
+
+let () =
+  Alcotest.run "wj_obs"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "render + JSON round-trip" `Quick test_snapshot_roundtrip ]
+      );
+      ( "driver",
+        [ Alcotest.test_case "poll-mask validation" `Quick test_polls_mask_validation ]
+      );
+      ( "reconciliation",
+        [
+          Alcotest.test_case "walks = successes + failures" `Quick
+            test_walk_reconciliation;
+          Alcotest.test_case "batch engine counts once" `Quick test_batch_reconciliation;
+          Alcotest.test_case "pool hits + misses = accesses" `Quick
+            test_pool_reconciliation;
+          Alcotest.test_case "sim sink charges + gauges" `Quick test_sim_sink_charges;
+        ] );
+      ( "transparency",
+        [
+          Alcotest.test_case "sink on = sink off, bit for bit" `Quick
+            test_sink_transparency;
+          QCheck_alcotest.to_alcotest run_config_equiv;
+          Alcotest.test_case "progress accessors" `Quick test_progress_accessors;
+        ] );
+    ]
