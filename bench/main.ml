@@ -888,6 +888,76 @@ let layout_bench () =
   Printf.printf "  [layout] wrote BENCH_layout.json\n%!"
 
 (* ======================================================================= *)
+(* Service layer: aggregate throughput and fairness across sessions. *)
+(* ======================================================================= *)
+
+let service_bench () =
+  header "Service: scheduler throughput and fairness by session count (Q3 barebone)";
+  (* Each session runs the same query shape under its own seed for a fixed
+     wall-time budget; the scheduler multiplexes them over one shared
+     registry.  Two things to watch: aggregate walks/sec (scheduling
+     overhead vs a single session owning the loop) and the fairness
+     spread (max-min)/mean of per-session walks when every session had
+     the same time budget. *)
+  let module Scheduler = Wj_service.Scheduler in
+  let d = Data.get (if !quick then 0.01 else 0.02) in
+  let horizon = if !quick then 0.3 else 1.0 in
+  let q = Queries.build ~variant:Barebone Queries.Q3 d in
+  let reg = Queries.registry q in
+  let plan = pg_plan q reg in
+  let entries = ref [] in
+  Printf.printf "%10s  %14s %14s %12s\n" "sessions" "agg walks/sec" "per-session"
+    "spread";
+  List.iter
+    (fun n ->
+      let sched = Scheduler.create ~quantum:256 ~max_live:n () in
+      let sessions =
+        List.init n (fun i ->
+            let cfg =
+              Wj_core.Run_config.make ~seed:(seed + i) ~max_time:horizon
+                ~plan_choice:(Wj_core.Run_config.Fixed plan) ()
+            in
+            Scheduler.submit_query sched cfg q reg)
+      in
+      let (), elapsed = Timer.time_it (fun () -> Scheduler.drain sched) in
+      let walks =
+        List.map
+          (fun s ->
+            match Scheduler.result s with
+            | Some (o : Online.outcome) -> float_of_int o.final.walks
+            | None -> 0.0)
+          sessions
+      in
+      let total = List.fold_left ( +. ) 0.0 walks in
+      let mean = total /. float_of_int n in
+      let mx = List.fold_left Float.max neg_infinity walks in
+      let mn = List.fold_left Float.min infinity walks in
+      let spread = if mean > 0.0 then (mx -. mn) /. mean else 0.0 in
+      let rate = total /. elapsed in
+      Printf.printf "%10d  %14.0f %14.0f %11.1f%%\n%!" n rate mean (pct spread);
+      entries := (n, rate, mean, spread) :: !entries)
+    [ 1; 4; 16 ];
+  (* Machine-readable drop for regression tracking. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "{\n  \"experiment\": \"service\",\n  \"unit\": \"walks_per_sec\",\n  \"fleets\": {\n";
+  let entries = List.rev !entries in
+  List.iteri
+    (fun i (n, rate, mean, spread) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"sessions_%d\": { \"agg_walks_per_sec\": %.1f, \
+            \"mean_walks_per_session\": %.1f, \"fairness_spread\": %.4f }%s\n"
+           n rate mean spread
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [service] wrote BENCH_service.json\n%!"
+
+(* ======================================================================= *)
 (* Bechamel micro-benchmarks. *)
 (* ======================================================================= *)
 
@@ -965,6 +1035,7 @@ let experiments =
     ("engine", engine_bench);
     ("obs", obs_bench);
     ("layout", layout_bench);
+    ("service", service_bench);
     ("micro", micro);
   ]
 

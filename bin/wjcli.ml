@@ -1,38 +1,141 @@
 (* wjcli — command-line front end for the wander join engine.
 
-   Subcommands:
-     query     run a SQL statement (ONLINE or exact) against TPC-H data
-     tpch      run one of the paper's benchmark queries with wander join
-     plans     show the enumerated walk plans and the optimizer's choice
-     groupby   per-group online aggregation, plain or stratified
-     suggest   cardinality-guided full-join order for a benchmark query
+   The subcommand overview in `wjcli --help` and every flag's usage line
+   are generated from the [Flag] and [commands] tables below — edit those
+   tables, never a doc string elsewhere, so help cannot drift from the
+   implementation.
 
    Data comes from the built-in deterministic generator (--sf) or from
    official dbgen .tbl files (--tbl-dir). *)
 
 open Cmdliner
 
-let sf_arg =
-  let doc = "TPC-H scale factor (1.0 = 1.5M orders; 0.01 is a quick demo)." in
-  Arg.(value & opt float 0.01 & info [ "sf" ] ~docv:"SF" ~doc)
+(* --- the one flag table ------------------------------------------------ *)
 
-let seed_arg =
-  let doc = "Random seed for data generation and sampling." in
-  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+(* Every reusable flag is one [spec]: names, metavariable, one doc line.
+   Cmdliner [Arg.info]s are built from the spec, so the --help output of
+   every subcommand quotes exactly this table. *)
+module Flag = struct
+  type spec = { names : string list; docv : string; doc : string }
 
-let tbl_dir_arg =
-  let doc = "Load official dbgen .tbl files from this directory instead of generating." in
-  Arg.(value & opt (some dir) None & info [ "tbl-dir" ] ~docv:"DIR" ~doc)
+  let info { names; docv; doc } = Arg.info names ~docv ~doc
+
+  let sf =
+    {
+      names = [ "sf" ];
+      docv = "SF";
+      doc = "TPC-H scale factor (1.0 = 1.5M orders; 0.01 is a quick demo).";
+    }
+
+  let seed =
+    {
+      names = [ "seed" ];
+      docv = "SEED";
+      doc = "Random seed for data generation and sampling.";
+    }
+
+  let tbl_dir =
+    {
+      names = [ "tbl-dir" ];
+      docv = "DIR";
+      doc = "Load official dbgen .tbl files from this directory instead of generating.";
+    }
+
+  let metrics =
+    {
+      names = [ "metrics" ];
+      docv = "";
+      doc = "Collect walk/driver/index observability metrics and print a snapshot.";
+    }
+
+  let metrics_json =
+    {
+      names = [ "metrics-json" ];
+      docv = "FILE";
+      doc = "Write the metrics snapshot as JSON to $(docv) (implies --metrics).";
+    }
+
+  let time budget =
+    {
+      names = [ "time" ];
+      docv = "SECONDS";
+      doc = Printf.sprintf "Time budget in seconds (default %g)." budget;
+    }
+
+  let target =
+    {
+      names = [ "target" ];
+      docv = "PCT";
+      doc = "Stop at this relative confidence half-width, in percent.";
+    }
+
+  let barebone =
+    {
+      names = [ "barebone" ];
+      docv = "";
+      doc = "Drop the selection predicates (barebone join).";
+    }
+
+  let exact =
+    {
+      names = [ "exact" ];
+      docv = "";
+      doc = "Also run the exact join and report the actual error.";
+    }
+
+  let complete =
+    {
+      names = [ "complete" ];
+      docv = "";
+      doc =
+        "Run-to-completion mode: race wander join against the full join in a \
+         second domain and return the exact answer when it lands.";
+    }
+
+  let stratified =
+    {
+      names = [ "stratified" ];
+      docv = "";
+      doc = "Use stratified sampling (one stratum per group, adaptive allocation).";
+    }
+
+  let quantum =
+    {
+      names = [ "quantum" ];
+      docv = "STEPS";
+      doc = "Scheduler quantum: engine steps granted per session turn.";
+    }
+
+  let max_live =
+    {
+      names = [ "max-live" ];
+      docv = "N";
+      doc = "Admission cap: sessions running concurrently; the rest queue FIFO.";
+    }
+
+  let policy =
+    {
+      names = [ "policy" ];
+      docv = "POLICY";
+      doc = "Scheduling policy: $(b,round-robin) or $(b,widest-ci).";
+    }
+
+  let deadline =
+    {
+      names = [ "deadline" ];
+      docv = "SECONDS";
+      doc = "Per-session deadline from admission; expired sessions stop within one quantum.";
+    }
+end
+
+let sf_arg = Arg.(value & opt float 0.01 & Flag.(info sf))
+let seed_arg = Arg.(value & opt int 7 & Flag.(info seed))
+let tbl_dir_arg = Arg.(value & opt (some dir) None & Flag.(info tbl_dir))
 
 (* --- metrics ---------------------------------------------------------- *)
 
-let metrics_arg =
-  let doc = "Collect walk/driver/index observability metrics and print a snapshot." in
-  Arg.(value & flag & info [ "metrics" ] ~doc)
-
-let metrics_json_arg =
-  let doc = "Write the metrics snapshot as JSON to $(docv) (implies --metrics)." in
-  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+let metrics_arg = Arg.(value & flag & Flag.(info metrics))
+let metrics_json_arg = Arg.(value & opt (some string) None & Flag.(info metrics_json))
 
 (* When collection is on, hand the run a metrics-backed sink; afterwards
    render the snapshot (and optionally dump it as JSON). *)
@@ -71,37 +174,109 @@ let load sf seed tbl_dir =
     Printf.printf "  %d rows total\n%!" (Wj_tpch.Generator.total_rows d);
     d
 
+let sql_errors run =
+  match run () with
+  | code -> code
+  | exception Wj_sql.Lexer.Lex_error (msg, off) ->
+    Printf.eprintf "lex error at offset %d: %s\n" off msg;
+    1
+  | exception Wj_sql.Parser.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    1
+  | exception Wj_sql.Binder.Bind_error msg ->
+    Printf.eprintf "bind error: %s\n" msg;
+    1
+
 (* --- query ------------------------------------------------------------ *)
 
-let query_cmd =
+let query_run sf seed tbl_dir metrics json sql =
+  let d = load sf seed tbl_dir in
+  let catalog = Wj_tpch.Generator.catalog d in
+  let sink, m_opt = metrics_sink ~metrics ~json in
+  sql_errors (fun () ->
+      let r = Wj_sql.Engine.execute ~seed ~sink ~on_report:print_endline catalog sql in
+      print_string (Wj_sql.Engine.render r);
+      metrics_finish ~json m_opt;
+      0)
+
+let query_term =
   let sql_arg =
     let doc = "The SQL statement to execute." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
   in
-  let run sf seed tbl_dir metrics json sql =
-    let d = load sf seed tbl_dir in
-    let catalog = Wj_tpch.Generator.catalog d in
-    let sink, m_opt = metrics_sink ~metrics ~json in
-    match Wj_sql.Engine.execute ~seed ~sink ~on_report:print_endline catalog sql with
-    | r ->
-      print_string (Wj_sql.Engine.render r);
-      metrics_finish ~json m_opt;
-      0
-    | exception Wj_sql.Lexer.Lex_error (msg, off) ->
-      Printf.eprintf "lex error at offset %d: %s\n" off msg;
-      1
-    | exception Wj_sql.Parser.Parse_error msg ->
-      Printf.eprintf "parse error: %s\n" msg;
-      1
-    | exception Wj_sql.Binder.Bind_error msg ->
-      Printf.eprintf "bind error: %s\n" msg;
-      1
+  Term.(
+    const query_run $ sf_arg $ seed_arg $ tbl_dir_arg $ metrics_arg $ metrics_json_arg
+    $ sql_arg)
+
+(* --- serve ------------------------------------------------------------ *)
+
+let policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "round-robin" | "rr" -> Ok Wj_service.Scheduler.Round_robin
+    | "widest-ci" | "widest" -> Ok Wj_service.Scheduler.Widest_ci
+    | _ -> Error (`Msg "expected round-robin or widest-ci")
   in
-  let doc = "Execute a SQL statement (use SELECT ONLINE for online aggregation)." in
-  Cmd.v (Cmd.info "query" ~doc)
-    Term.(
-      const run $ sf_arg $ seed_arg $ tbl_dir_arg $ metrics_arg $ metrics_json_arg
-      $ sql_arg)
+  let print fmt p =
+    Format.fprintf fmt "%s"
+      (match p with
+      | Wj_service.Scheduler.Round_robin -> "round-robin"
+      | Wj_service.Scheduler.Widest_ci -> "widest-ci")
+  in
+  Arg.conv (parse, print)
+
+let serve_run sf seed tbl_dir metrics json time quantum max_live policy deadline
+    sqls =
+  let d = load sf seed tbl_dir in
+  let catalog = Wj_tpch.Generator.catalog d in
+  let msink, m_opt = metrics_sink ~metrics ~json in
+  (* Interleaved progress: render the scheduler's Session_* event stream. *)
+  let labels : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let name id = try Hashtbl.find labels id with Not_found -> Printf.sprintf "session%d" id in
+  let on_event : Wj_obs.Event.t -> unit = function
+    | Session_admitted { session; label } ->
+      Hashtbl.replace labels session label;
+      Printf.printf "%-24s admitted\n%!" label
+    | Session_started { session } -> Printf.printf "%-24s started\n%!" (name session)
+    | Session_report { session; progress = p } ->
+      Printf.printf "%-24s [%6.2fs] %.6g +/- %.4g (%d walks)\n%!" (name session)
+        p.Wj_obs.Progress.elapsed p.Wj_obs.Progress.estimate
+        p.Wj_obs.Progress.half_width p.Wj_obs.Progress.walks
+    | Session_finished { session; outcome } ->
+      Printf.printf "%-24s finished: %s\n%!" (name session) outcome
+    | _ -> ()
+  in
+  let sink = Wj_obs.Sink.tee (Wj_obs.Sink.of_fn on_event) msink in
+  let cfg = Wj_core.Run_config.make ~seed ~max_time:time () in
+  let sqls =
+    List.concat_map (String.split_on_char ';') sqls
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  sql_errors (fun () ->
+      let served =
+        Wj_sql.Engine.serve ?quantum ?max_live ~policy ~sink ?deadline cfg catalog
+          sqls
+      in
+      print_string (Wj_sql.Engine.render_served served);
+      metrics_finish ~json m_opt;
+      0)
+
+let serve_term =
+  let sqls_arg =
+    let doc = "SQL statements to run concurrently (also split on ';')." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"SQL" ~doc)
+  in
+  let time_arg = Arg.(value & opt float 5.0 & Flag.(info (time 5.0))) in
+  let quantum_arg = Arg.(value & opt (some int) None & Flag.(info quantum)) in
+  let max_live_arg = Arg.(value & opt (some int) None & Flag.(info max_live)) in
+  let policy_arg =
+    Arg.(value & opt policy_conv Wj_service.Scheduler.Round_robin & Flag.(info policy))
+  in
+  let deadline_arg = Arg.(value & opt (some float) None & Flag.(info deadline)) in
+  Term.(
+    const serve_run $ sf_arg $ seed_arg $ tbl_dir_arg $ metrics_arg $ metrics_json_arg
+    $ time_arg $ quantum_arg $ max_live_arg $ policy_arg $ deadline_arg $ sqls_arg)
 
 (* --- tpch ------------------------------------------------------------- *)
 
@@ -120,196 +295,179 @@ let spec_arg =
   let doc = "Benchmark query: q3, q7 or q10." in
   Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"QUERY" ~doc)
 
-let tpch_cmd =
-  let barebone_arg =
-    let doc = "Drop the selection predicates (barebone join)." in
-    Arg.(value & flag & info [ "barebone" ] ~doc)
-  in
-  let time_arg =
-    let doc = "Time budget in seconds." in
-    Arg.(value & opt float 5.0 & info [ "time" ] ~docv:"SECONDS" ~doc)
-  in
-  let target_arg =
-    let doc = "Stop at this relative confidence half-width, in percent." in
-    Arg.(value & opt (some float) None & info [ "target" ] ~docv:"PCT" ~doc)
-  in
-  let exact_arg =
-    let doc = "Also run the exact join and report the actual error." in
-    Arg.(value & flag & info [ "exact" ] ~doc)
-  in
-  let complete_arg =
-    let doc =
-      "Run-to-completion mode: race wander join against the full join in a \
-       second domain and return the exact answer when it lands."
+let tpch_run sf seed tbl_dir spec barebone time target exact complete metrics json =
+  let d = load sf seed tbl_dir in
+  let variant = if barebone then Wj_tpch.Queries.Barebone else Standard in
+  let q = Wj_tpch.Queries.build ~variant spec d in
+  let reg = Wj_tpch.Queries.registry q in
+  let sink, m_opt = metrics_sink ~metrics ~json in
+  let target = Option.map (fun pct -> Wj_stats.Target.relative (pct /. 100.0)) target in
+  if complete then begin
+    let r =
+      Wj_exec.Complete.run ~seed ?target ~report_every:0.5
+        ~on_report:(fun rep ->
+          Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks)\n%!" rep.elapsed
+            rep.estimate rep.half_width rep.walks)
+        q reg
     in
-    Arg.(value & flag & info [ "complete" ] ~doc)
-  in
-  let run sf seed tbl_dir spec barebone time target exact complete metrics json =
-    let d = load sf seed tbl_dir in
-    let variant = if barebone then Wj_tpch.Queries.Barebone else Standard in
-    let q = Wj_tpch.Queries.build ~variant spec d in
-    let reg = Wj_tpch.Queries.registry q in
-    let sink, m_opt = metrics_sink ~metrics ~json in
-    let target = Option.map (fun pct -> Wj_stats.Target.relative (pct /. 100.0)) target in
-    if complete then begin
-      let r =
-        Wj_exec.Complete.run ~seed ?target ~report_every:0.5
-          ~on_report:(fun rep ->
-            Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks)\n%!" rep.elapsed
-              rep.estimate rep.half_width rep.walks)
-          q reg
-      in
-      Printf.printf "full join finished in %.3fs: exact = %.6g (join size %d)\n"
-        r.exact_time r.exact.value r.exact.join_size;
-      Printf.printf "online at cancellation: %.6g +/- %.4g (%d walks)\n"
-        r.online.final.estimate r.online.final.half_width r.online.final.walks;
-      0
-    end
-    else begin
-      let out =
-        Wj_core.Online.run ~seed ~max_time:time ?target ~report_every:1.0 ~sink
-          ~on_report:(fun r ->
-            Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks, %d successes)\n%!"
-              r.elapsed r.estimate r.half_width r.walks r.successes)
-          q reg
-      in
-      Printf.printf "final: %.6g +/- %.4g after %.2fs (%d walks; plan %s)\n"
-        out.final.estimate out.final.half_width out.final.elapsed out.final.walks
-        out.plan_description;
-      if exact then begin
-        let e = Wj_exec.Exact.aggregate q reg in
-        Printf.printf "exact: %.6g (join size %d); actual error %.4f%%\n" e.value
-          e.join_size
-          (100.0 *. Float.abs ((out.final.estimate -. e.value) /. e.value))
-      end;
-      (match m_opt with Some m -> Wj_core.Registry.export_metrics reg m | None -> ());
-      metrics_finish ~json m_opt;
-      0
-    end
-  in
-  let doc = "Run a TPC-H benchmark query with wander join." in
-  Cmd.v (Cmd.info "tpch" ~doc)
-    Term.(
-      const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ barebone_arg $ time_arg
-      $ target_arg $ exact_arg $ complete_arg $ metrics_arg $ metrics_json_arg)
+    Printf.printf "full join finished in %.3fs: exact = %.6g (join size %d)\n"
+      r.exact_time r.exact.value r.exact.join_size;
+    Printf.printf "online at cancellation: %.6g +/- %.4g (%d walks)\n"
+      r.online.final.estimate r.online.final.half_width r.online.final.walks;
+    0
+  end
+  else begin
+    let out =
+      Wj_core.Online.run ~seed ~max_time:time ?target ~report_every:1.0 ~sink
+        ~on_report:(fun r ->
+          Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks, %d successes)\n%!"
+            r.elapsed r.estimate r.half_width r.walks r.successes)
+        q reg
+    in
+    Printf.printf "final: %.6g +/- %.4g after %.2fs (%d walks; plan %s)\n"
+      out.final.estimate out.final.half_width out.final.elapsed out.final.walks
+      out.plan_description;
+    if exact then begin
+      let e = Wj_exec.Exact.aggregate q reg in
+      Printf.printf "exact: %.6g (join size %d); actual error %.4f%%\n" e.value
+        e.join_size
+        (100.0 *. Float.abs ((out.final.estimate -. e.value) /. e.value))
+    end;
+    (match m_opt with Some m -> Wj_core.Registry.export_metrics reg m | None -> ());
+    metrics_finish ~json m_opt;
+    0
+  end
+
+let tpch_term =
+  let barebone_arg = Arg.(value & flag & Flag.(info barebone)) in
+  let time_arg = Arg.(value & opt float 5.0 & Flag.(info (time 5.0))) in
+  let target_arg = Arg.(value & opt (some float) None & Flag.(info target)) in
+  let exact_arg = Arg.(value & flag & Flag.(info exact)) in
+  let complete_arg = Arg.(value & flag & Flag.(info complete)) in
+  Term.(
+    const tpch_run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ barebone_arg
+    $ time_arg $ target_arg $ exact_arg $ complete_arg $ metrics_arg
+    $ metrics_json_arg)
 
 (* --- plans ------------------------------------------------------------ *)
 
-let plans_cmd =
-  let run sf seed tbl_dir spec =
-    let d = load sf seed tbl_dir in
-    let q = Wj_tpch.Queries.build ~variant:Standard spec d in
-    let reg = Wj_tpch.Queries.registry q in
-    let prng = Wj_util.Prng.create seed in
-    let r = Wj_core.Optimizer.choose q reg prng in
-    Printf.printf "%d plans enumerated; optimizer trials: %d walks\n"
-      (List.length r.reports) r.total_trial_walks;
-    List.iter
-      (fun (p : Wj_core.Optimizer.plan_report) ->
-        Printf.printf "%s %-60s  success %4d/%-5d  Var*E[T] %.4g\n"
-          (if p.chosen then "*" else " ")
-          (Wj_core.Walk_plan.describe q p.plan)
-          p.trial_successes p.trial_walks p.objective)
-      r.reports;
-    0
-  in
-  let doc = "Enumerate walk plans and show the optimizer's evaluation." in
-  Cmd.v (Cmd.info "plans" ~doc)
-    Term.(const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg)
+let plans_run sf seed tbl_dir spec =
+  let d = load sf seed tbl_dir in
+  let q = Wj_tpch.Queries.build ~variant:Standard spec d in
+  let reg = Wj_tpch.Queries.registry q in
+  let prng = Wj_util.Prng.create seed in
+  let r = Wj_core.Optimizer.choose q reg prng in
+  Printf.printf "%d plans enumerated; optimizer trials: %d walks\n"
+    (List.length r.reports) r.total_trial_walks;
+  List.iter
+    (fun (p : Wj_core.Optimizer.plan_report) ->
+      Printf.printf "%s %-60s  success %4d/%-5d  Var*E[T] %.4g\n"
+        (if p.chosen then "*" else " ")
+        (Wj_core.Walk_plan.describe q p.plan)
+        p.trial_successes p.trial_walks p.objective)
+    r.reports;
+  0
+
+let plans_term = Term.(const plans_run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg)
 
 (* --- groupby ----------------------------------------------------------- *)
 
-let groupby_cmd =
-  let stratified_arg =
-    let doc = "Use stratified sampling (one stratum per group, adaptive allocation)." in
-    Arg.(value & flag & info [ "stratified" ] ~doc)
-  in
-  let time_arg =
-    let doc = "Time budget in seconds." in
-    Arg.(value & opt float 3.0 & info [ "time" ] ~docv:"SECONDS" ~doc)
-  in
-  let run sf seed tbl_dir spec stratified time =
-    match spec with
-    | Wj_tpch.Queries.Q7 ->
-      Printf.eprintf "GROUP BY c_mktsegment is not available for Q7\n";
-      1
-    | _ ->
-      let d = load sf seed tbl_dir in
-      let q = Wj_tpch.Queries.build ~variant:Standard ~group_by_segment:true spec d in
-      let reg = Wj_tpch.Queries.registry q in
-      let print_report key (r : Wj_core.Online.report) extra =
-        Printf.printf "  %-14s %12.6g +/- %-10.4g (%5.2f%%)%s\n"
-          (Wj_storage.Value.to_display key)
-          r.estimate r.half_width
-          (100.0 *. r.half_width /. Float.abs r.estimate)
-          extra
+let groupby_run sf seed tbl_dir spec stratified time =
+  match spec with
+  | Wj_tpch.Queries.Q7 ->
+    Printf.eprintf "GROUP BY c_mktsegment is not available for Q7\n";
+    1
+  | _ ->
+    let d = load sf seed tbl_dir in
+    let q = Wj_tpch.Queries.build ~variant:Standard ~group_by_segment:true spec d in
+    let reg = Wj_tpch.Queries.registry q in
+    let print_report key (r : Wj_core.Online.report) extra =
+      Printf.printf "  %-14s %12.6g +/- %-10.4g (%5.2f%%)%s\n"
+        (Wj_storage.Value.to_display key)
+        r.estimate r.half_width
+        (100.0 *. r.half_width /. Float.abs r.estimate)
+        extra
+    in
+    if stratified then begin
+      (* Stratify on the dictionary-encoded segment id. *)
+      let pos, _ = Option.get q.Wj_core.Query.group_by in
+      let seg_id =
+        Wj_storage.Table.column_index q.Wj_core.Query.tables.(pos) "c_mktsegment_id"
       in
-      if stratified then begin
-        (* Stratify on the dictionary-encoded segment id. *)
-        let pos, _ = Option.get q.Wj_core.Query.group_by in
-        let seg_id =
-          Wj_storage.Table.column_index q.Wj_core.Query.tables.(pos) "c_mktsegment_id"
-        in
-        let q = { q with Wj_core.Query.group_by = Some (pos, seg_id) } in
-        Wj_core.Registry.add reg ~pos ~column:seg_id
-          (Wj_index.Index.build_ordered q.Wj_core.Query.tables.(pos) ~column:seg_id);
-        let out = Wj_core.Stratified.run ~seed ~max_time:time q reg in
-        Printf.printf "stratified, %d walks total:\n" out.total_walks;
-        List.iter
-          (fun (g : Wj_core.Stratified.group_state) ->
-            let label =
-              Wj_tpch.Generator.market_segments.(Wj_storage.Value.to_int g.key)
-            in
-            print_report (Wj_storage.Value.Str label) g.report
-              (Printf.sprintf "  [%d walks]" g.report.walks))
-          out.strata
-      end
-      else begin
-        let out = Wj_core.Online.run_group_by ~seed ~max_time:time q reg in
-        Printf.printf "plain group-by, %d walks total:\n" out.total_walks;
-        List.iter (fun (key, r) -> print_report key r "") out.groups
-      end;
-      0
-  in
-  let doc = "Online GROUP BY c_mktsegment for a benchmark query." in
-  Cmd.v (Cmd.info "groupby" ~doc)
-    Term.(
-      const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ stratified_arg $ time_arg)
+      let q = { q with Wj_core.Query.group_by = Some (pos, seg_id) } in
+      Wj_core.Registry.add reg ~pos ~column:seg_id
+        (Wj_index.Index.build_ordered q.Wj_core.Query.tables.(pos) ~column:seg_id);
+      let out = Wj_core.Stratified.run ~seed ~max_time:time q reg in
+      Printf.printf "stratified, %d walks total:\n" out.total_walks;
+      List.iter
+        (fun (g : Wj_core.Stratified.group_state) ->
+          let label =
+            Wj_tpch.Generator.market_segments.(Wj_storage.Value.to_int g.key)
+          in
+          print_report (Wj_storage.Value.Str label) g.report
+            (Printf.sprintf "  [%d walks]" g.report.walks))
+        out.strata
+    end
+    else begin
+      let out = Wj_core.Online.run_group_by ~seed ~max_time:time q reg in
+      Printf.printf "plain group-by, %d walks total:\n" out.total_walks;
+      List.iter (fun (key, r) -> print_report key r "") out.groups
+    end;
+    0
+
+let groupby_term =
+  let stratified_arg = Arg.(value & flag & Flag.(info stratified)) in
+  let time_arg = Arg.(value & opt float 3.0 & Flag.(info (time 3.0))) in
+  Term.(
+    const groupby_run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ stratified_arg
+    $ time_arg)
 
 (* --- suggest ------------------------------------------------------------ *)
 
-let suggest_cmd =
-  let run sf seed tbl_dir spec =
-    let d = load sf seed tbl_dir in
-    let q = Wj_tpch.Queries.build ~variant:Standard spec d in
-    let reg = Wj_tpch.Queries.registry q in
-    let order, estimates = Wj_core.Cardinality.suggest_order ~seed q reg in
-    Printf.printf "suggested join order: %s\n"
-      (String.concat " -> "
-         (Array.to_list (Array.map (fun i -> q.Wj_core.Query.names.(i)) order)));
-    List.iter
-      (fun (e : Wj_core.Cardinality.estimate) ->
-        Printf.printf "  after {%s}: ~%.4g results (+/- %.3g, %d walks)\n"
-          (String.concat ", "
-             (List.map (fun i -> q.Wj_core.Query.names.(i)) e.members))
-          e.size e.half_width e.walks)
-      estimates;
-    (match Wj_core.Walk_plan.of_order q reg order with
-    | Some plan ->
-      let guided = Wj_exec.Exact.aggregate ~plan q reg in
-      let naive = Wj_exec.Exact.aggregate q reg in
-      Printf.printf "exact execution cost: %d tuples (FROM order: %d)\n"
-        guided.rows_visited naive.rows_visited
-    | None -> Printf.printf "(order not walkable with current indexes)\n");
-    0
-  in
-  let doc = "Suggest a full-join order from wander-join cardinality estimates." in
-  Cmd.v (Cmd.info "suggest" ~doc)
-    Term.(const run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg)
+let suggest_run sf seed tbl_dir spec =
+  let d = load sf seed tbl_dir in
+  let q = Wj_tpch.Queries.build ~variant:Standard spec d in
+  let reg = Wj_tpch.Queries.registry q in
+  let order, estimates = Wj_core.Cardinality.suggest_order ~seed q reg in
+  Printf.printf "suggested join order: %s\n"
+    (String.concat " -> "
+       (Array.to_list (Array.map (fun i -> q.Wj_core.Query.names.(i)) order)));
+  List.iter
+    (fun (e : Wj_core.Cardinality.estimate) ->
+      Printf.printf "  after {%s}: ~%.4g results (+/- %.3g, %d walks)\n"
+        (String.concat ", "
+           (List.map (fun i -> q.Wj_core.Query.names.(i)) e.members))
+        e.size e.half_width e.walks)
+    estimates;
+  (match Wj_core.Walk_plan.of_order q reg order with
+  | Some plan ->
+    let guided = Wj_exec.Exact.aggregate ~plan q reg in
+    let naive = Wj_exec.Exact.aggregate q reg in
+    Printf.printf "exact execution cost: %d tuples (FROM order: %d)\n"
+      guided.rows_visited naive.rows_visited
+  | None -> Printf.printf "(order not walkable with current indexes)\n");
+  0
+
+let suggest_term = Term.(const suggest_run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg)
+
+(* --- command table ----------------------------------------------------- *)
+
+(* One row per subcommand: name, one doc line, term.  `wjcli --help`'s
+   COMMANDS section is generated by cmdliner from exactly this table. *)
+let commands =
+  [
+    ("query", "Execute a SQL statement (use SELECT ONLINE for online aggregation).", query_term);
+    ("serve", "Run several SQL statements concurrently under the session scheduler.", serve_term);
+    ("tpch", "Run a TPC-H benchmark query with wander join.", tpch_term);
+    ("plans", "Enumerate walk plans and show the optimizer's evaluation.", plans_term);
+    ("groupby", "Online GROUP BY c_mktsegment for a benchmark query.", groupby_term);
+    ("suggest", "Suggest a full-join order from wander-join cardinality estimates.", suggest_term);
+  ]
 
 let () =
   let doc = "Wander join: online aggregation via random walks" in
   let info = Cmd.info "wjcli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ query_cmd; tpch_cmd; plans_cmd; groupby_cmd; suggest_cmd ]))
+       (Cmd.group info
+          (List.map (fun (name, doc, term) -> Cmd.v (Cmd.info name ~doc) term) commands)))

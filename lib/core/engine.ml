@@ -154,7 +154,25 @@ module Driver = struct
     check "report_mask" p.report_mask;
     check "cancel_mask" p.cancel_mask
 
-  let run ?(polls = default_polls) ?(sink = Wj_obs.Sink.noop) ?progress
+  type t = {
+    polls : polls;
+    sink : Wj_obs.Sink.t;
+    report_ticks : Wj_obs.Counter.t option;
+    progress : (unit -> Wj_obs.Progress.t) option;
+    target_reached : (unit -> bool) option;
+    should_stop : (unit -> bool) option;
+    max_walks : int option;
+    interval : float;
+    mutable next_report : float;
+    max_time : float;
+    clock : Timer.t;
+    walks : unit -> int;
+    step : unit -> unit;
+    on_report : (unit -> unit) option;
+    mutable stop : stop_reason option;
+  }
+
+  let make ?(polls = default_polls) ?(sink = Wj_obs.Sink.noop) ?progress
       ?target_reached ?should_stop ?max_walks ?report_every ?on_report ~max_time
       ~clock ~walks ~step () =
     validate_polls polls;
@@ -164,53 +182,112 @@ module Driver = struct
       | Some m -> Some (Wj_obs.Metrics.counter m "driver.report_ticks")
     in
     let interval = match report_every with Some r -> r | None -> infinity in
-    let next_report = ref interval in
-    let target_hit () =
-      match target_reached with
-      | None -> false
-      | Some f ->
-        (* Checking a CI after every single walk is wasteful; poll. *)
-        let n = walks () in
-        n > polls.target_mask && n land polls.target_mask = 0 && f ()
-    in
-    let cancelled () =
-      match should_stop with
-      | None -> false
-      | Some f -> walks () land polls.cancel_mask = 0 && f ()
-    in
-    let budget_exhausted () =
-      match max_walks with None -> false | Some m -> walks () >= m
-    in
-    let stop = ref None in
-    while !stop = None do
-      if target_hit () then stop := Some Target_reached
-      else if cancelled () then stop := Some Cancelled
-      else if Timer.elapsed clock >= max_time then stop := Some Time_up
-      else if budget_exhausted () then stop := Some Walk_budget_exhausted
-      else begin
-        step ();
-        if
-          walks () land polls.report_mask = 0
-          && Timer.elapsed clock >= !next_report
-        then begin
-          (match on_report with None -> () | Some f -> f ());
-          (match report_ticks with None -> () | Some c -> Wj_obs.Counter.incr c);
-          (match progress with
-          | Some p when Wj_obs.Sink.wants_events sink ->
-            Wj_obs.Sink.emit sink (Wj_obs.Event.Report (p ()))
-          | Some _ | None -> ());
-          next_report := !next_report +. interval
-        end
-      end
-    done;
-    let reason = Option.get !stop in
-    (match Wj_obs.Sink.metrics sink with
+    {
+      polls;
+      sink;
+      report_ticks;
+      progress;
+      target_reached;
+      should_stop;
+      max_walks;
+      interval;
+      next_report = interval;
+      max_time;
+      clock;
+      walks;
+      step;
+      on_report;
+      stop = None;
+    }
+
+  let stopped t = t.stop
+
+  (* Resolving the stop reason and the side effects that must accompany it
+     (one driver.stop.<reason> bump, one Stopped event) happen together,
+     exactly once, whether the loop stops itself or is interrupted. *)
+  let finalize t reason =
+    t.stop <- Some reason;
+    (match Wj_obs.Sink.metrics t.sink with
     | None -> ()
     | Some m ->
       Wj_obs.Counter.incr
         (Wj_obs.Metrics.counter m
            ("driver.stop." ^ Wj_obs.Event.stop_reason_name reason)));
-    if Wj_obs.Sink.wants_events sink then
-      Wj_obs.Sink.emit sink (Wj_obs.Event.Stopped reason);
-    reason
+    if Wj_obs.Sink.wants_events t.sink then
+      Wj_obs.Sink.emit t.sink (Wj_obs.Event.Stopped reason)
+
+  let interrupt t reason = if t.stop = None then finalize t reason
+
+  let target_hit t =
+    match t.target_reached with
+    | None -> false
+    | Some f ->
+      (* Checking a CI after every single walk is wasteful; poll. *)
+      let n = t.walks () in
+      n > t.polls.target_mask && n land t.polls.target_mask = 0 && f ()
+
+  let cancelled t =
+    match t.should_stop with
+    | None -> false
+    | Some f -> t.walks () land t.polls.cancel_mask = 0 && f ()
+
+  let budget_exhausted t =
+    match t.max_walks with None -> false | Some m -> t.walks () >= m
+
+  (* One loop iteration: either resolve the stop condition (returning false)
+     or perform one step plus its report check (returning true).  The check
+     order — target, cancellation, deadline, budget — is the contract. *)
+  let tick t =
+    if target_hit t then begin
+      finalize t Target_reached;
+      false
+    end
+    else if cancelled t then begin
+      finalize t Cancelled;
+      false
+    end
+    else if Timer.elapsed t.clock >= t.max_time then begin
+      finalize t Time_up;
+      false
+    end
+    else if budget_exhausted t then begin
+      finalize t Walk_budget_exhausted;
+      false
+    end
+    else begin
+      t.step ();
+      if
+        t.walks () land t.polls.report_mask = 0
+        && Timer.elapsed t.clock >= t.next_report
+      then begin
+        (match t.on_report with None -> () | Some f -> f ());
+        (match t.report_ticks with None -> () | Some c -> Wj_obs.Counter.incr c);
+        (match t.progress with
+        | Some p when Wj_obs.Sink.wants_events t.sink ->
+          Wj_obs.Sink.emit t.sink (Wj_obs.Event.Report (p ()))
+        | Some _ | None -> ());
+        t.next_report <- t.next_report +. t.interval
+      end;
+      true
+    end
+
+  let advance t ~max_steps =
+    if max_steps < 1 then invalid_arg "Engine.Driver.advance: max_steps must be >= 1";
+    let steps = ref 0 in
+    while t.stop = None && !steps < max_steps do
+      if tick t then incr steps
+    done;
+    t.stop
+
+  let drain t =
+    let rec go () =
+      match advance t ~max_steps:max_int with Some r -> r | None -> go ()
+    in
+    go ()
+
+  let run ?polls ?sink ?progress ?target_reached ?should_stop ?max_walks
+      ?report_every ?on_report ~max_time ~clock ~walks ~step () =
+    drain
+      (make ?polls ?sink ?progress ?target_reached ?should_stop ?max_walks
+         ?report_every ?on_report ~max_time ~clock ~walks ~step ())
 end

@@ -25,7 +25,10 @@ val create : ?batch:int -> Walker.prepared -> t
 (** [batch] defaults to 1.  Raises [Invalid_argument] when [batch < 1]. *)
 
 val batch : t -> int
+(** Number of in-flight walks. *)
+
 val prepared : t -> Walker.prepared
+(** The underlying prepared walker. *)
 
 val next : t -> Wj_util.Prng.t -> Walker.outcome
 (** Advance in-flight walks round-robin until one completes and return its
@@ -71,6 +74,57 @@ module Driver : sig
 
   val is_mask : int -> bool
   (** Whether the int is a valid poll mask ([2^k - 1] for some [k >= 0]). *)
+
+  type t
+  (** A resumable driver loop: the stop-condition/report state of {!run},
+      reified so a scheduler can grant it bounded quanta of steps
+      ({!advance}) instead of blocking until a stop condition fires.
+      {!run} itself is [make] followed by draining — one code path, so a
+      loop driven in quanta reproduces the blocking loop bit for bit. *)
+
+  val make :
+    ?polls:polls ->
+    ?sink:Wj_obs.Sink.t ->
+    ?progress:(unit -> Wj_obs.Progress.t) ->
+    ?target_reached:(unit -> bool) ->
+    ?should_stop:(unit -> bool) ->
+    ?max_walks:int ->
+    ?report_every:float ->
+    ?on_report:(unit -> unit) ->
+    max_time:float ->
+    clock:Wj_util.Timer.t ->
+    walks:(unit -> int) ->
+    step:(unit -> unit) ->
+    unit ->
+    t
+  (** Build a loop without running it.  Parameters are those of {!run};
+      raises [Invalid_argument] when a poll mask is not of the form
+      [2^k - 1]. *)
+
+  val advance : t -> max_steps:int -> stop_reason option
+  (** Run at most [max_steps] calls of [step], stopping early when a stop
+      condition resolves.  Returns [None] when the quantum was exhausted
+      with the loop still live, [Some reason] once the loop has stopped
+      (then and on every later call).  Stop conditions are checked before
+      each step in the same order and on the same polling cadence as
+      {!run}, so the sequence of steps, reports and the final reason are
+      identical to a blocking run.  Raises [Invalid_argument] when
+      [max_steps < 1]. *)
+
+  val interrupt : t -> stop_reason -> unit
+  (** Force the loop to stop with [reason] without performing further
+      steps: the stop counter bump and [Stopped] event fire here, exactly
+      as if the loop had resolved [reason] itself.  No-op when the loop has
+      already stopped.  A scheduler uses this for session-level
+      cancellation and deadlines, which must take effect between quanta
+      regardless of the loop's own [cancel_mask] cadence. *)
+
+  val stopped : t -> stop_reason option
+  (** The resolved stop reason, if the loop has stopped. *)
+
+  val drain : t -> stop_reason
+  (** Advance until a stop condition resolves and return it; {!run} is
+      [make] followed by [drain]. *)
 
   val run :
     ?polls:polls ->

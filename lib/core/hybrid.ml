@@ -94,7 +94,24 @@ let replicate_estimate q rep =
       sqrt (Float.max 0.0 ((wv2 /. w) -. (m1 *. m1)))
     end
 
-let run_session ?(config = default_config) ?(max_rounds = max_int)
+module Session = struct
+  type t = {
+    driver : Engine.Driver.t;
+    rounds : unit -> int;
+    result : unit -> outcome;
+  }
+
+  let advance t ~max_steps = Engine.Driver.advance t.driver ~max_steps
+  let interrupt t reason = Engine.Driver.interrupt t.driver reason
+  let stopped t = Engine.Driver.stopped t.driver
+  let rounds t = t.rounds ()
+
+  let outcome t =
+    if stopped t = None then invalid_arg "Hybrid.Session.outcome: still running";
+    t.result ()
+end
+
+let start_session ?(config = default_config) ?(max_rounds = max_int)
     (cfg : Run_config.t) q registry =
   let clock = Run_config.clock_or_wall cfg in
   let sink = cfg.sink in
@@ -215,42 +232,52 @@ let run_session ?(config = default_config) ?(max_rounds = max_int)
     Array.for_all all_frozen reps
     || (match cfg.Run_config.should_stop with None -> false | Some f -> f ())
   in
-  let (_ : Engine.Driver.stop_reason) =
-    Engine.Driver.run ~sink
+  let driver =
+    Engine.Driver.make ~sink
       ~polls:{ Engine.Driver.default_polls with cancel_mask = 0 }
       ~should_stop:frozen_or_cancelled ~max_walks:max_rounds
       ~max_time:cfg.Run_config.max_time ~clock
       ~walks:(fun () -> !rounds)
       ~step:round ()
   in
-  let estimates = Array.map (replicate_estimate q) reps in
-  let finite = Array.to_list estimates |> List.filter Float.is_finite in
-  let nf = List.length finite in
-  let mean = if nf = 0 then nan else List.fold_left ( +. ) 0.0 finite /. float_of_int nf in
-  let half_width =
-    if nf < 2 then infinity
-    else begin
-      let var =
-        List.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0.0 finite
-        /. float_of_int (nf - 1)
-      in
-      Wj_util.Normal.z_of_confidence confidence *. sqrt (var /. float_of_int nf)
-    end
+  let result () =
+    let estimates = Array.map (replicate_estimate q) reps in
+    let finite = Array.to_list estimates |> List.filter Float.is_finite in
+    let nf = List.length finite in
+    let mean =
+      if nf = 0 then nan else List.fold_left ( +. ) 0.0 finite /. float_of_int nf
+    in
+    let half_width =
+      if nf < 2 then infinity
+      else begin
+        let var =
+          List.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0.0 finite
+          /. float_of_int (nf - 1)
+        in
+        Wj_util.Normal.z_of_confidence confidence *. sqrt (var /. float_of_int nf)
+      end
+    in
+    let elapsed = Timer.elapsed clock in
+    {
+      estimate = mean;
+      half_width;
+      components;
+      component_plans = List.map (Walk_plan.describe q) plans;
+      rounds = !rounds;
+      walks = !walks;
+      elapsed;
+      replicate_estimates = estimates;
+      final =
+        Wj_obs.Progress.make ~elapsed ~walks:!walks ~successes:!successes
+          ~estimate:mean ~half_width ();
+    }
   in
-  let elapsed = Timer.elapsed clock in
-  {
-    estimate = mean;
-    half_width;
-    components;
-    component_plans = List.map (Walk_plan.describe q) plans;
-    rounds = !rounds;
-    walks = !walks;
-    elapsed;
-    replicate_estimates = estimates;
-    final =
-      Wj_obs.Progress.make ~elapsed ~walks:!walks ~successes:!successes
-        ~estimate:mean ~half_width ();
-  }
+  { Session.driver; rounds = (fun () -> !rounds); result }
+
+let run_session ?config ?max_rounds (cfg : Run_config.t) q registry =
+  let s = start_session ?config ?max_rounds cfg q registry in
+  let (_ : Engine.Driver.stop_reason) = Engine.Driver.drain s.Session.driver in
+  Session.outcome s
 
 let run ?(seed = 2024) ?(confidence = 0.95) ?(config = default_config)
     ?(max_time = 10.0) ?(max_rounds = max_int) ?clock ?(batch = 1) ?sink q registry =

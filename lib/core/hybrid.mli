@@ -22,6 +22,7 @@ type config = {
 }
 
 val default_config : config
+(** The field defaults above. *)
 
 type outcome = {
   estimate : float;
@@ -36,6 +37,34 @@ type outcome = {
       (** the unified progress view of the run ([walks] = component walks,
           [successes] = successful component paths) *)
 }
+
+module Session : sig
+  type t
+  (** A resumable hybrid run; one {!advance} step is one round (every live
+      replicate x component walks once).  See {!Online.Session} for the
+      session model. *)
+
+  val advance : t -> max_steps:int -> Engine.Driver.stop_reason option
+  val interrupt : t -> Engine.Driver.stop_reason -> unit
+  val stopped : t -> Engine.Driver.stop_reason option
+
+  val rounds : t -> int
+  (** Rounds performed so far. *)
+
+  val outcome : t -> outcome
+  (** Raises [Invalid_argument] while the session is still running. *)
+end
+
+val start_session :
+  ?config:config ->
+  ?max_rounds:int ->
+  Run_config.t ->
+  Query.t ->
+  Registry.t ->
+  Session.t
+(** Decompose, choose component plans (running their trial walks), build
+    the engines, and return the handle without performing any rounds.
+    Raises as {!run_session}. *)
 
 val run_session :
   ?config:config ->

@@ -9,8 +9,11 @@
 type t
 
 val of_query : Query.t -> Registry.t -> t
+(** Build the graph; edge directions reflect the indexes currently
+    registered in the registry. *)
 
 val k : t -> int
+(** Number of vertices (= table positions). *)
 
 val conds_between : t -> int -> int -> Query.join_cond list
 (** All join conditions linking the two positions (either orientation,
@@ -27,6 +30,7 @@ val reachable_set : t -> int -> bool array
 (** Directed reachability closure from a vertex (includes the vertex). *)
 
 val undirected_adj : t -> int -> int list
+(** Neighbours across any join condition, ignoring direction. *)
 
 val is_tree : t -> bool
 (** True when the undirected query graph is acyclic (it is always connected

@@ -69,7 +69,28 @@ let pick_plan ~plan_choice ~eager_checks ~tracer ~sink q registry prng clock =
     let dt = Timer.elapsed clock -. t0 in
     (r.best, r.best_plan, r.trial_estimator, dt, r.total_trial_walks)
 
-let run_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t) q
+module Session = struct
+  type t = {
+    driver : Engine.Driver.t;
+    confidence : float;
+    clock : Timer.t;
+    est : Estimator.t;
+    result : unit -> outcome;
+  }
+
+  let advance t ~max_steps = Engine.Driver.advance t.driver ~max_steps
+  let interrupt t reason = Engine.Driver.interrupt t.driver reason
+  let stopped t = Engine.Driver.stopped t.driver
+
+  let progress t =
+    make_report ~confidence:t.confidence ~elapsed:(Timer.elapsed t.clock) t.est
+
+  let outcome t =
+    if stopped t = None then invalid_arg "Online.Session.outcome: still running";
+    t.result ()
+end
+
+let start_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t) q
     registry =
   let clock = Run_config.clock_or_wall cfg in
   let sink = cfg.sink in
@@ -97,24 +118,39 @@ let run_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t) q
       cfg.target
   in
   let step () = Engine.feed q prepared est (Engine.next engine prng) in
-  let stopped_because =
-    Engine.Driver.run ~sink ?target_reached ?should_stop:cfg.should_stop
+  let driver =
+    Engine.Driver.make ~sink ?target_reached ?should_stop:cfg.should_stop
       ?max_walks:cfg.max_walks ?report_every:cfg.report_every
       ~on_report:emit_report ~max_time:cfg.max_time ~clock
       ~walks:(fun () -> Estimator.n est)
       ~step ()
   in
-  let final = make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) est in
-  {
-    final;
-    estimator = est;
-    plan;
-    plan_description = Walk_plan.describe q plan;
-    optimizer_time;
-    optimizer_walks;
-    stopped_because;
-    history = List.rev !history;
-  }
+  let result () =
+    let stopped_because =
+      match Engine.Driver.stopped driver with
+      | Some r -> r
+      | None -> assert false
+    in
+    let final =
+      make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) est
+    in
+    {
+      final;
+      estimator = est;
+      plan;
+      plan_description = Walk_plan.describe q plan;
+      optimizer_time;
+      optimizer_walks;
+      stopped_because;
+      history = List.rev !history;
+    }
+  in
+  { Session.driver; confidence = cfg.confidence; clock; est; result }
+
+let run_session ?eager_checks ?tracer ?on_report (cfg : Run_config.t) q registry =
+  let s = start_session ?eager_checks ?tracer ?on_report cfg q registry in
+  let (_ : stop_reason) = Engine.Driver.drain s.Session.driver in
+  Session.outcome s
 
 let run ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     ?report_every ?on_report ?clock ?(plan_choice = Optimize Optimizer.default_config)
@@ -132,7 +168,25 @@ type group_outcome = {
   group_elapsed : float;
 }
 
-let run_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
+module Group_session = struct
+  type t = {
+    driver : Engine.Driver.t;
+    walks : unit -> int;
+    result : unit -> group_outcome;
+  }
+
+  let advance t ~max_steps = Engine.Driver.advance t.driver ~max_steps
+  let interrupt t reason = Engine.Driver.interrupt t.driver reason
+  let stopped t = Engine.Driver.stopped t.driver
+  let walks t = t.walks ()
+
+  let outcome t =
+    if stopped t = None then
+      invalid_arg "Online.Group_session.outcome: still running";
+    t.result ()
+end
+
+let start_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
   if q.Query.group_by = None then
     invalid_arg "Online.run_group_by: query has no GROUP BY";
   let clock = Run_config.clock_or_wall cfg in
@@ -189,14 +243,22 @@ let run_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
     | None -> ()
     | Some f -> f (Timer.elapsed clock) (snapshot ())
   in
-  let (_ : stop_reason) =
-    Engine.Driver.run ~sink ?should_stop:cfg.should_stop ?max_walks:cfg.max_walks
+  let driver =
+    Engine.Driver.make ~sink ?should_stop:cfg.should_stop ?max_walks:cfg.max_walks
       ?report_every:cfg.report_every ~on_report:emit_report ~max_time:cfg.max_time
       ~clock
       ~walks:(fun () -> !total)
       ~step ()
   in
-  { groups = snapshot (); total_walks = !total; group_elapsed = Timer.elapsed clock }
+  let result () =
+    { groups = snapshot (); total_walks = !total; group_elapsed = Timer.elapsed clock }
+  in
+  { Group_session.driver; walks = (fun () -> !total); result }
+
+let run_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
+  let s = start_group_by_session ?on_group_report cfg q registry in
+  let (_ : stop_reason) = Engine.Driver.drain s.Group_session.driver in
+  Group_session.outcome s
 
 let run_group_by ?(seed = 42) ?(confidence = 0.95) ?(max_time = 10.0) ?max_walks
     ?report_every ?on_group_report ?clock

@@ -50,6 +50,48 @@ type plan_choice = Run_config.plan_choice =
       (** the plan in the order the query was written — the "PG plan"
           baseline of Table 2 *)
 
+(** {2 Resumable sessions}
+
+    A session is a run reified as a value: plan selection and engine setup
+    happen at {!start_session}, then the walk loop is advanced in bounded
+    quanta by whoever holds the handle.  Draining a session in one go is
+    exactly {!run_session} — quantum-driven and blocking execution share
+    one code path ({!Engine.Driver}), which is what lets a scheduler
+    ({!Wj_service}) interleave many sessions while preserving each one's
+    fixed-seed trajectory bit for bit. *)
+
+module Session : sig
+  type t
+
+  val advance : t -> max_steps:int -> stop_reason option
+  (** Perform at most [max_steps] walks; [Some reason] once the session's
+      own stop condition (target/deadline/budget/cancellation) resolves. *)
+
+  val interrupt : t -> stop_reason -> unit
+  (** Stop the session between quanta (scheduler-level cancellation or
+      deadline); no-op when already stopped. *)
+
+  val stopped : t -> stop_reason option
+
+  val progress : t -> report
+  (** Current estimate/CI snapshot; safe at any point, costs no walks. *)
+
+  val outcome : t -> outcome
+  (** Raises [Invalid_argument] while the session is still running. *)
+end
+
+val start_session :
+  ?eager_checks:bool ->
+  ?tracer:(Walker.event -> unit) ->
+  ?on_report:(report -> unit) ->
+  Run_config.t ->
+  Query.t ->
+  Registry.t ->
+  Session.t
+(** Pick the plan (emitting [Plan_chosen]), build the engine and driver
+    loop, and return the handle without performing any walks.  Raises
+    [Invalid_argument] when the query admits no walk plan. *)
+
 val run_session :
   ?eager_checks:bool ->
   ?tracer:(Walker.event -> unit) ->
@@ -97,6 +139,30 @@ type group_outcome = {
   total_walks : int;
   group_elapsed : float;
 }
+
+module Group_session : sig
+  type t
+  (** Resumable group-by session; see {!Session} for the model. *)
+
+  val advance : t -> max_steps:int -> stop_reason option
+  val interrupt : t -> stop_reason -> unit
+  val stopped : t -> stop_reason option
+
+  val walks : t -> int
+  (** Total walks performed so far. *)
+
+  val outcome : t -> group_outcome
+  (** Raises [Invalid_argument] while the session is still running. *)
+end
+
+val start_group_by_session :
+  ?on_group_report:(float -> (Wj_storage.Value.t * report) list -> unit) ->
+  Run_config.t ->
+  Query.t ->
+  Registry.t ->
+  Group_session.t
+(** As {!start_session}, for GROUP BY queries.  Raises [Invalid_argument]
+    when the query has no GROUP BY clause. *)
 
 val run_group_by_session :
   ?on_group_report:(float -> (Wj_storage.Value.t * report) list -> unit) ->

@@ -9,6 +9,7 @@ type outcome = {
   plan_description : string;
   domains_used : int;
   per_domain_walks : int array;
+  stopped_because : Engine.Driver.stop_reason;
 }
 
 let run_session ?domains ?walks_per_domain (cfg : Run_config.t) q registry =
@@ -49,18 +50,18 @@ let run_session ?domains ?walks_per_domain (cfg : Run_config.t) q registry =
     let prepared = Walker.prepare ~sink:(worker_sink i) q registry plan in
     let engine = Engine.create ~batch:cfg.batch prepared in
     let est = Estimator.create q.Query.agg in
-    let (_ : Engine.Driver.stop_reason) =
+    let reason =
       Engine.Driver.run ~sink:(worker_sink i) ?max_walks:walks_per_domain
         ?should_stop:cfg.should_stop ~max_time:cfg.max_time ~clock
         ~walks:(fun () -> Estimator.n est)
         ~step:(fun () -> Engine.feed q prepared est (Engine.next engine prng))
         ()
     in
-    est
+    (est, reason)
   in
   let handles = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
-  let own = worker 0 () in
-  let parts = own :: List.map Domain.join handles in
+  let own, own_reason = worker 0 () in
+  let parts = own :: List.map (fun h -> fst (Domain.join h)) handles in
   let per_domain_walks = Array.of_list (List.map Estimator.n parts) in
   let merged = List.fold_left Estimator.merge seed_estimator parts in
   {
@@ -74,6 +75,7 @@ let run_session ?domains ?walks_per_domain (cfg : Run_config.t) q registry =
     plan_description = Walk_plan.describe q plan;
     domains_used = domains;
     per_domain_walks;
+    stopped_because = own_reason;
   }
 
 let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_domain
@@ -82,3 +84,54 @@ let run ?(seed = 77) ?(confidence = 0.95) ?domains ?(max_time = 1.0) ?walks_per_
   run_session ?domains ?walks_per_domain
     (Run_config.make ~seed ~confidence ~max_time ~plan_choice ~batch ?sink ())
     q registry
+
+(* A parallel run blocks on its spawned domains, so its session handle is
+   one-shot: the first [advance] executes the entire fan-out regardless of
+   [max_steps].  [interrupt] before that first advance skips the run; once
+   running, cancellation goes through [cfg.should_stop] like anywhere else. *)
+module Session = struct
+  type t = {
+    exec : unit -> outcome;
+    mutable result : outcome option;
+    mutable stop : Engine.Driver.stop_reason option;
+    cancelled : bool ref;
+  }
+
+  let stopped t = t.stop
+
+  let advance t ~max_steps =
+    if max_steps < 1 then invalid_arg "Parallel.Session.advance: max_steps < 1";
+    (match t.stop with
+    | Some _ -> ()
+    | None ->
+      let o = t.exec () in
+      t.result <- Some o;
+      t.stop <- Some o.stopped_because);
+    t.stop
+
+  let interrupt t reason =
+    if t.stop = None then begin
+      t.cancelled := true;
+      t.stop <- Some reason
+    end
+
+  let outcome t =
+    match t.result with
+    | Some o -> o
+    | None -> invalid_arg "Parallel.Session.outcome: session did not run"
+end
+
+let start_session ?domains ?walks_per_domain (cfg : Run_config.t) q registry =
+  let cancelled = ref false in
+  let should_stop =
+    match cfg.Run_config.should_stop with
+    | None -> fun () -> !cancelled
+    | Some f -> fun () -> !cancelled || f ()
+  in
+  let cfg = { cfg with Run_config.should_stop = Some should_stop } in
+  {
+    Session.exec = (fun () -> run_session ?domains ?walks_per_domain cfg q registry);
+    result = None;
+    stop = None;
+    cancelled;
+  }

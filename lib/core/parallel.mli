@@ -16,6 +16,9 @@ type outcome = {
   plan_description : string;
   domains_used : int;
   per_domain_walks : int array;
+  stopped_because : Engine.Driver.stop_reason;
+      (** the calling domain's stop reason (spawned domains resolve the
+          same conditions against the same budgets) *)
 }
 
 val run_session :
@@ -52,3 +55,37 @@ val run :
   outcome
 (** Thin shim over {!run_session}; defaults seed 77, confidence 0.95,
     [max_time] 1 s, optimizer plan choice, batch 1, no-op sink. *)
+
+module Session : sig
+  type t
+  (** A {b one-shot} session handle: a parallel run blocks on its spawned
+      domains, so the first {!advance} executes the entire fan-out
+      regardless of [max_steps] and later calls return the resolved stop
+      reason.  This keeps the handle interface uniform with
+      {!Online.Session} so a scheduler can host parallel jobs; such jobs
+      simply occupy their whole lifetime within one quantum. *)
+
+  val advance : t -> max_steps:int -> Engine.Driver.stop_reason option
+  (** Always returns [Some _].  Raises [Invalid_argument] when
+      [max_steps < 1]. *)
+
+  val interrupt : t -> Engine.Driver.stop_reason -> unit
+  (** Before the first {!advance}: the run is skipped entirely and
+      {!outcome} will raise.  After it: no-op (the run has finished). *)
+
+  val stopped : t -> Engine.Driver.stop_reason option
+
+  val outcome : t -> outcome
+  (** Raises [Invalid_argument] when the run was interrupted before its
+      first {!advance} (there is no partial parallel outcome). *)
+end
+
+val start_session :
+  ?domains:int ->
+  ?walks_per_domain:int ->
+  Run_config.t ->
+  Query.t ->
+  Registry.t ->
+  Session.t
+(** Build the one-shot handle; nothing runs (not even plan selection)
+    until the first [advance]. *)

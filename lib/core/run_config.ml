@@ -49,5 +49,8 @@ let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     sink;
   }
 
+let with_seed t seed = { t with seed }
+let with_sink t sink = { t with sink }
+
 let clock_or_wall t =
   match t.clock with Some c -> c | None -> Wj_util.Timer.wall ()

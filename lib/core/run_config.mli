@@ -48,5 +48,12 @@ val make :
   t
 (** Defaults as in {!default}. *)
 
+val with_seed : t -> int -> t
+(** Functional update, for deriving per-session configs from a shared
+    base (the service layer's admission path). *)
+
+val with_sink : t -> Wj_obs.Sink.t -> t
+(** Functional update of the observability sink. *)
+
 val clock_or_wall : t -> Wj_util.Timer.t
 (** The configured clock, or a fresh wall clock started now. *)

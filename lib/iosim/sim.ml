@@ -86,7 +86,8 @@ let sink ?metrics t =
     | Report _ | Stopped _ -> (
       match metrics with Some m -> export_gauges t m | None -> ())
     | Walk_started | Walk_succeeded _ | Walk_failed _ | Pool_hit _ | Pool_miss _
-    | Plan_chosen _ ->
+    | Plan_chosen _ | Session_admitted _ | Session_started _ | Session_report _
+    | Session_finished _ ->
       ()
   in
   Wj_obs.Sink.make ~on_event ?metrics ()

@@ -17,6 +17,13 @@ val of_cells : int array -> int -> t
     carves all its counters out of shared chunks). *)
 
 val incr : t -> unit
+(** Add 1. *)
+
 val add : t -> int -> unit
+(** Add [n] (negative deltas are allowed but defeat monotonicity). *)
+
 val value : t -> int
+(** Current count. *)
+
 val reset : t -> unit
+(** Back to 0. *)

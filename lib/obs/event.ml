@@ -11,6 +11,10 @@ type t =
   | Plan_chosen of { description : string }
   | Report of Progress.t
   | Stopped of stop_reason
+  | Session_admitted of { session : int; label : string }
+  | Session_started of { session : int }
+  | Session_report of { session : int; progress : Progress.t }
+  | Session_finished of { session : int; outcome : string }
 
 let stop_reason_name = function
   | Target_reached -> "target_reached"
@@ -32,3 +36,11 @@ let describe = function
       p.Progress.elapsed p.Progress.walks p.Progress.successes p.Progress.estimate
       p.Progress.half_width
   | Stopped r -> "stopped " ^ stop_reason_name r
+  | Session_admitted { session; label } ->
+    Printf.sprintf "session_admitted session=%d label=%s" session label
+  | Session_started { session } -> Printf.sprintf "session_started session=%d" session
+  | Session_report { session; progress } ->
+    Printf.sprintf "session_report session=%d walks=%d estimate=%g +/-%g" session
+      progress.Progress.walks progress.Progress.estimate progress.Progress.half_width
+  | Session_finished { session; outcome } ->
+    Printf.sprintf "session_finished session=%d outcome=%s" session outcome

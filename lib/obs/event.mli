@@ -27,11 +27,25 @@ type t =
   | Row_access of { pos : int; row : int }  (** Tuple fetch. *)
   | Pool_hit of { table : int; page : int }
   | Pool_miss of { table : int; page : int }
-  | Plan_chosen of { description : string }
+  | Plan_chosen of { description : string }  (** The driver picked a walk plan. *)
   | Report of Progress.t  (** Periodic report tick. *)
   | Stopped of stop_reason  (** The driver resolved its stop condition. *)
+  | Session_admitted of { session : int; label : string }
+      (** A scheduler accepted a session into its queue ({!Wj_service}). *)
+  | Session_started of { session : int }
+      (** The session left the admission queue and began running. *)
+  | Session_report of { session : int; progress : Progress.t }
+      (** A scheduler-level progress report for one session (distinct from
+          the session's own driver [Report] ticks). *)
+  | Session_finished of { session : int; outcome : string }
+      (** The session reached a terminal state; [outcome] is the terminal
+          state's name (["done"], ["cancelled"], ["deadline_exceeded"]) —
+          a string so this module stays below the service layer in the
+          dependency order. *)
 
 val stop_reason_name : stop_reason -> string
+(** Lowercase snake-case name, also used as the metric-family suffix of
+    the driver's [driver.stop.<reason>] counters. *)
 
 val describe : t -> string
 (** One-line rendering for logging sinks. *)

@@ -14,6 +14,13 @@ val of_cells : float array -> int -> t
 (** A gauge backed by cell [off] of a caller-owned arena. *)
 
 val set : t -> float -> unit
+(** Overwrite the level. *)
+
 val add : t -> float -> unit
+(** Accumulate into the level. *)
+
 val value : t -> float
+(** Current level. *)
+
 val reset : t -> unit
+(** Back to 0. *)

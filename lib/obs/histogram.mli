@@ -17,6 +17,7 @@ val of_cells : int array -> int -> buckets:int -> t
     arena. *)
 
 val buckets : t -> int
+(** Number of buckets. *)
 
 val observe : t -> int -> unit
 (** Increment bucket [i], clamped into [0, buckets-1]. *)
@@ -34,3 +35,4 @@ val to_array : t -> int array
 (** Fresh copy of the bucket values. *)
 
 val reset : t -> unit
+(** All buckets back to 0. *)

@@ -8,7 +8,11 @@ type family =
    instead of resizing. *)
 let chunk_size = 256
 
-type t = {
+(* The mutable arenas and the name table live in a [core] shared by every
+   scoped view of a registry: views differ only in the name prefix they
+   apply at find-or-create time, so allocation cursors and registrations
+   stay coherent no matter which view performs them. *)
+type core = {
   mutable ichunk : int array;
   mutable iused : int;
   mutable fchunk : float array;
@@ -16,70 +20,85 @@ type t = {
   table : (string, family) Hashtbl.t;
 }
 
+type t = { core : core; prefix : string }
+
 let create () =
   {
-    ichunk = Array.make chunk_size 0;
-    iused = 0;
-    fchunk = Array.make chunk_size 0.0;
-    fused = 0;
-    table = Hashtbl.create 64;
+    core =
+      {
+        ichunk = Array.make chunk_size 0;
+        iused = 0;
+        fchunk = Array.make chunk_size 0.0;
+        fused = 0;
+        table = Hashtbl.create 64;
+      };
+    prefix = "";
   }
 
-let alloc_int t n =
+let scoped t name =
+  if name = "" then invalid_arg "Metrics.scoped: empty scope name";
+  { t with prefix = t.prefix ^ name ^ "." }
+
+let prefix t = t.prefix
+
+let alloc_int c n =
   if n > chunk_size then (Array.make n 0, 0)
   else begin
-    if t.iused + n > chunk_size then begin
-      t.ichunk <- Array.make chunk_size 0;
-      t.iused <- 0
+    if c.iused + n > chunk_size then begin
+      c.ichunk <- Array.make chunk_size 0;
+      c.iused <- 0
     end;
-    let off = t.iused in
-    t.iused <- t.iused + n;
-    (t.ichunk, off)
+    let off = c.iused in
+    c.iused <- c.iused + n;
+    (c.ichunk, off)
   end
 
-let alloc_float t =
-  if t.fused >= chunk_size then begin
-    t.fchunk <- Array.make chunk_size 0.0;
-    t.fused <- 0
+let alloc_float c =
+  if c.fused >= chunk_size then begin
+    c.fchunk <- Array.make chunk_size 0.0;
+    c.fused <- 0
   end;
-  let off = t.fused in
-  t.fused <- t.fused + 1;
-  (t.fchunk, off)
+  let off = c.fused in
+  c.fused <- c.fused + 1;
+  (c.fchunk, off)
 
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " is registered as another kind")
 
 let counter t name =
-  match Hashtbl.find_opt t.table name with
+  let name = t.prefix ^ name in
+  match Hashtbl.find_opt t.core.table name with
   | Some (Counter c) -> c
   | Some _ -> kind_error name
   | None ->
-    let cells, off = alloc_int t 1 in
+    let cells, off = alloc_int t.core 1 in
     let c = Counter.of_cells cells off in
-    Hashtbl.add t.table name (Counter c);
+    Hashtbl.add t.core.table name (Counter c);
     c
 
 let histogram t ?(buckets = 32) name =
-  match Hashtbl.find_opt t.table name with
+  let name = t.prefix ^ name in
+  match Hashtbl.find_opt t.core.table name with
   | Some (Histogram h) -> h
   | Some _ -> kind_error name
   | None ->
-    let cells, off = alloc_int t buckets in
+    let cells, off = alloc_int t.core buckets in
     let h = Histogram.of_cells cells off ~buckets in
-    Hashtbl.add t.table name (Histogram h);
+    Hashtbl.add t.core.table name (Histogram h);
     h
 
 let gauge t name =
-  match Hashtbl.find_opt t.table name with
+  let name = t.prefix ^ name in
+  match Hashtbl.find_opt t.core.table name with
   | Some (Gauge g) -> g
   | Some _ -> kind_error name
   | None ->
-    let cells, off = alloc_float t in
+    let cells, off = alloc_float t.core in
     let g = Gauge.of_cells cells off in
-    Hashtbl.add t.table name (Gauge g);
+    Hashtbl.add t.core.table name (Gauge g);
     g
 
 let families t =
-  Hashtbl.fold (fun name fam acc -> (name, fam) :: acc) t.table []
+  Hashtbl.fold (fun name fam acc -> (name, fam) :: acc) t.core.table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset t =
@@ -89,4 +108,4 @@ let reset t =
       | Counter c -> Counter.reset c
       | Histogram h -> Histogram.reset h
       | Gauge g -> Gauge.reset g)
-    t.table
+    t.core.table

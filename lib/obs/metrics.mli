@@ -9,11 +9,27 @@
 
     Registration ([counter]/[histogram]/[gauge]) allocates and is meant
     for setup time; the returned handles are then free of any name lookup
-    on the hot path.  Read a consistent-enough view with {!Snapshot}. *)
+    on the hot path.  Read a consistent-enough view with {!Snapshot}.
+
+    {!scoped} derives a prefixing view of the same registry, so one
+    shared registry can hold per-session families (["session3.walker.walks"])
+    without the producers knowing they are scoped. *)
 
 type t
 
 val create : unit -> t
+(** A fresh registry with no families and an empty scope prefix. *)
+
+val scoped : t -> string -> t
+(** [scoped t name] is a view of the same registry that prefixes every
+    family name with ["<name>."] (on top of [t]'s own prefix, so scopes
+    nest).  All views share one arena and one name table: a family created
+    through any view is visible to {!families} and {!Snapshot} on every
+    view.  Raises [Invalid_argument] on an empty scope name. *)
+
+val prefix : t -> string
+(** The accumulated scope prefix of this view ([""] for an unscoped
+    registry). *)
 
 val counter : t -> string -> Counter.t
 (** Find-or-create.  Raises [Invalid_argument] when the name is already

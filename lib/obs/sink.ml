@@ -10,6 +10,11 @@ let is_noop t = t.on_event = None && t.metrics = None
 
 let[@inline] emit t ev = match t.on_event with None -> () | Some f -> f ev
 
+let scoped t name =
+  match t.metrics with
+  | None -> t
+  | Some m -> { t with metrics = Some (Metrics.scoped m name) }
+
 let tee a b =
   let on_event =
     match (a.on_event, b.on_event) with

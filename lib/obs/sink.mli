@@ -17,17 +17,37 @@ val noop : t
 (** Observe nothing (the default everywhere). *)
 
 val make : ?on_event:(Event.t -> unit) -> ?metrics:Metrics.t -> unit -> t
+(** Couple an event callback and/or a metrics registry; with neither this
+    is {!noop}. *)
+
 val of_fn : (Event.t -> unit) -> t
+(** Events only. *)
+
 val of_metrics : Metrics.t -> t
+(** Metrics only. *)
 
 val metrics : t -> Metrics.t option
+(** The registry producers should bind their families in, if any. *)
+
 val wants_events : t -> bool
+(** Whether an event callback exists — hot paths guard event construction
+    behind this. *)
+
 val is_noop : t -> bool
+(** Neither callback nor metrics: producers may skip instrumentation
+    setup entirely. *)
 
 val emit : t -> Event.t -> unit
 (** Deliver one event to the callback, if any.  Hot paths must guard the
     event's construction behind {!wants_events}; [emit] itself is then
     only reached when a callback exists. *)
+
+val scoped : t -> string -> t
+(** [scoped t name] keeps [t]'s event callback but replaces its metrics
+    registry (if any) with {!Metrics.scoped}[ m name], so every family a
+    producer registers through the result lands under ["<name>."].  The
+    service layer uses this to give each concurrent session its own
+    metric namespace inside one shared registry. *)
 
 val tee : t -> t -> t
 (** Both callbacks fire (left first); the left metrics registry wins when

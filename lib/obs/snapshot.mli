@@ -13,6 +13,7 @@ type t = (string * entry) list
 (** Sorted by name. *)
 
 val of_metrics : Metrics.t -> t
+(** Freeze every registered family's current value. *)
 
 val counter_value : t -> string -> int
 (** 0 when absent or not a counter. *)

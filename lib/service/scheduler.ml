@@ -1,0 +1,355 @@
+module Timer = Wj_util.Timer
+module Sink = Wj_obs.Sink
+module Event = Wj_obs.Event
+module Progress = Wj_obs.Progress
+module Metrics = Wj_obs.Metrics
+module Run_config = Wj_core.Run_config
+module Online = Wj_core.Online
+module Parallel = Wj_core.Parallel
+module Hybrid = Wj_core.Hybrid
+module Driver = Wj_core.Engine.Driver
+
+type state =
+  | Queued
+  | Running
+  | Reporting
+  | Done
+  | Cancelled
+  | Deadline_exceeded
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Reporting -> "reporting"
+  | Done -> "done"
+  | Cancelled -> "cancelled"
+  | Deadline_exceeded -> "deadline_exceeded"
+
+let is_terminal = function
+  | Done | Cancelled | Deadline_exceeded -> true
+  | Queued | Running | Reporting -> false
+
+type policy = Round_robin | Widest_ci
+
+(* The scheduler's uniform view of a driver session: every driver's
+   [Session] module erases to these three closures. *)
+type job = {
+  advance : max_steps:int -> Driver.stop_reason option;
+  interrupt : Driver.stop_reason -> unit;
+  progress : unit -> Progress.t option;
+}
+
+type entry = {
+  id : int;
+  label : string;
+  token : Token.t;
+  deadline : float option;  (* absolute seconds on the scheduler clock *)
+  start : unit -> job;  (* deferred: plan selection happens on admission *)
+  finish : unit -> unit;  (* fill the submitter's result cell once stopped *)
+  mutable state : state;
+  mutable job : job option;
+  mutable quanta : int;  (* quanta actually granted *)
+}
+
+type t = {
+  quantum : int;
+  max_live : int;
+  policy : policy;
+  sink : Sink.t;
+  clock : Timer.t;
+  mutable next_id : int;
+  queue : entry Queue.t;  (* admission FIFO *)
+  mutable live : entry list;  (* Running entries; head = next round-robin grant *)
+  mutable all : entry list;  (* every submission, reverse admission order *)
+}
+
+type 'a session = { entry : entry; cell : 'a option ref; sched : t }
+
+let create ?(quantum = 256) ?(max_live = 4) ?(policy = Round_robin)
+    ?(sink = Sink.noop) ?clock () =
+  if quantum < 1 then invalid_arg "Scheduler.create: quantum < 1";
+  if max_live < 1 then invalid_arg "Scheduler.create: max_live < 1";
+  let clock = match clock with Some c -> c | None -> Timer.wall () in
+  {
+    quantum;
+    max_live;
+    policy;
+    sink;
+    clock;
+    next_id = 0;
+    queue = Queue.create ();
+    live = [];
+    all = [];
+  }
+
+let quantum t = t.quantum
+
+let emit t ev = if Sink.wants_events t.sink then Sink.emit t.sink ev
+
+(* Per-session observability: the submitter's own sink, teed with a
+   metrics-only view of the scheduler's registry scoped under
+   "session<id>." — so one shared registry accumulates per-session
+   families without the drivers knowing.  tee's left-metrics-wins rule
+   means a submitter who brought their own registry keeps it. *)
+let session_sink t id user_sink =
+  match Sink.metrics t.sink with
+  | None -> user_sink
+  | Some m ->
+    Sink.tee user_sink (Sink.of_metrics (Metrics.scoped m ("session" ^ string_of_int id)))
+
+let expired t e =
+  match e.deadline with None -> false | Some d -> Timer.elapsed t.clock >= d
+
+let terminal_of_reason : Driver.stop_reason -> state = function
+  | Driver.Cancelled -> Cancelled
+  | Target_reached | Time_up | Walk_budget_exhausted -> Done
+
+(* A queued entry that will never run: no driver exists, so there is no
+   report to emit and no result to fill. *)
+let finalize_unstarted t e term =
+  e.state <- term;
+  emit t (Event.Session_finished { session = e.id; outcome = state_name term })
+
+(* A started entry whose driver has resolved (or been interrupted): pass
+   through Reporting — final progress report, result fill — then settle. *)
+let finalize_started t e term =
+  e.state <- Reporting;
+  e.finish ();
+  (match e.job with
+  | Some j when Sink.wants_events t.sink -> (
+    match j.progress () with
+    | Some p -> emit t (Event.Session_report { session = e.id; progress = p })
+    | None -> ())
+  | _ -> ());
+  e.state <- term;
+  emit t (Event.Session_finished { session = e.id; outcome = state_name term });
+  t.live <- List.filter (fun x -> x != e) t.live
+
+let begin_entry t e =
+  e.state <- Running;
+  e.job <- Some (e.start ());
+  t.live <- t.live @ [ e ];
+  emit t (Event.Session_started { session = e.id })
+
+(* One admission pass: walk the FIFO in order, retiring queued entries
+   that were cancelled or whose deadline passed before they ever ran, and
+   starting entries while capacity allows.  Scanning in order keeps
+   admission FIFO: capacity applies to everyone equally. *)
+let admit t =
+  let remaining = Queue.create () in
+  Queue.iter
+    (fun e ->
+      if Token.cancelled e.token then finalize_unstarted t e Cancelled
+      else if expired t e then finalize_unstarted t e Deadline_exceeded
+      else if List.length t.live < t.max_live then begin_entry t e
+      else Queue.push e remaining)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer remaining t.queue
+
+let width_of e =
+  match e.job with
+  | None -> infinity
+  | Some j -> (
+    match j.progress () with
+    | Some p -> p.Progress.half_width
+    | None -> infinity)
+
+(* Pick the session to grant the next quantum to.  Round_robin rotates
+   the live list (head runs, then moves to the back); Widest_ci picks the
+   widest current confidence interval, breaking ties — including the
+   common all-infinite start — by fewest quanta granted, then lowest id,
+   which keeps the policy fair when widths cannot discriminate. *)
+let select t =
+  match t.live with
+  | [] -> None
+  | hd :: tl -> (
+    match t.policy with
+    | Round_robin ->
+      t.live <- tl @ [ hd ];
+      Some hd
+    | Widest_ci ->
+      let better a b =
+        let wa = width_of a and wb = width_of b in
+        if wa <> wb then wa > wb
+        else if a.quanta <> b.quanta then a.quanta < b.quanta
+        else a.id < b.id
+      in
+      Some (List.fold_left (fun best e -> if better e best then e else best) hd tl))
+
+let tick t =
+  admit t;
+  (match select t with
+  | None -> ()
+  | Some e -> (
+    let j = match e.job with Some j -> j | None -> assert false in
+    if Token.cancelled e.token then begin
+      j.interrupt Driver.Cancelled;
+      finalize_started t e Cancelled
+    end
+    else if expired t e then begin
+      j.interrupt Driver.Time_up;
+      finalize_started t e Deadline_exceeded
+    end
+    else begin
+      e.quanta <- e.quanta + 1;
+      match j.advance ~max_steps:t.quantum with
+      | Some r -> finalize_started t e (terminal_of_reason r)
+      | None ->
+        if Sink.wants_events t.sink then (
+          match j.progress () with
+          | Some p -> emit t (Event.Session_report { session = e.id; progress = p })
+          | None -> ())
+    end));
+  t.live <> [] || not (Queue.is_empty t.queue)
+
+let drain t = while tick t do () done
+
+(* ---- Submission ------------------------------------------------------ *)
+
+let submit_entry t ~label ~deadline ~token ~start ~finish cell =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let label = if label = "" then "session" ^ string_of_int id else label in
+  let deadline = Option.map (fun d -> Timer.elapsed t.clock +. d) deadline in
+  let token = match token with Some tk -> tk | None -> Token.create () in
+  let e =
+    {
+      id;
+      label;
+      token;
+      deadline;
+      start = start id;
+      finish;
+      state = Queued;
+      job = None;
+      quanta = 0;
+    }
+  in
+  Queue.push e t.queue;
+  t.all <- e :: t.all;
+  emit t (Event.Session_admitted { session = id; label });
+  { entry = e; cell; sched = t }
+
+let submit_query t ?(label = "") ?deadline ?token ?(eager_checks = true)
+    (cfg : Run_config.t) q registry =
+  let cell = ref None in
+  let sess = ref None in
+  let start id () =
+    let cfg =
+      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
+    in
+    let s = Online.start_session ~eager_checks cfg q registry in
+    sess := Some s;
+    {
+      advance = (fun ~max_steps -> Online.Session.advance s ~max_steps);
+      interrupt = (fun r -> Online.Session.interrupt s r);
+      progress = (fun () -> Some (Online.Session.progress s));
+    }
+  in
+  let finish () =
+    match !sess with
+    | Some s -> cell := Some (Online.Session.outcome s)
+    | None -> ()
+  in
+  submit_entry t ~label ~deadline ~token ~start ~finish cell
+
+let submit_group_by t ?(label = "") ?deadline ?token (cfg : Run_config.t) q
+    registry =
+  let cell = ref None in
+  let sess = ref None in
+  let start id () =
+    let cfg =
+      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
+    in
+    let s = Online.start_group_by_session cfg q registry in
+    sess := Some s;
+    {
+      advance = (fun ~max_steps -> Online.Group_session.advance s ~max_steps);
+      interrupt = (fun r -> Online.Group_session.interrupt s r);
+      progress = (fun () -> None);
+    }
+  in
+  let finish () =
+    match !sess with
+    | Some s -> cell := Some (Online.Group_session.outcome s)
+    | None -> ()
+  in
+  submit_entry t ~label ~deadline ~token ~start ~finish cell
+
+let submit_hybrid t ?(label = "") ?deadline ?token ?config ?max_rounds
+    (cfg : Run_config.t) q registry =
+  let cell = ref None in
+  let sess = ref None in
+  let start id () =
+    let cfg =
+      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
+    in
+    let s = Hybrid.start_session ?config ?max_rounds cfg q registry in
+    sess := Some s;
+    {
+      advance = (fun ~max_steps -> Hybrid.Session.advance s ~max_steps);
+      interrupt = (fun r -> Hybrid.Session.interrupt s r);
+      progress = (fun () -> None);
+    }
+  in
+  let finish () =
+    match !sess with
+    | Some s -> cell := Some (Hybrid.Session.outcome s)
+    | None -> ()
+  in
+  submit_entry t ~label ~deadline ~token ~start ~finish cell
+
+let submit_parallel t ?(label = "") ?deadline ?token ?domains ?walks_per_domain
+    (cfg : Run_config.t) q registry =
+  let cell = ref None in
+  let sess = ref None in
+  let start id () =
+    let cfg =
+      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
+    in
+    let s = Parallel.start_session ?domains ?walks_per_domain cfg q registry in
+    sess := Some s;
+    {
+      advance = (fun ~max_steps -> Parallel.Session.advance s ~max_steps);
+      interrupt = (fun r -> Parallel.Session.interrupt s r);
+      progress = (fun () -> None);
+    }
+  in
+  let finish () =
+    match !sess with
+    | Some s -> (
+      match Parallel.Session.outcome s with
+      | o -> cell := Some o
+      | exception Invalid_argument _ -> ())
+    | None -> ()
+  in
+  submit_entry t ~label ~deadline ~token ~start ~finish cell
+
+(* ---- Session handles ------------------------------------------------- *)
+
+let state s = s.entry.state
+let id s = s.entry.id
+let label s = s.entry.label
+let quanta s = s.entry.quanta
+let cancel s = Token.cancel s.entry.token
+let result s = !(s.cell)
+
+let await s =
+  while (not (is_terminal s.entry.state)) && tick s.sched do
+    ()
+  done;
+  !(s.cell)
+
+type info = { info_id : int; info_label : string; info_state : state; info_quanta : int }
+
+let sessions t =
+  List.rev_map
+    (fun e ->
+      {
+        info_id = e.id;
+        info_label = e.label;
+        info_state = e.state;
+        info_quanta = e.quanta;
+      })
+    t.all

@@ -1,0 +1,201 @@
+(** Cooperative multi-session scheduler for online aggregation.
+
+    Online aggregation's contract is "first estimates within milliseconds,
+    refining continuously" — which only composes across concurrent queries
+    if no query can monopolise the walk loop.  The scheduler multiplexes
+    many run sessions over one shared {!Wj_core.Registry.t}/catalog by
+    granting each a bounded {e quantum} of engine steps per turn, using the
+    resumable driver loop ({!Wj_core.Engine.Driver.advance}) underneath.
+
+    {2 Determinism}
+
+    A session's estimate trajectory is a pure function of its own PRNG
+    stream, and every stop/report decision of the driver loop is keyed on
+    the session's {e own} walk count and clock.  Granting quanta therefore
+    never perturbs results: a session scheduled among N peers produces
+    bit-for-bit the same trajectory and final estimate as the same session
+    run alone (enforced by [test/test_service.ml]).
+
+    {2 State machine}
+
+    {v
+      submit            capacity           driver stop
+        │                  │                    │
+        ▼                  ▼                    ▼
+      Queued ────────► Running ────────► Reporting ────► Done
+        │                  │ token/deadline     │
+        │                  └─────────────► Reporting ──► Cancelled
+        │ token cancelled / deadline passed           └► Deadline_exceeded
+        └────────────────────────────────────────────► Cancelled
+                                                     └► Deadline_exceeded
+    v}
+
+    [Reporting] is transient within one {!tick}: the final progress report
+    is emitted and the result cell filled before the terminal state is
+    set, so callers polling {!state} between ticks only ever see [Queued],
+    [Running] or a terminal state.
+
+    Cancellation and deadlines act {e between} quanta ({!Wj_core.Engine.Driver.interrupt}):
+    a cancelled or expired session stops within one scheduler quantum,
+    regardless of the driver's own cancellation polling cadence. *)
+
+type state =
+  | Queued  (** admitted, waiting for a live slot (FIFO) *)
+  | Running  (** holds a live slot, receives quanta *)
+  | Reporting  (** transient: driver stopped, final report in flight *)
+  | Done  (** driver resolved its own stop condition *)
+  | Cancelled  (** token cancelled (queued or mid-run) *)
+  | Deadline_exceeded  (** deadline passed (queued or mid-run) *)
+
+val state_name : state -> string
+(** Lowercase snake-case name (["queued"], ["deadline_exceeded"], ...),
+    also used as the [outcome] string of [Session_finished] events. *)
+
+val is_terminal : state -> bool
+(** [Done], [Cancelled] or [Deadline_exceeded]. *)
+
+type policy =
+  | Round_robin  (** rotate through live sessions, one quantum each *)
+  | Widest_ci
+      (** grant the next quantum to the live session with the widest
+          current confidence interval (ties — including the all-infinite
+          start, and sessions that expose no scalar CI — break by fewest
+          quanta granted, then lowest id) *)
+
+type t
+
+val create :
+  ?quantum:int ->
+  ?max_live:int ->
+  ?policy:policy ->
+  ?sink:Wj_obs.Sink.t ->
+  ?clock:Wj_util.Timer.t ->
+  unit ->
+  t
+(** [quantum] (default 256) is the number of engine steps per grant;
+    [max_live] (default 4) caps concurrently Running sessions — further
+    submissions queue FIFO.  [clock] (default wall) times deadlines.
+
+    [sink] is the scheduler-level sink: it receives [Session_admitted],
+    [Session_started], per-quantum [Session_report] and [Session_finished]
+    events, and — when it carries a metrics registry — each session's
+    driver metrics land in that registry under a ["session<id>."] scope
+    ({!Wj_obs.Metrics.scoped}), so one registry holds per-session families
+    side by side.  Raises [Invalid_argument] when [quantum < 1] or
+    [max_live < 1]. *)
+
+val quantum : t -> int
+(** The configured steps-per-grant. *)
+
+type 'a session
+(** Handle returned at submission; ['a] is the driver outcome type. *)
+
+val submit_query :
+  t ->
+  ?label:string ->
+  ?deadline:float ->
+  ?token:Token.t ->
+  ?eager_checks:bool ->
+  Wj_core.Run_config.t ->
+  Wj_core.Query.t ->
+  Wj_core.Registry.t ->
+  Wj_core.Online.outcome session
+(** Admit a scalar online-aggregation session ({!Wj_core.Online}).
+    Nothing runs yet — plan selection happens when the session is started
+    by the scheduler (so a cancelled queued session costs nothing).
+    [deadline] is in seconds from submission on the scheduler clock;
+    [token] allows external cancellation (a fresh token is created
+    otherwise — see {!cancel}).  [label] defaults to ["session<id>"]. *)
+
+val submit_group_by :
+  t ->
+  ?label:string ->
+  ?deadline:float ->
+  ?token:Token.t ->
+  Wj_core.Run_config.t ->
+  Wj_core.Query.t ->
+  Wj_core.Registry.t ->
+  Wj_core.Online.group_outcome session
+(** As {!submit_query} for GROUP BY sessions. *)
+
+val submit_hybrid :
+  t ->
+  ?label:string ->
+  ?deadline:float ->
+  ?token:Token.t ->
+  ?config:Wj_core.Hybrid.config ->
+  ?max_rounds:int ->
+  Wj_core.Run_config.t ->
+  Wj_core.Query.t ->
+  Wj_core.Registry.t ->
+  Wj_core.Hybrid.outcome session
+(** As {!submit_query} for hybrid (decomposed-graph) sessions; one engine
+    step is one hybrid round. *)
+
+val submit_parallel :
+  t ->
+  ?label:string ->
+  ?deadline:float ->
+  ?token:Token.t ->
+  ?domains:int ->
+  ?walks_per_domain:int ->
+  Wj_core.Run_config.t ->
+  Wj_core.Query.t ->
+  Wj_core.Registry.t ->
+  Wj_core.Parallel.outcome session
+(** Admit a multicore fan-out session.  Parallel sessions are one-shot
+    ({!Wj_core.Parallel.Session}): the whole fan-out runs within the first
+    quantum granted to it.  [result] stays [None] when the session is
+    cancelled while queued. *)
+
+(** {2 Driving the scheduler} *)
+
+val tick : t -> bool
+(** One scheduling pass: admit queued sessions into free live slots
+    (retiring queued sessions whose token was cancelled or whose deadline
+    passed), pick one live session per {!policy}, and either grant it a
+    quantum of steps or — if its token was cancelled or deadline passed —
+    interrupt and finalize it.  Returns [false] when no session is live or
+    queued (i.e. nothing left to do). *)
+
+val drain : t -> unit
+(** [tick] until everything submitted has reached a terminal state. *)
+
+(** {2 Session handles} *)
+
+val state : _ session -> state
+(** Current state; between ticks this is never [Reporting]. *)
+
+val id : _ session -> int
+(** Scheduler-unique id, in admission order; keys the [Session_*] events
+    and the ["session<id>."] metric scope. *)
+
+val label : _ session -> string
+(** The submission label (default ["session<id>"]). *)
+
+val quanta : _ session -> int
+(** Quanta granted to this session so far (the fairness measure). *)
+
+val cancel : _ session -> unit
+(** Cancel the session's token: a queued session retires without ever
+    starting; a running one is interrupted before its next quantum. *)
+
+val result : 'a session -> 'a option
+(** The driver outcome, once terminal.  Present for cancelled and
+    deadline-exceeded sessions too (the estimate so far), except a
+    session that never started. *)
+
+val await : 'a session -> 'a option
+(** Drive the {e whole} scheduler ({!tick}) until this session reaches a
+    terminal state, then return its {!result}.  Other live sessions keep
+    receiving their fair share of quanta meanwhile. *)
+
+type info = {
+  info_id : int;
+  info_label : string;
+  info_state : state;
+  info_quanta : int;
+}
+
+val sessions : t -> info list
+(** Every submission, in admission order. *)

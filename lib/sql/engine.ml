@@ -19,38 +19,41 @@ let item_label (item : Ast.select_item) =
   | None -> name ^ "(*)"
   | Some e -> Format.asprintf "%s(%a)" name Ast.pp_expr e
 
+(* Statement clauses override the session config: WITHINTIME beats
+   [cfg.max_time], CONFIDENCE beats [cfg.confidence], REPORTINTERVAL
+   beats [cfg.report_every]. *)
+let apply_clauses (cfg : Wj_core.Run_config.t) (statement : Ast.statement)
+    (bound : Binder.bound) =
+  {
+    cfg with
+    Wj_core.Run_config.confidence =
+      (match statement.Ast.confidence with
+      | Some _ -> bound.Binder.confidence
+      | None -> cfg.Wj_core.Run_config.confidence);
+    max_time =
+      Option.value bound.Binder.within_time ~default:cfg.Wj_core.Run_config.max_time;
+    report_every =
+      (match bound.Binder.report_interval with
+      | Some _ as r -> r
+      | None -> cfg.Wj_core.Run_config.report_every);
+  }
+
+(* Build one registry per bound query, sharing physical indexes through
+   [shared] (threaded across a statement's aggregates — and, in [serve],
+   across every statement of the batch). *)
+let build_registries shared queries =
+  List.map
+    (fun (_, q) ->
+      let r = Wj_core.Registry.build_for_query ?share:!shared q in
+      (match !shared with None -> shared := Some (q, r) | Some _ -> ());
+      r)
+    queries
+
 let execute_session ?on_report (cfg : Wj_core.Run_config.t) catalog sql =
   let statement = Parser.parse sql in
   let bound = Binder.bind catalog statement in
-  (* Statement clauses override the session config: WITHINTIME beats
-     [cfg.max_time], CONFIDENCE beats [cfg.confidence], REPORTINTERVAL
-     beats [cfg.report_every]. *)
-  let cfg =
-    {
-      cfg with
-      Wj_core.Run_config.confidence =
-        (match statement.Ast.confidence with
-        | Some _ -> bound.Binder.confidence
-        | None -> cfg.Wj_core.Run_config.confidence);
-      max_time =
-        Option.value bound.Binder.within_time
-          ~default:cfg.Wj_core.Run_config.max_time;
-      report_every =
-        (match bound.Binder.report_interval with
-        | Some _ as r -> r
-        | None -> cfg.Wj_core.Run_config.report_every);
-    }
-  in
-  (* Share physical indexes across the statement's aggregates. *)
-  let registries =
-    let shared = ref None in
-    List.map
-      (fun (_, q) ->
-        let r = Wj_core.Registry.build_for_query ?share:!shared q in
-        (match !shared with None -> shared := Some (q, r) | Some _ -> ());
-        r)
-      bound.queries
-  in
+  let cfg = apply_clauses cfg statement bound in
+  let registries = build_registries (ref None) bound.Binder.queries in
   let items =
     List.map2
       (fun (item, q) registry ->
@@ -97,32 +100,152 @@ let execute ?(seed = 11) ?(default_time = 5.0) ?batch ?sink ?on_report catalog s
     (Wj_core.Run_config.make ~seed ~max_time:default_time ?batch ?sink ())
     catalog sql
 
+(* ---- Batch / serve mode ---------------------------------------------- *)
+
+module Scheduler = Wj_service.Scheduler
+
+type served_item = {
+  item : Ast.select_item;
+  outcome : item_outcome option;
+      (* [None] when the session was retired before ever running *)
+  session_state : Scheduler.state;
+}
+
+type served = {
+  served_sql : string;
+  served_statement : Ast.statement;
+  served_items : served_item list;
+}
+
+(* What we hold per ONLINE aggregate between submission and drain. *)
+type pending =
+  | P_scalar of Online.outcome Scheduler.session
+  | P_groups of Online.group_outcome Scheduler.session
+  | P_exact of item_outcome
+
+let serve ?quantum ?max_live ?policy ?(sink = Wj_obs.Sink.noop) ?deadline
+    (cfg : Wj_core.Run_config.t) catalog sqls =
+  let sched =
+    Scheduler.create ?quantum ?max_live ?policy ~sink
+      ?clock:cfg.Wj_core.Run_config.clock ()
+  in
+  (* One shared-index thread across the whole batch: statements over the
+     same joins reuse one physical registry, which is the point of
+     admitting them into one service. *)
+  let shared = ref None in
+  let statements =
+    List.mapi
+      (fun si sql ->
+        let statement = Parser.parse sql in
+        let bound = Binder.bind catalog statement in
+        let cfg = apply_clauses cfg statement bound in
+        let registries = build_registries shared bound.Binder.queries in
+        let pendings =
+          List.map2
+            (fun (item, q) registry ->
+              let label = Printf.sprintf "stmt%d %s" si (item_label item) in
+              let p =
+                if bound.Binder.online then begin
+                  match q.Wj_core.Query.group_by with
+                  | Some _ ->
+                    P_groups
+                      (Scheduler.submit_group_by sched ~label ?deadline cfg q
+                         registry)
+                  | None ->
+                    P_scalar
+                      (Scheduler.submit_query sched ~label ?deadline cfg q
+                         registry)
+                end
+                else
+                  P_exact
+                    (match q.Wj_core.Query.group_by with
+                    | Some _ -> Exact_groups (Exact.group_aggregate q registry)
+                    | None -> Exact_scalar (Exact.aggregate q registry))
+              in
+              (item, p))
+            bound.Binder.queries registries
+        in
+        (sql, statement, pendings))
+      sqls
+  in
+  Scheduler.drain sched;
+  List.map
+    (fun (sql, statement, pendings) ->
+      {
+        served_sql = sql;
+        served_statement = statement;
+        served_items =
+          List.map
+            (fun (item, p) ->
+              match p with
+              | P_scalar s ->
+                {
+                  item;
+                  outcome = Option.map (fun o -> Online_scalar o) (Scheduler.result s);
+                  session_state = Scheduler.state s;
+                }
+              | P_groups s ->
+                {
+                  item;
+                  outcome = Option.map (fun o -> Online_groups o) (Scheduler.result s);
+                  session_state = Scheduler.state s;
+                }
+              | P_exact o ->
+                { item; outcome = Some o; session_state = Scheduler.Done })
+            pendings;
+      })
+    statements
+
+let render_outcome buf label outcome =
+  match outcome with
+  | Online_scalar o ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s = %.6g +/- %.4g  (walks %d, %.2fs, plan: %s)\n" label
+         o.Online.final.estimate o.Online.final.half_width o.Online.final.walks
+         o.Online.final.elapsed o.Online.plan_description)
+  | Online_groups g ->
+    List.iter
+      (fun (key, (rep : Online.report)) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s [%s] = %.6g +/- %.4g\n" label
+             (Value.to_display key) rep.estimate rep.half_width))
+      g.Online.groups
+  | Exact_scalar e ->
+    Buffer.add_string buf (Printf.sprintf "%s = %.6g  (exact)\n" label e.Exact.value)
+  | Exact_groups gs ->
+    List.iter
+      (fun (key, (e : Exact.result)) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s [%s] = %.6g  (exact)\n" label (Value.to_display key)
+             e.Exact.value))
+      gs
+
 let render r =
   let buf = Buffer.create 256 in
-  List.iter
-    (fun (item, outcome) ->
-      let label = item_label item in
-      (match outcome with
-      | Online_scalar o ->
-        Buffer.add_string buf
-          (Printf.sprintf "%s = %.6g +/- %.4g  (walks %d, %.2fs, plan: %s)\n" label
-             o.Online.final.estimate o.Online.final.half_width o.Online.final.walks
-             o.Online.final.elapsed o.Online.plan_description)
-      | Online_groups g ->
-        List.iter
-          (fun (key, (rep : Online.report)) ->
+  List.iter (fun (item, outcome) -> render_outcome buf (item_label item) outcome) r.items;
+  Buffer.contents buf
+
+let render_served served =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf (Printf.sprintf "-- [%d] %s\n" si s.served_sql);
+      List.iter
+        (fun si ->
+          match si.outcome with
+          | Some o ->
+            let label = item_label si.item in
+            let label =
+              if Scheduler.is_terminal si.session_state
+                 && si.session_state <> Scheduler.Done
+              then label ^ " (" ^ Scheduler.state_name si.session_state ^ ")"
+              else label
+            in
+            render_outcome buf label o
+          | None ->
             Buffer.add_string buf
-              (Printf.sprintf "%s [%s] = %.6g +/- %.4g\n" label
-                 (Value.to_display key) rep.estimate rep.half_width))
-          g.Online.groups
-      | Exact_scalar e ->
-        Buffer.add_string buf (Printf.sprintf "%s = %.6g  (exact)\n" label e.Exact.value)
-      | Exact_groups gs ->
-        List.iter
-          (fun (key, (e : Exact.result)) ->
-            Buffer.add_string buf
-              (Printf.sprintf "%s [%s] = %.6g  (exact)\n" label (Value.to_display key)
-                 e.Exact.value))
-          gs))
-    r.items;
+              (Printf.sprintf "%s: %s before running\n" (item_label si.item)
+                 (Scheduler.state_name si.session_state)))
+        s.served_items)
+    served;
   Buffer.contents buf

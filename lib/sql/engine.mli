@@ -47,3 +47,53 @@ val execute :
 
 val render : result -> string
 (** Human-readable rendering of the final estimates/results. *)
+
+(** {2 Serve (batch) mode}
+
+    [serve] admits every ONLINE aggregate of a list of statements into one
+    {!Wj_service.Scheduler.t} and drains it: the statements run
+    {e concurrently}, interleaved by bounded quanta of walks, over one
+    shared physical index registry.  Because quantum scheduling never
+    perturbs a session's PRNG stream, serving a batch produces bit-for-bit
+    the same estimates as running {!execute_session} on each statement in
+    turn (for walk-budget-bounded statements; wall-clock-bounded ones stop
+    at whatever their share of time allowed).  Exact (non-ONLINE) items
+    run synchronously at submission. *)
+
+type served_item = {
+  item : Ast.select_item;
+  outcome : item_outcome option;
+      (** [None] when the session was cancelled or timed out while still
+          queued (it never ran); cancelled {e running} sessions report the
+          estimate accumulated so far *)
+  session_state : Wj_service.Scheduler.state;
+}
+
+type served = {
+  served_sql : string;
+  served_statement : Ast.statement;
+  served_items : served_item list;
+}
+
+val serve :
+  ?quantum:int ->
+  ?max_live:int ->
+  ?policy:Wj_service.Scheduler.policy ->
+  ?sink:Wj_obs.Sink.t ->
+  ?deadline:float ->
+  Wj_core.Run_config.t ->
+  Wj_storage.Catalog.t ->
+  string list ->
+  served list
+(** [quantum]/[max_live]/[policy] configure the scheduler (see
+    {!Wj_service.Scheduler.create}); [sink] is the {e scheduler-level}
+    sink receiving [Session_admitted]/[Session_started]/[Session_report]/
+    [Session_finished] events (one [Session_report] per quantum — the
+    interleaved progress stream) and hosting per-session scoped metrics.
+    [deadline] (seconds from admission, on [cfg.clock] or wall) applies to
+    every statement.  Statement clauses override [cfg] per statement as in
+    {!execute_session}.  Results come back in submission order.
+    Raises [Lexer.Lex_error], [Parser.Parse_error] or [Binder.Bind_error]. *)
+
+val render_served : served list -> string
+(** Human-readable rendering of a served batch, one header per statement. *)

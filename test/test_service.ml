@@ -1,0 +1,423 @@
+(* Tests for wj_service: the concurrent session scheduler.
+
+   The heart of the suite is the determinism property: a session scheduled
+   among N peers produces bit-for-bit the same report trajectory and final
+   estimate as the same session run alone (and as a plain Online.run_session
+   with no scheduler at all).  Around it: deadline expiry, mid-run
+   cancellation within one quantum, FIFO admission, per-session scoped
+   metrics, and serve-mode equivalence over a TPC-H catalog with 16
+   concurrent statements. *)
+
+module Scheduler = Wj_service.Scheduler
+module Token = Wj_service.Token
+module Query = Wj_core.Query
+module Registry = Wj_core.Registry
+module Online = Wj_core.Online
+module Run_config = Wj_core.Run_config
+module Table = Wj_storage.Table
+module Schema = Wj_storage.Schema
+module Value = Wj_storage.Value
+module Timer = Wj_util.Timer
+module Sink = Wj_obs.Sink
+module Event = Wj_obs.Event
+module Progress = Wj_obs.Progress
+module Metrics = Wj_obs.Metrics
+module Snapshot = Wj_obs.Snapshot
+module Estimator = Wj_stats.Estimator
+
+(* ---- data builders (chain join as in test_core/test_obs) --------------- *)
+
+let int_table name cols rows =
+  let schema =
+    Schema.make (List.map (fun c -> { Schema.name = c; ty = Value.TInt }) cols)
+  in
+  let t = Table.create ~name ~schema () in
+  List.iter
+    (fun r ->
+      ignore (Table.insert t (Array.of_list (List.map (fun x -> Value.Int x) r))))
+    rows;
+  t
+
+let chain_query () =
+  let r1 =
+    int_table "r1" [ "a"; "b" ]
+      [ [ 1; 10 ]; [ 2; 10 ]; [ 3; 20 ]; [ 4; 30 ]; [ 5; 30 ]; [ 6; 40 ]; [ 7; 50 ] ]
+  in
+  let r2 =
+    int_table "r2" [ "b"; "c" ]
+      [ [ 10; 100 ]; [ 10; 200 ]; [ 20; 200 ]; [ 30; 300 ]; [ 40; 300 ]; [ 40; 400 ];
+        [ 99; 999 ] ]
+  in
+  let r3 =
+    int_table "r3" [ "c"; "d" ]
+      [ [ 100; 7 ]; [ 200; 11 ]; [ 200; 13 ]; [ 300; 17 ]; [ 400; 19 ]; [ 500; 23 ] ]
+  in
+  Query.make
+    ~tables:[ ("r1", r1); ("r2", r2); ("r3", r3) ]
+    ~joins:
+      [
+        { left = (0, 1); right = (1, 0); op = Eq };
+        { left = (1, 1); right = (2, 0); op = Eq };
+      ]
+    ~agg:Estimator.Sum ~expr:(Col (2, 1)) ()
+
+(* A session config that stops on its walk budget only: virtual clock
+   (elapsed stays 0, so time never expires and reports never time-fire)
+   and a fixed plan, so every stop/report decision is keyed on the
+   session's own walk count. *)
+let walk_cfg ~seed ~max_walks () =
+  Run_config.make ~seed ~max_walks ~max_time:3600.0 ~clock:(Timer.virtual_ ())
+    ~plan_choice:Run_config.First_enumerated ()
+
+let bits = Int64.bits_of_float
+let float_eq a b = Int64.equal (bits a) (bits b)
+
+(* One trajectory point per scheduler-level report: own-walk count plus
+   the estimate/CI bits at that point. *)
+type point = { p_walks : int; p_est : int64; p_hw : int64 }
+
+let point_of (p : Progress.t) =
+  { p_walks = p.Progress.walks; p_est = bits p.Progress.estimate; p_hw = bits p.Progress.half_width }
+
+(* Run [cfgs] to completion under one scheduler; return per-submission
+   trajectories (reverse order) and outcomes. *)
+let run_fleet ?(quantum = 64) ?(max_live = 16) ?(policy = Scheduler.Round_robin)
+    cfgs q reg =
+  let reports : (int, point list ref) Hashtbl.t = Hashtbl.create 8 in
+  let trail id =
+    match Hashtbl.find_opt reports id with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add reports id r;
+      r
+  in
+  let sink =
+    Sink.of_fn (function
+      | Event.Session_report { session; progress } ->
+        let r = trail session in
+        r := point_of progress :: !r
+      | _ -> ())
+  in
+  let sched =
+    Scheduler.create ~quantum ~max_live ~policy ~sink ~clock:(Timer.virtual_ ()) ()
+  in
+  let sessions = List.map (fun cfg -> Scheduler.submit_query sched cfg q reg) cfgs in
+  Scheduler.drain sched;
+  List.map
+    (fun s ->
+      let out =
+        match Scheduler.result s with
+        | Some o -> o
+        | None -> Alcotest.fail "session produced no outcome"
+      in
+      (!(trail (Scheduler.id s)), out))
+    sessions
+
+(* ---- determinism: alone = interleaved = unscheduled --------------------- *)
+
+let same_trajectory (a : point list) (b : point list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         x.p_walks = y.p_walks
+         && Int64.equal x.p_est y.p_est
+         && Int64.equal x.p_hw y.p_hw)
+       a b
+
+let interleaving_determinism =
+  QCheck.Test.make ~name:"trajectory alone = interleaved with 1-4 peers" ~count:20
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 200 1_500) (int_range 1 4) bool)
+    (fun (seed, max_walks, peers, widest) ->
+      let policy = if widest then Scheduler.Widest_ci else Scheduler.Round_robin in
+      let q = chain_query () in
+      let reg = Registry.build_for_query q in
+      let target = walk_cfg ~seed ~max_walks () in
+      let peer_cfgs =
+        List.init peers (fun i ->
+            walk_cfg ~seed:(seed + (31 * (i + 1)))
+              ~max_walks:(200 + (137 * i mod 1200))
+              ())
+      in
+      (* Alone under the scheduler. *)
+      let alone = run_fleet ~policy [ target ] q reg in
+      let alone_traj, alone_out = List.hd alone in
+      (* Interleaved: target submitted first among peers. *)
+      let fleet = run_fleet ~policy (target :: peer_cfgs) q reg in
+      let fleet_traj, fleet_out = List.hd fleet in
+      (* Unscheduled reference run. *)
+      let direct = Online.run_session target q reg in
+      same_trajectory alone_traj fleet_traj
+      && alone_out.Online.final.walks = fleet_out.Online.final.walks
+      && float_eq alone_out.Online.final.estimate fleet_out.Online.final.estimate
+      && float_eq alone_out.Online.final.half_width fleet_out.Online.final.half_width
+      && direct.Online.final.walks = fleet_out.Online.final.walks
+      && float_eq direct.Online.final.estimate fleet_out.Online.final.estimate)
+
+(* ---- deadlines ---------------------------------------------------------- *)
+
+let test_deadline_running () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let clock = Timer.virtual_ () in
+  let sched = Scheduler.create ~quantum:64 ~clock () in
+  (* Effectively unbounded walk budget; only the deadline can stop it. *)
+  let s =
+    Scheduler.submit_query sched ~deadline:5.0
+      (walk_cfg ~seed:3 ~max_walks:max_int ())
+      q reg
+  in
+  for _ = 1 to 3 do
+    ignore (Scheduler.tick sched)
+  done;
+  Alcotest.(check bool) "running before deadline" true (Scheduler.state s = Scheduler.Running);
+  Timer.advance clock 10.0;
+  (* One quantum is the guarantee: a single tick must retire it. *)
+  ignore (Scheduler.tick sched);
+  Alcotest.(check bool) "deadline_exceeded after one tick" true
+    (Scheduler.state s = Scheduler.Deadline_exceeded);
+  match Scheduler.result s with
+  | None -> Alcotest.fail "partial outcome expected"
+  | Some o ->
+    Alcotest.(check bool) "did some walks before expiry" true (o.Online.final.walks > 0)
+
+let test_deadline_queued () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let clock = Timer.virtual_ () in
+  let sched = Scheduler.create ~quantum:64 ~max_live:1 ~clock () in
+  let hog =
+    Scheduler.submit_query sched (walk_cfg ~seed:1 ~max_walks:max_int ()) q reg
+  in
+  let starved =
+    Scheduler.submit_query sched ~deadline:2.0
+      (walk_cfg ~seed:2 ~max_walks:100 ())
+      q reg
+  in
+  ignore (Scheduler.tick sched);
+  Alcotest.(check bool) "second session queued" true
+    (Scheduler.state starved = Scheduler.Queued);
+  Timer.advance clock 3.0;
+  ignore (Scheduler.tick sched);
+  Alcotest.(check bool) "queued session expired" true
+    (Scheduler.state starved = Scheduler.Deadline_exceeded);
+  Alcotest.(check (option reject)) "never ran: no outcome"
+    None
+    (Scheduler.result starved |> Option.map ignore);
+  Scheduler.cancel hog;
+  Scheduler.drain sched
+
+(* ---- cancellation ------------------------------------------------------- *)
+
+let test_cancel_mid_run () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let sched = Scheduler.create ~quantum:64 ~clock:(Timer.virtual_ ()) () in
+  let tok = Token.create () in
+  let s =
+    Scheduler.submit_query sched ~token:tok
+      (walk_cfg ~seed:11 ~max_walks:max_int ())
+      q reg
+  in
+  for _ = 1 to 4 do
+    ignore (Scheduler.tick sched)
+  done;
+  Alcotest.(check bool) "still running" true (Scheduler.state s = Scheduler.Running);
+  let quanta_before = Scheduler.quanta s in
+  Token.cancel tok;
+  ignore (Scheduler.tick sched);
+  Alcotest.(check bool) "cancelled after one tick" true
+    (Scheduler.state s = Scheduler.Cancelled);
+  (* Stop within one quantum means: the cancel tick granted no further
+     steps, so the outcome's walks are exactly quanta * quantum. *)
+  (match Scheduler.result s with
+  | None -> Alcotest.fail "partial outcome expected"
+  | Some o ->
+    Alcotest.(check int) "no steps after cancel"
+      (quanta_before * Scheduler.quantum sched)
+      o.Online.final.walks;
+    Alcotest.(check bool) "stop reason is Cancelled" true
+      (o.Online.stopped_because = Online.Cancelled));
+  Alcotest.(check bool) "nothing left to do" false (Scheduler.tick sched)
+
+let test_cancel_while_queued () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let sched = Scheduler.create ~quantum:64 ~max_live:1 ~clock:(Timer.virtual_ ()) () in
+  let hog =
+    Scheduler.submit_query sched (walk_cfg ~seed:1 ~max_walks:max_int ()) q reg
+  in
+  let queued =
+    Scheduler.submit_query sched (walk_cfg ~seed:2 ~max_walks:100 ()) q reg
+  in
+  ignore (Scheduler.tick sched);
+  Scheduler.cancel queued;
+  ignore (Scheduler.tick sched);
+  Alcotest.(check bool) "queued session cancelled" true
+    (Scheduler.state queued = Scheduler.Cancelled);
+  Alcotest.(check (option reject)) "never ran: no outcome"
+    None
+    (Scheduler.result queued |> Option.map ignore);
+  Scheduler.cancel hog;
+  Scheduler.drain sched;
+  Alcotest.(check bool) "hog cancelled too" true
+    (Scheduler.state hog = Scheduler.Cancelled)
+
+(* ---- admission FIFO ----------------------------------------------------- *)
+
+let test_admission_fifo () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let started = ref [] in
+  let sink =
+    Sink.of_fn (function
+      | Event.Session_started { session } -> started := session :: !started
+      | _ -> ())
+  in
+  let sched =
+    Scheduler.create ~quantum:64 ~max_live:2 ~sink ~clock:(Timer.virtual_ ()) ()
+  in
+  let sessions =
+    List.init 5 (fun i ->
+        Scheduler.submit_query sched (walk_cfg ~seed:i ~max_walks:(100 + (50 * i)) ()) q reg)
+  in
+  ignore (Scheduler.tick sched);
+  Alcotest.(check int) "cap respected" 2 (List.length !started);
+  Scheduler.drain sched;
+  Alcotest.(check (list int)) "started in submission order"
+    (List.map Scheduler.id sessions)
+    (List.rev !started);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "all done" true (Scheduler.state s = Scheduler.Done))
+    sessions
+
+(* ---- per-session scoped metrics ----------------------------------------- *)
+
+let test_scoped_metrics () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let m = Metrics.create () in
+  let sched =
+    Scheduler.create ~quantum:64 ~sink:(Sink.of_metrics m) ~clock:(Timer.virtual_ ()) ()
+  in
+  let a = Scheduler.submit_query sched (walk_cfg ~seed:5 ~max_walks:300 ()) q reg in
+  let b = Scheduler.submit_query sched (walk_cfg ~seed:6 ~max_walks:700 ()) q reg in
+  Scheduler.drain sched;
+  let snap = Snapshot.of_metrics m in
+  let walks_of s =
+    Snapshot.counter_value snap
+      (Printf.sprintf "session%d.walker.walks" (Scheduler.id s))
+  in
+  let out s = Option.get (Scheduler.result s) in
+  Alcotest.(check int) "session a scoped walks" (out a).Online.final.walks (walks_of a);
+  Alcotest.(check int) "session b scoped walks" (out b).Online.final.walks (walks_of b);
+  Alcotest.(check int) "a stopped on budget" 1
+    (Snapshot.counter_value snap
+       (Printf.sprintf "session%d.driver.stop.walk_budget_exhausted" (Scheduler.id a)))
+
+(* ---- serve: 16 concurrent TPC-H statements = sequential ------------------ *)
+
+let tpch_catalog =
+  lazy
+    (let d = Wj_tpch.Generator.generate ~seed:13 ~sf:0.002 () in
+     Wj_tpch.Generator.catalog d)
+
+let serve_statements =
+  [
+    "SELECT ONLINE COUNT(*) FROM customer, orders, lineitem WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey";
+    "SELECT ONLINE SUM(l_extendedprice) FROM customer, orders, lineitem WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey";
+    "SELECT ONLINE COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey";
+    "SELECT ONLINE SUM(l_quantity) FROM orders, lineitem WHERE o_orderkey = l_orderkey";
+  ]
+
+let test_serve_matches_sequential () =
+  let catalog = Lazy.force tpch_catalog in
+  (* 16 sessions: the four statement shapes, four times each. *)
+  let sqls = List.concat [ serve_statements; serve_statements; serve_statements; serve_statements ] in
+  let cfg =
+    Run_config.make ~seed:21 ~max_walks:2_000 ~max_time:3600.0
+      ~clock:(Timer.virtual_ ()) ()
+  in
+  let served =
+    Wj_sql.Engine.serve ~quantum:128 ~max_live:16 cfg catalog sqls
+  in
+  Alcotest.(check int) "all statements served" 16 (List.length served);
+  List.iter2
+    (fun sql (s : Wj_sql.Engine.served) ->
+      let seq = Wj_sql.Engine.execute_session cfg catalog sql in
+      List.iter2
+        (fun (_, seq_out) (it : Wj_sql.Engine.served_item) ->
+          Alcotest.(check bool) "session done" true
+            (it.Wj_sql.Engine.session_state = Scheduler.Done);
+          match (seq_out, it.Wj_sql.Engine.outcome) with
+          | Wj_sql.Engine.Online_scalar a, Some (Wj_sql.Engine.Online_scalar b) ->
+            Alcotest.(check int) "same walks" a.Online.final.walks b.Online.final.walks;
+            Alcotest.(check bool) "bit-for-bit estimate" true
+              (float_eq a.Online.final.estimate b.Online.final.estimate);
+            Alcotest.(check bool) "bit-for-bit half-width" true
+              (float_eq a.Online.final.half_width b.Online.final.half_width)
+          | _ -> Alcotest.fail "expected scalar online outcomes")
+        seq.Wj_sql.Engine.items s.Wj_sql.Engine.served_items)
+    sqls served
+
+let test_serve_group_by () =
+  (* A GROUP BY statement rides the same scheduler; groups match the
+     sequential run exactly. *)
+  let catalog = Lazy.force tpch_catalog in
+  let sql =
+    "SELECT ONLINE COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey \
+     GROUP BY c_mktsegment"
+  in
+  let cfg =
+    Run_config.make ~seed:9 ~max_walks:1_500 ~max_time:3600.0
+      ~clock:(Timer.virtual_ ()) ()
+  in
+  let served = Wj_sql.Engine.serve ~quantum:100 cfg catalog [ sql ] in
+  let seq = Wj_sql.Engine.execute_session cfg catalog sql in
+  match (List.hd served).Wj_sql.Engine.served_items with
+  | [ { outcome = Some (Wj_sql.Engine.Online_groups g); _ } ] -> (
+    match seq.Wj_sql.Engine.items with
+    | [ (_, Wj_sql.Engine.Online_groups g') ] ->
+      Alcotest.(check int) "same walks" g'.Online.total_walks g.Online.total_walks;
+      List.iter2
+        (fun (k, (a : Online.report)) (k', (b : Online.report)) ->
+          Alcotest.(check bool) "same key" true (Value.compare k k' = 0);
+          Alcotest.(check bool) "bit-for-bit group estimate" true
+            (float_eq a.estimate b.estimate))
+        g.Online.groups g'.Online.groups
+    | _ -> Alcotest.fail "sequential: expected one group outcome")
+  | _ -> Alcotest.fail "served: expected one group outcome"
+
+let () =
+  Alcotest.run "wj_service"
+    [
+      ( "determinism",
+        [ QCheck_alcotest.to_alcotest interleaving_determinism ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "running session expires within one quantum" `Quick
+            test_deadline_running;
+          Alcotest.test_case "queued session expires without running" `Quick
+            test_deadline_queued;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "mid-run cancel stops within one quantum" `Quick
+            test_cancel_mid_run;
+          Alcotest.test_case "queued cancel never runs" `Quick test_cancel_while_queued;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "FIFO order under max_live cap" `Quick test_admission_fifo ]
+      );
+      ( "metrics",
+        [ Alcotest.test_case "per-session scoped families" `Quick test_scoped_metrics ]
+      );
+      ( "serve",
+        [
+          Alcotest.test_case "16 concurrent TPC-H sessions = sequential" `Quick
+            test_serve_matches_sequential;
+          Alcotest.test_case "group-by rides the scheduler" `Quick test_serve_group_by;
+        ] );
+    ]
