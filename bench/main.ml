@@ -958,6 +958,113 @@ let service_bench () =
   Printf.printf "  [service] wrote BENCH_service.json\n%!"
 
 (* ======================================================================= *)
+(* Flight recorder: walks/sec by recorder mode. *)
+(* ======================================================================= *)
+
+let trace_bench () =
+  header "Flight recorder: walks/sec by recorder mode (fixed PG plan, 2GB)";
+  (* The recorder's overhead ladder: off (plain run), timeseries-only
+     (reports-only sink sampling counters into ring buffers), and full
+     span tracing (a span per driver quantum plus per-probe walker
+     spans).  Timeseries mode must sit within a few percent of the
+     uninstrumented run — the recorder never subscribes to hot-path
+     events, so its cost is the shared metrics registry plus O(reports)
+     sampling. *)
+  let module Run_config = Wj_core.Run_config in
+  let module Recorder = Wj_obs.Recorder in
+  let d = Data.get 0.02 in
+  let horizon = if !quick then 0.3 else 1.0 in
+  let entries = ref [] in
+  Printf.printf "%-4s  %12s %12s %12s   (walks/sec)\n" "qry" "off" "timeseries"
+    "tracing";
+  List.iter
+    (fun spec ->
+      let q = Queries.build ~variant:Barebone spec d in
+      let reg = Queries.registry q in
+      let plan = pg_plan q reg in
+      (* Machine drift across a multi-second bench is larger than the
+         effect measured, so the modes run interleaved round-robin and
+         each mode's rate is total walks over total elapsed across all
+         repetitions — slow drift then cancels out of the overhead
+         ratios instead of being charged to whichever mode ran last. *)
+      let reps = if !quick then 1 else 5 in
+      let one mk_recorder =
+        let cfg =
+          Run_config.make ~seed ~max_time:horizon
+            ~plan_choice:(Run_config.Fixed plan) ?recorder:(mk_recorder ()) ()
+        in
+        let out = Online.run_session cfg q reg in
+        (float_of_int out.final.walks, out.final.elapsed)
+      in
+      let modes =
+        [|
+          (fun () -> None);
+          (fun () -> Some (Recorder.create ()));
+          (fun () -> Some (Recorder.create ~tracing:true ()));
+        |]
+      in
+      let walks = [| 0.0; 0.0; 0.0 |] and secs = [| 0.0; 0.0; 0.0 |] in
+      for _ = 1 to reps do
+        Array.iteri
+          (fun i mk ->
+            let w, s = one mk in
+            walks.(i) <- walks.(i) +. w;
+            secs.(i) <- secs.(i) +. s)
+          modes
+      done;
+      let rate i = walks.(i) /. secs.(i) in
+      let off = rate 0 and ts = rate 1 and tracing = rate 2 in
+      let overhead r = 100.0 *. (1.0 -. (r /. off)) in
+      Printf.printf
+        "%-4s  %12.0f %12.0f %12.0f   (timeseries %+.1f%%, tracing %+.1f%%)\n%!"
+        (Queries.name_of spec) off ts tracing (overhead ts) (overhead tracing);
+      entries := (Queries.name_of spec, off, ts, tracing) :: !entries)
+    specs;
+  (* With no recorder the observability plumbing must be allocation-free:
+     resolving the configured sink and testing event granularity — the
+     exact gates the driver evaluates every tick — may not create a
+     single minor word. *)
+  let cfg = Run_config.make ~seed () in
+  let live = ref 0 in
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    let sink = Run_config.resolved_sink cfg in
+    if Wj_obs.Sink.wants_events sink then incr live;
+    if Wj_obs.Sink.wants_reports sink then incr live
+  done;
+  let off_words = Gc.minor_words () -. before in
+  Printf.printf "  [trace] off-state sink gating: %.0f minor words / 100k checks%s\n%!"
+    off_words
+    (if off_words = 0.0 then " (allocation-free)" else "");
+  if off_words > 0.0 then
+    failwith
+      (Printf.sprintf
+         "recorder-off sink gating allocated %.0f minor words; expected 0" off_words);
+  (* Machine-readable drop for regression tracking. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "{\n  \"experiment\": \"trace\",\n  \"unit\": \"walks_per_sec\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"off_state_minor_words\": %.0f,\n  \"queries\": {\n" off_words);
+  let entries = List.rev !entries in
+  List.iteri
+    (fun i (name, off, ts, tracing) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"off\": %.1f, \"timeseries\": %.1f, \"tracing\": %.1f, \
+            \"timeseries_overhead_pct\": %.2f, \"tracing_overhead_pct\": %.2f }%s\n"
+           name off ts tracing
+           (100.0 *. (1.0 -. (ts /. off)))
+           (100.0 *. (1.0 -. (tracing /. off)))
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [trace] wrote BENCH_trace.json\n%!"
+
+(* ======================================================================= *)
 (* Bechamel micro-benchmarks. *)
 (* ======================================================================= *)
 
@@ -1036,6 +1143,7 @@ let experiments =
     ("obs", obs_bench);
     ("layout", layout_bench);
     ("service", service_bench);
+    ("trace", trace_bench);
     ("micro", micro);
   ]
 

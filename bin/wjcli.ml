@@ -126,6 +126,29 @@ module Flag = struct
       docv = "SECONDS";
       doc = "Per-session deadline from admission; expired sessions stop within one quantum.";
     }
+
+  let interval =
+    {
+      names = [ "interval" ];
+      docv = "SECONDS";
+      doc = "Live view refresh interval (default 0.5).";
+    }
+
+  let record =
+    {
+      names = [ "record" ];
+      docv = "FILE";
+      doc =
+        "Dump the flight recorder (time series, convergence diagnostics, trace \
+         events) as Chrome-trace-loadable JSON to $(docv).";
+    }
+
+  let trace =
+    {
+      names = [ "trace" ];
+      docv = "";
+      doc = "Record begin/end spans (quanta, driver advances, optimizer trials).";
+    }
 end
 
 let sf_arg = Arg.(value & opt float 0.01 & Flag.(info sf))
@@ -238,12 +261,18 @@ let serve_run sf seed tbl_dir metrics json time quantum max_live policy deadline
       Hashtbl.replace labels session label;
       Printf.printf "%-24s admitted\n%!" label
     | Session_started { session } -> Printf.printf "%-24s started\n%!" (name session)
-    | Session_report { session; progress = p } ->
-      Printf.printf "%-24s [%6.2fs] %.6g +/- %.4g (%d walks)\n%!" (name session)
+    | Session_report { session; progress = p; deadline_left } ->
+      let deadline =
+        match deadline_left with
+        | None -> ""
+        | Some d -> Printf.sprintf " [%.2fs left]" d
+      in
+      Printf.printf "%-24s [%6.2fs] %.6g +/- %.4g (%d walks)%s\n%!" (name session)
         p.Wj_obs.Progress.elapsed p.Wj_obs.Progress.estimate
-        p.Wj_obs.Progress.half_width p.Wj_obs.Progress.walks
-    | Session_finished { session; outcome } ->
-      Printf.printf "%-24s finished: %s\n%!" (name session) outcome
+        p.Wj_obs.Progress.half_width p.Wj_obs.Progress.walks deadline
+    | Session_finished { session; outcome; reason } ->
+      let why = match reason with None -> "" | Some r -> " (" ^ r ^ ")" in
+      Printf.printf "%-24s finished: %s%s\n%!" (name session) outcome why
     | _ -> ()
   in
   let sink = Wj_obs.Sink.tee (Wj_obs.Sink.of_fn on_event) msink in
@@ -278,6 +307,201 @@ let serve_term =
     const serve_run $ sf_arg $ seed_arg $ tbl_dir_arg $ metrics_arg $ metrics_json_arg
     $ time_arg $ quantum_arg $ max_live_arg $ policy_arg $ deadline_arg $ sqls_arg)
 
+(* --- top -------------------------------------------------------------- *)
+
+(* The flight recorder's post-mortem: per-scope convergence diagnostics
+   (fitted CI decay, per-plan variance attribution, stalled plans) and,
+   when tracing, where the time went by span name. *)
+let print_recorder_summary recorder =
+  List.iter
+    (fun scope ->
+      let c = Wj_obs.Recorder.convergence recorder ~scope in
+      let where = if scope = "" then "run" else String.sub scope 0 (String.length scope - 1) in
+      (match Wj_obs.Convergence.fit c with
+      | None -> ()
+      | Some f ->
+        Printf.printf
+          "%s: CI ~ %.4g * walks^%.3f over %d samples (convergence ratio %.2f)\n"
+          where f.Wj_obs.Convergence.c f.Wj_obs.Convergence.exponent
+          f.Wj_obs.Convergence.points
+          (Option.value ~default:Float.nan (Wj_obs.Convergence.convergence_ratio c)));
+      List.iter
+        (fun (a : Wj_obs.Convergence.attribution) ->
+          Printf.printf "  %5.1f%% of variance mass: %-50s (%d/%d walks ok, var %.4g)\n"
+            (100.0 *. a.Wj_obs.Convergence.share)
+            a.Wj_obs.Convergence.plan a.Wj_obs.Convergence.successes
+            a.Wj_obs.Convergence.attempts a.Wj_obs.Convergence.variance)
+        (Wj_obs.Convergence.attribution c);
+      (match Wj_obs.Convergence.stalled c with
+      | [] -> ()
+      | ps -> Printf.printf "  stalled plans: %s\n" (String.concat "; " ps)))
+    (Wj_obs.Recorder.convergence_scopes recorder);
+  match Wj_obs.Recorder.trace recorder with
+  | None -> ()
+  | Some tr ->
+    List.iter
+      (fun (name, (seconds, count)) ->
+        Printf.printf "span %-24s %8d x, %.4fs total\n" name count seconds)
+      (Wj_obs.Trace.totals tr);
+    if Wj_obs.Trace.dropped tr > 0 then
+      Printf.printf "(%d trace events dropped at capacity)\n" (Wj_obs.Trace.dropped tr)
+
+let write_record recorder file =
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc (Wj_obs.Recorder.to_json recorder));
+  Printf.printf "flight record written to %s (load in chrome://tracing)\n" file
+
+(* One live table row per scheduler session, updated from the milestone
+   event stream. *)
+type top_row = {
+  r_id : int;
+  mutable r_label : string;
+  mutable r_state : string;
+  mutable r_progress : Wj_obs.Progress.t option;
+  mutable r_rate : float;  (* walks/s between the last two reports *)
+}
+
+let top_run sf seed tbl_dir time quantum max_live policy deadline interval tracing
+    record sqls =
+  let d = load sf seed tbl_dir in
+  let catalog = Wj_tpch.Generator.catalog d in
+  let recorder = Wj_obs.Recorder.create ~tracing () in
+  let rows : (int, top_row) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let row id =
+    match Hashtbl.find_opt rows id with
+    | Some r -> r
+    | None ->
+      let r =
+        {
+          r_id = id;
+          r_label = Printf.sprintf "session%d" id;
+          r_state = "queued";
+          r_progress = None;
+          r_rate = Float.nan;
+        }
+      in
+      Hashtbl.add rows id r;
+      order := id :: !order;
+      r
+  in
+  let conv_ratio id =
+    let c =
+      Wj_obs.Recorder.convergence recorder
+        ~scope:(Wj_obs.Recorder.scope_of_session id)
+    in
+    Wj_obs.Convergence.convergence_ratio c
+  in
+  let table () =
+    let header =
+      Printf.sprintf "%-24s %-10s %10s %9s %13s %11s %6s" "SESSION" "STATE" "WALKS"
+        "WALKS/S" "ESTIMATE" "CI+/-" "CONV"
+    in
+    header
+    :: List.rev_map
+         (fun id ->
+           let r = row id in
+           let conv =
+             match conv_ratio id with
+             | Some v when Float.is_finite v -> Printf.sprintf "%.2f" v
+             | _ -> "-"
+           in
+           match r.r_progress with
+           | None ->
+             Printf.sprintf "%-24s %-10s %10s %9s %13s %11s %6s" r.r_label r.r_state
+               "-" "-" "-" "-" conv
+           | Some p ->
+             Printf.sprintf "%-24s %-10s %10d %9s %13.6g %11.4g %6s" r.r_label
+               r.r_state p.Wj_obs.Progress.walks
+               (if Float.is_nan r.r_rate then "-" else Printf.sprintf "%.0f" r.r_rate)
+               p.Wj_obs.Progress.estimate p.Wj_obs.Progress.half_width conv)
+         !order
+  in
+  let tty = Unix.isatty Unix.stdout in
+  let drawn = ref 0 in
+  let last_draw = ref Float.neg_infinity in
+  let draw ~force () =
+    if tty then begin
+      let now = Unix.gettimeofday () in
+      if force || now -. !last_draw >= interval then begin
+        last_draw := now;
+        if !drawn > 0 then Printf.printf "\027[%dA" !drawn;
+        let lines = table () in
+        List.iter (fun l -> Printf.printf "\027[2K%s\n" l) lines;
+        drawn := List.length lines;
+        flush stdout
+      end
+    end
+  in
+  let on_event : Wj_obs.Event.t -> unit = function
+    | Session_admitted { session; label } ->
+      (row session).r_label <- label;
+      draw ~force:false ()
+    | Session_started { session } ->
+      (row session).r_state <- "running";
+      draw ~force:false ()
+    | Session_report { session; progress = p; deadline_left = _ } ->
+      let r = row session in
+      (match r.r_progress with
+      | Some prev
+        when p.Wj_obs.Progress.elapsed > prev.Wj_obs.Progress.elapsed
+             && p.Wj_obs.Progress.walks > prev.Wj_obs.Progress.walks ->
+        r.r_rate <-
+          float_of_int (p.Wj_obs.Progress.walks - prev.Wj_obs.Progress.walks)
+          /. (p.Wj_obs.Progress.elapsed -. prev.Wj_obs.Progress.elapsed)
+      | _ -> ());
+      r.r_progress <- Some p;
+      draw ~force:false ()
+    | Session_finished { session; outcome; reason } ->
+      let r = row session in
+      r.r_state <-
+        (match reason with Some why -> outcome ^ ":" ^ why | None -> outcome);
+      draw ~force:false ()
+    | _ -> ()
+  in
+  let sink =
+    Wj_obs.Sink.tee
+      (Wj_obs.Sink.make ~on_event ~events:`Reports ())
+      (Wj_obs.Recorder.sink recorder)
+  in
+  let cfg = Wj_core.Run_config.make ~seed ~max_time:time ~recorder () in
+  let sqls =
+    List.concat_map (String.split_on_char ';') sqls
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  sql_errors (fun () ->
+      let served =
+        Wj_sql.Engine.serve ?quantum ?max_live ~policy ~sink ?deadline cfg catalog
+          sqls
+      in
+      if tty then draw ~force:true () else List.iter print_endline (table ());
+      print_newline ();
+      print_string (Wj_sql.Engine.render_served served);
+      print_recorder_summary recorder;
+      (match record with None -> () | Some file -> write_record recorder file);
+      0)
+
+let top_term =
+  let sqls_arg =
+    let doc = "SQL statements to run concurrently (also split on ';')." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"SQL" ~doc)
+  in
+  let time_arg = Arg.(value & opt float 5.0 & Flag.(info (time 5.0))) in
+  let quantum_arg = Arg.(value & opt (some int) None & Flag.(info quantum)) in
+  let max_live_arg = Arg.(value & opt (some int) None & Flag.(info max_live)) in
+  let policy_arg =
+    Arg.(value & opt policy_conv Wj_service.Scheduler.Round_robin & Flag.(info policy))
+  in
+  let deadline_arg = Arg.(value & opt (some float) None & Flag.(info deadline)) in
+  let interval_arg = Arg.(value & opt float 0.5 & Flag.(info interval)) in
+  let trace_arg = Arg.(value & flag & Flag.(info trace)) in
+  let record_arg = Arg.(value & opt (some string) None & Flag.(info record)) in
+  Term.(
+    const top_run $ sf_arg $ seed_arg $ tbl_dir_arg $ time_arg $ quantum_arg
+    $ max_live_arg $ policy_arg $ deadline_arg $ interval_arg $ trace_arg
+    $ record_arg $ sqls_arg)
+
 (* --- tpch ------------------------------------------------------------- *)
 
 let spec_conv =
@@ -295,7 +519,8 @@ let spec_arg =
   let doc = "Benchmark query: q3, q7 or q10." in
   Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"QUERY" ~doc)
 
-let tpch_run sf seed tbl_dir spec barebone time target exact complete metrics json =
+let tpch_run sf seed tbl_dir spec barebone time target exact complete metrics json
+    record =
   let d = load sf seed tbl_dir in
   let variant = if barebone then Wj_tpch.Queries.Barebone else Standard in
   let q = Wj_tpch.Queries.build ~variant spec d in
@@ -317,12 +542,21 @@ let tpch_run sf seed tbl_dir spec barebone time target exact complete metrics js
     0
   end
   else begin
+    let recorder =
+      match record with
+      | None -> None
+      | Some _ -> Some (Wj_obs.Recorder.create ~tracing:true ())
+    in
+    let cfg =
+      Wj_core.Run_config.make ~seed ~max_time:time ?target ~report_every:1.0 ~sink
+        ?recorder ()
+    in
     let out =
-      Wj_core.Online.run ~seed ~max_time:time ?target ~report_every:1.0 ~sink
+      Wj_core.Online.run_session
         ~on_report:(fun r ->
           Printf.printf "[%6.2fs] estimate %.6g +/- %.4g (%d walks, %d successes)\n%!"
             r.elapsed r.estimate r.half_width r.walks r.successes)
-        q reg
+        cfg q reg
     in
     Printf.printf "final: %.6g +/- %.4g after %.2fs (%d walks; plan %s)\n"
       out.final.estimate out.final.half_width out.final.elapsed out.final.walks
@@ -335,6 +569,11 @@ let tpch_run sf seed tbl_dir spec barebone time target exact complete metrics js
     end;
     (match m_opt with Some m -> Wj_core.Registry.export_metrics reg m | None -> ());
     metrics_finish ~json m_opt;
+    (match (recorder, record) with
+    | Some r, Some file ->
+      print_recorder_summary r;
+      write_record r file
+    | _ -> ());
     0
   end
 
@@ -344,10 +583,11 @@ let tpch_term =
   let target_arg = Arg.(value & opt (some float) None & Flag.(info target)) in
   let exact_arg = Arg.(value & flag & Flag.(info exact)) in
   let complete_arg = Arg.(value & flag & Flag.(info complete)) in
+  let record_arg = Arg.(value & opt (some string) None & Flag.(info record)) in
   Term.(
     const tpch_run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ barebone_arg
     $ time_arg $ target_arg $ exact_arg $ complete_arg $ metrics_arg
-    $ metrics_json_arg)
+    $ metrics_json_arg $ record_arg)
 
 (* --- plans ------------------------------------------------------------ *)
 
@@ -458,6 +698,7 @@ let commands =
   [
     ("query", "Execute a SQL statement (use SELECT ONLINE for online aggregation).", query_term);
     ("serve", "Run several SQL statements concurrently under the session scheduler.", serve_term);
+    ("top", "Serve SQL statements with a live per-session view and flight recorder.", top_term);
     ("tpch", "Run a TPC-H benchmark query with wander join.", tpch_term);
     ("plans", "Enumerate walk plans and show the optimizer's evaluation.", plans_term);
     ("groupby", "Online GROUP BY c_mktsegment for a benchmark query.", groupby_term);

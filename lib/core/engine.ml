@@ -157,6 +157,7 @@ module Driver = struct
   type t = {
     polls : polls;
     sink : Wj_obs.Sink.t;
+    trace : Wj_obs.Trace.t option;
     report_ticks : Wj_obs.Counter.t option;
     progress : (unit -> Wj_obs.Progress.t) option;
     target_reached : (unit -> bool) option;
@@ -185,6 +186,7 @@ module Driver = struct
     {
       polls;
       sink;
+      trace = Wj_obs.Sink.trace sink;
       report_ticks;
       progress;
       target_reached;
@@ -213,7 +215,7 @@ module Driver = struct
       Wj_obs.Counter.incr
         (Wj_obs.Metrics.counter m
            ("driver.stop." ^ Wj_obs.Event.stop_reason_name reason)));
-    if Wj_obs.Sink.wants_events t.sink then
+    if Wj_obs.Sink.wants_reports t.sink then
       Wj_obs.Sink.emit t.sink (Wj_obs.Event.Stopped reason)
 
   let interrupt t reason = if t.stop = None then finalize t reason
@@ -263,7 +265,7 @@ module Driver = struct
         (match t.on_report with None -> () | Some f -> f ());
         (match t.report_ticks with None -> () | Some c -> Wj_obs.Counter.incr c);
         (match t.progress with
-        | Some p when Wj_obs.Sink.wants_events t.sink ->
+        | Some p when Wj_obs.Sink.wants_reports t.sink ->
           Wj_obs.Sink.emit t.sink (Wj_obs.Event.Report (p ()))
         | Some _ | None -> ());
         t.next_report <- t.next_report +. t.interval
@@ -271,12 +273,23 @@ module Driver = struct
       true
     end
 
+  (* The whole quantum is one span, not one per walk: span cost stays off
+     the per-step path, and a Chrome timeline of a scheduled run shows
+     each driver's granted slices.  The begin/end pair brackets the loop
+     unconditionally, so nesting balances on every exit — quantum
+     exhausted, stop condition resolved, or interrupted between calls. *)
   let advance t ~max_steps =
     if max_steps < 1 then invalid_arg "Engine.Driver.advance: max_steps must be >= 1";
+    (match t.trace with
+    | Some tr -> Wj_obs.Trace.span_begin tr ~cat:"engine" "driver.advance"
+    | None -> ());
     let steps = ref 0 in
     while t.stop = None && !steps < max_steps do
       if tick t then incr steps
     done;
+    (match t.trace with
+    | Some tr -> Wj_obs.Trace.span_end tr ~cat:"engine" ()
+    | None -> ());
     t.stop
 
   let drain t =

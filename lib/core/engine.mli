@@ -108,8 +108,10 @@ module Driver : sig
       (then and on every later call).  Stop conditions are checked before
       each step in the same order and on the same polling cadence as
       {!run}, so the sequence of steps, reports and the final reason are
-      identical to a blocking run.  Raises [Invalid_argument] when
-      [max_steps < 1]. *)
+      identical to a blocking run.  When the sink carries a trace, each
+      [advance] call is bracketed by one ["driver.advance"] span —
+      begin/end nesting balances on every exit path.  Raises
+      [Invalid_argument] when [max_steps < 1]. *)
 
   val interrupt : t -> stop_reason -> unit
   (** Force the loop to stop with [reason] without performing further
@@ -150,7 +152,9 @@ module Driver : sig
 
       [sink] observes the loop: each report tick bumps the
       ["driver.report_ticks"] counter and, when [progress] is given and the
-      sink wants events, emits [Report (progress ())]; the final stop bumps
-      ["driver.stop.<reason>"] and emits [Stopped].  Raises
-      [Invalid_argument] when a poll mask is not of the form [2^k - 1]. *)
+      sink has an event callback (reports-only granularity suffices —
+      {!Wj_obs.Sink.wants_reports}), emits [Report (progress ())]; the
+      final stop bumps ["driver.stop.<reason>"] and emits [Stopped].
+      Raises [Invalid_argument] when a poll mask is not of the form
+      [2^k - 1]. *)
 end

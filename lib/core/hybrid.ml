@@ -133,7 +133,7 @@ let start_session ?(config = default_config) ?(max_rounds = max_int)
   let prepared =
     Array.of_list (List.map (fun p -> Walker.prepare ~sink q registry p) plans)
   in
-  if Wj_obs.Sink.wants_events sink then
+  if Wj_obs.Sink.wants_reports sink then
     List.iter
       (fun p ->
         Wj_obs.Sink.emit sink

@@ -46,7 +46,8 @@ let make_report ~confidence ~elapsed est =
     half_width = Estimator.half_width est ~confidence;
   }
 
-let pick_plan ~plan_choice ~eager_checks ~tracer ~sink q registry prng clock =
+let pick_plan ~plan_choice ~eager_checks ~tracer ~sink ?convergence q registry prng
+    clock =
   match plan_choice with
   | Fixed plan ->
     ( Walker.prepare ~eager_checks ?tracer ~sink q registry plan,
@@ -65,7 +66,10 @@ let pick_plan ~plan_choice ~eager_checks ~tracer ~sink q registry prng clock =
         0 ))
   | Optimize config ->
     let t0 = Timer.elapsed clock in
-    let r = Optimizer.choose ~config ~eager_checks ?tracer ~sink q registry prng in
+    let r =
+      Optimizer.choose ~config ~eager_checks ?tracer ~sink ?convergence q registry
+        prng
+    in
     let dt = Timer.elapsed clock -. t0 in
     (r.best, r.best_plan, r.trial_estimator, dt, r.total_trial_walks)
 
@@ -93,13 +97,36 @@ end
 let start_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t) q
     registry =
   let clock = Run_config.clock_or_wall cfg in
-  let sink = cfg.sink in
+  (* The recorder scope is derived from the configured sink BEFORE the
+     recorder is teed in: under the scheduler the session sink already
+     carries a "session<id>."-scoped registry, so this session's CI
+     trajectory and plan attribution file next to its gauges; standalone
+     runs record under the root scope "". *)
+  let scope =
+    match Sink.metrics cfg.sink with
+    | Some m -> Wj_obs.Metrics.prefix m
+    | None -> ""
+  in
+  let sink =
+    match cfg.recorder with
+    | None -> cfg.sink
+    | Some r -> Sink.tee cfg.sink (Wj_obs.Recorder.scoped_sink r ~scope)
+  in
+  let convergence =
+    Option.map (fun r -> Wj_obs.Recorder.convergence r ~scope) cfg.recorder
+  in
   let prng = Prng.create (cfg.seed lxor 0x4F4E4C) in  (* "ONL" *)
   let prepared, plan, est, optimizer_time, optimizer_walks =
-    pick_plan ~plan_choice:cfg.plan_choice ~eager_checks ~tracer ~sink q registry
-      prng clock
+    pick_plan ~plan_choice:cfg.plan_choice ~eager_checks ~tracer ~sink ?convergence
+      q registry prng clock
   in
-  if Sink.wants_events sink then
+  (* Trial walks are already inside [est] (the merged trial estimator) and
+     already attributed per plan by the optimizer; snapshot them so the
+     main loop's walks can be bulk-credited to the chosen plan at the end
+     without any per-walk recorder work. *)
+  let trial_walks = Estimator.n est in
+  let trial_successes = Estimator.successes est in
+  if Sink.wants_reports sink then
     Sink.emit sink
       (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
   let engine = Engine.create ~batch:cfg.batch prepared in
@@ -108,7 +135,7 @@ let start_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t)
     let r = make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) est in
     history := r :: !history;
     (match on_report with None -> () | Some f -> f r);
-    if Sink.wants_events sink then Sink.emit sink (Wj_obs.Event.Report r)
+    if Sink.wants_reports sink then Sink.emit sink (Wj_obs.Event.Report r)
   in
   let target_reached =
     Option.map
@@ -125,6 +152,7 @@ let start_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t)
       ~walks:(fun () -> Estimator.n est)
       ~step ()
   in
+  let credited = ref false in
   let result () =
     let stopped_because =
       match Engine.Driver.stopped driver with
@@ -134,6 +162,19 @@ let start_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t)
     let final =
       make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) est
     in
+    (match convergence with
+    | Some c when not !credited ->
+      (* Main-loop walks all ran the chosen plan; crediting the delta over
+         the trial snapshot makes per-plan attempts sum exactly to
+         [final.walks].  Also pin the trajectory's last point to the final
+         CI — report ticks stop before the loop does. *)
+      credited := true;
+      Wj_obs.Convergence.register_plan c (Walk_plan.describe q plan);
+      Wj_obs.Convergence.credit c ~plan:(Walk_plan.describe q plan)
+        ~attempts:(final.walks - trial_walks)
+        ~successes:(final.successes - trial_successes);
+      Wj_obs.Convergence.note_ci c ~walks:final.walks ~half_width:final.half_width
+    | Some _ | None -> ());
     {
       final;
       estimator = est;
@@ -190,13 +231,15 @@ let start_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
   if q.Query.group_by = None then
     invalid_arg "Online.run_group_by: query has no GROUP BY";
   let clock = Run_config.clock_or_wall cfg in
-  let sink = cfg.sink in
+  (* Group estimators have no single CI trajectory, so the recorder only
+     contributes metrics sampling and tracing here — no convergence scope. *)
+  let sink = Run_config.resolved_sink cfg in
   let prng = Prng.create (cfg.seed lxor 0x4F4E4C) in  (* "ONL" *)
   let prepared, plan, _trials, _, _ =
     pick_plan ~plan_choice:cfg.plan_choice ~eager_checks:true ~tracer:None ~sink q
       registry prng clock
   in
-  if Sink.wants_events sink then
+  if Sink.wants_reports sink then
     Sink.emit sink
       (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
   let engine = Engine.create ~batch:cfg.batch prepared in

@@ -25,12 +25,13 @@ type result = {
 type trial = {
   prepared : Walker.prepared;
   tplan : Walk_plan.t;
+  tlabel : string;
   est : Estimator.t;
   mutable walks : int;
   mutable steps : int;
 }
 
-let run_one_walk q trial prng =
+let run_one_walk ?convergence q trial prng =
   trial.walks <- trial.walks + 1;
   (match Walker.walk trial.prepared prng with
   | Walker.Success { path; inv_p } ->
@@ -40,12 +41,23 @@ let run_one_walk q trial prng =
       | Estimator.Sum | Estimator.Avg | Estimator.Variance | Estimator.Stdev ->
         Walker.value_of trial.prepared path
     in
-    Estimator.add trial.est ~u:inv_p ~v
-  | Walker.Failure _ -> Estimator.add_failure trial.est);
+    Estimator.add trial.est ~u:inv_p ~v;
+    (match convergence with
+    | None -> ()
+    | Some c ->
+      (* The per-plan observation is X₁ itself — the Horvitz–Thompson
+         weighted value — so the attribution variance matches what drives
+         the estimator's CI. *)
+      Wj_obs.Convergence.observe c ~plan:trial.tlabel ~success:true (inv_p *. v))
+  | Walker.Failure _ ->
+    Estimator.add_failure trial.est;
+    (match convergence with
+    | None -> ()
+    | Some c -> Wj_obs.Convergence.observe c ~plan:trial.tlabel ~success:false 0.0));
   trial.steps <- trial.steps + Walker.steps_of_last_walk trial.prepared
 
 let choose ?(config = default_config) ?(eager_checks = true) ?tracer
-    ?(sink = Wj_obs.Sink.noop) ?plans q registry prng =
+    ?(sink = Wj_obs.Sink.noop) ?convergence ?plans q registry prng =
   let plans =
     match plans with Some ps -> ps | None -> Walk_plan.enumerate q registry
   in
@@ -57,12 +69,20 @@ let choose ?(config = default_config) ?(eager_checks = true) ?tracer
         {
           prepared = Walker.prepare ~eager_checks ?tracer ~sink q registry plan;
           tplan = plan;
+          tlabel = Walk_plan.describe q plan;
           est = Estimator.create q.Query.agg;
           walks = 0;
           steps = 0;
         })
       plans
   in
+  (match convergence with
+  | None -> ()
+  | Some c -> List.iter (fun t -> Wj_obs.Convergence.register_plan c t.tlabel) trials);
+  let trace = Wj_obs.Sink.trace sink in
+  (match trace with
+  | Some tr -> Wj_obs.Trace.span_begin tr ~cat:"optimizer" "optimizer.trials"
+  | None -> ());
   (* Round-robin until one plan hits tau successes (or the backstop). *)
   let rounds = ref 0 in
   let done_ () =
@@ -71,8 +91,11 @@ let choose ?(config = default_config) ?(eager_checks = true) ?tracer
   in
   while not (done_ ()) do
     incr rounds;
-    List.iter (fun t -> run_one_walk q t prng) trials
+    List.iter (fun t -> run_one_walk ?convergence q t prng) trials
   done;
+  (match trace with
+  | Some tr -> Wj_obs.Trace.span_end tr ~cat:"optimizer" ()
+  | None -> ());
   let threshold =
     let best_successes =
       List.fold_left (fun acc t -> max acc (Estimator.successes t.est)) 0 trials

@@ -43,6 +43,7 @@ val choose :
   ?eager_checks:bool ->
   ?tracer:(Walker.event -> unit) ->
   ?sink:Wj_obs.Sink.t ->
+  ?convergence:Wj_obs.Convergence.t ->
   ?plans:Walk_plan.t list ->
   Query.t ->
   Registry.t ->
@@ -50,6 +51,12 @@ val choose :
   result
 (** Runs the trial protocol over [plans] (default: all enumerated plans).
     [sink] is threaded to every trial {!Walker.prepare}, so trial walks
-    count in the sink's walker metrics like any other walk.  Raises
-    [Invalid_argument] when no walk plan exists — use {!Decompose} /
-    {!Hybrid} in that case. *)
+    count in the sink's walker metrics like any other walk; when the sink
+    carries a trace the whole trial protocol is one ["optimizer.trials"]
+    span.  [convergence] registers every candidate plan (label =
+    {!Walk_plan.describe}) and records each trial walk's outcome and
+    Horvitz–Thompson observation against it, so the flight recorder's
+    per-plan variance attribution includes the trial phase — the same
+    Var[X₁] evidence this optimizer decides on, preserved as an
+    explainable input.  Raises [Invalid_argument] when no walk plan
+    exists — use {!Decompose} / {!Hybrid} in that case. *)

@@ -34,7 +34,7 @@ let run_session ?domains ?walks_per_domain (cfg : Run_config.t) q registry =
       let r = Optimizer.choose ~config ~sink q registry prng in
       (r.best_plan, r.trial_estimator)
   in
-  if Sink.wants_events sink then
+  if Sink.wants_reports sink then
     Sink.emit sink
       (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
   (* Spawned domains get a metrics-only view of the sink: the flat counter

@@ -15,6 +15,7 @@ type t = {
   should_stop : (unit -> bool) option;
   plan_choice : plan_choice;
   sink : Wj_obs.Sink.t;
+  recorder : Wj_obs.Recorder.t option;
 }
 
 let default =
@@ -30,11 +31,13 @@ let default =
     should_stop = None;
     plan_choice = Optimize Optimizer.default_config;
     sink = Wj_obs.Sink.noop;
+    recorder = None;
   }
 
 let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     ?report_every ?(batch = 1) ?clock ?should_stop
-    ?(plan_choice = Optimize Optimizer.default_config) ?(sink = Wj_obs.Sink.noop) () =
+    ?(plan_choice = Optimize Optimizer.default_config) ?(sink = Wj_obs.Sink.noop)
+    ?recorder () =
   {
     seed;
     confidence;
@@ -47,10 +50,20 @@ let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     should_stop;
     plan_choice;
     sink;
+    recorder;
   }
 
 let with_seed t seed = { t with seed }
 let with_sink t sink = { t with sink }
+let with_recorder t recorder = { t with recorder = Some recorder }
+
+(* The sink a driver should actually observe through: the configured sink
+   teed (left, so its metrics registry and trace win) with the recorder's
+   reports-only sink, when a recorder is attached. *)
+let resolved_sink t =
+  match t.recorder with
+  | None -> t.sink
+  | Some r -> Wj_obs.Sink.tee t.sink (Wj_obs.Recorder.sink r)
 
 let clock_or_wall t =
   match t.clock with Some c -> c | None -> Wj_util.Timer.wall ()

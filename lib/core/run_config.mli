@@ -26,6 +26,9 @@ type t = {
   should_stop : (unit -> bool) option;  (** cooperative cancellation *)
   plan_choice : plan_choice;
   sink : Wj_obs.Sink.t;  (** observability; default {!Wj_obs.Sink.noop} *)
+  recorder : Wj_obs.Recorder.t option;
+      (** flight recorder; when present, drivers tee its reports-only sink
+          into [sink] and feed it convergence diagnostics *)
 }
 
 val default : t
@@ -44,6 +47,7 @@ val make :
   ?should_stop:(unit -> bool) ->
   ?plan_choice:plan_choice ->
   ?sink:Wj_obs.Sink.t ->
+  ?recorder:Wj_obs.Recorder.t ->
   unit ->
   t
 (** Defaults as in {!default}. *)
@@ -54,6 +58,15 @@ val with_seed : t -> int -> t
 
 val with_sink : t -> Wj_obs.Sink.t -> t
 (** Functional update of the observability sink. *)
+
+val with_recorder : t -> Wj_obs.Recorder.t -> t
+(** Functional update attaching a flight recorder. *)
+
+val resolved_sink : t -> Wj_obs.Sink.t
+(** [sink] teed with the recorder's reports-only sink when a recorder is
+    attached; just [sink] otherwise.  The configured sink is the left
+    (winning) side, so its metrics registry and trace are the ones drivers
+    observe through. *)
 
 val clock_or_wall : t -> Wj_util.Timer.t
 (** The configured clock, or a fresh wall clock started now. *)

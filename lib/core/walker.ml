@@ -81,6 +81,7 @@ type prepared = {
   tracer : (event -> unit) option; (* legacy tracer composed with the sink *)
   emit : (Wj_obs.Event.t -> unit) option; (* walk lifecycle events *)
   stats : instr option;
+  trace : Wj_obs.Trace.t option; (* full-tracing span buffer, off by default *)
   mutable last_steps : int;
   mutable phase_cost : int; (* abstract cost of the most recent phase *)
 }
@@ -203,6 +204,7 @@ let prepare ?(eager_checks = true) ?tracer ?(sink = Wj_obs.Sink.noop) q registry
     tracer;
     emit;
     stats;
+    trace = Wj_obs.Sink.trace sink;
     last_steps = 0;
     phase_cost = 0;
   }
@@ -221,6 +223,12 @@ let[@inline] note_row_access t pos row =
 
 let[@inline] note_index_probe t pos cost =
   (match t.stats with None -> () | Some s -> Counter.incr s.i_index_probes);
+  (* Probes become instants, not spans: their wall durations are below
+     clock resolution, while their count and position are what a timeline
+     view needs.  The abstract cost lives in walker.phase_cost. *)
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Wj_obs.Trace.instant tr ~cat:"walker" "walker.index_probe");
   match t.tracer with None -> () | Some f -> f (Index_probe (pos, cost))
 
 let[@inline] note_walk_started t =

@@ -77,17 +77,30 @@ let attach_pool_events t sink =
               else Wj_obs.Event.Pool_miss { table; page })))
   else Buffer_pool.set_observer t.pool None
 
-let sink ?metrics t =
+let sink ?metrics ?trace t =
+  (* With a trace attached, every simulated I/O charge is also recorded
+     as a retrospective ("X") span whose duration is the virtual seconds
+     charged — so a Chrome timeline shows where modelled I/O time went. *)
+  let charged_span name f =
+    match trace with
+    | None -> f ()
+    | Some tr ->
+      let before = t.charged in
+      f ();
+      Wj_obs.Trace.complete tr ~cat:"iosim" ~dur:(t.charged -. before) name
+  in
   let on_event ev =
     match (ev : Wj_obs.Event.t) with
-    | Row_access { pos; row } -> touch_row t pos row
+    | Row_access { pos; row } ->
+      charged_span "io.row_access" (fun () -> touch_row t pos row)
     | Index_probe { cost; _ } ->
-      charge_seconds t (float_of_int cost *. t.model.Cost_model.index_level_cost)
+      charged_span "io.index_probe" (fun () ->
+          charge_seconds t (float_of_int cost *. t.model.Cost_model.index_level_cost))
     | Report _ | Stopped _ -> (
       match metrics with Some m -> export_gauges t m | None -> ())
     | Walk_started | Walk_succeeded _ | Walk_failed _ | Pool_hit _ | Pool_miss _
     | Plan_chosen _ | Session_admitted _ | Session_started _ | Session_report _
-    | Session_finished _ ->
+    | Session_finished _ | Policy_pick _ ->
       ()
   in
-  Wj_obs.Sink.make ~on_event ?metrics ()
+  Wj_obs.Sink.make ~on_event ?metrics ?trace ()

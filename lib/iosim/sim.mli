@@ -25,13 +25,18 @@ val ripple_tracer : t -> pos:int -> slot:int -> sequential:bool -> unit
     sequential I/O on the first touch of each storage page; index-sampled
     retrievals charge a random I/O per miss. *)
 
-val sink : ?metrics:Wj_obs.Metrics.t -> t -> Wj_obs.Sink.t
+val sink : ?metrics:Wj_obs.Metrics.t -> ?trace:Wj_obs.Trace.t -> t -> Wj_obs.Sink.t
 (** Observability-native equivalent of {!walker_tracer}: a sink whose event
     callback charges the clock for [Row_access] / [Index_probe] with the
     same arithmetic as the tracer, and — when [metrics] is given — refreshes
     the pool/clock gauges ([pool.hits], [pool.misses], [pool.accesses],
     [pool.resident], [pool.capacity], [sim.charged_seconds]) on every
-    [Report] and [Stopped] event. *)
+    [Report] and [Stopped] event.  When [trace] is given (create it over
+    the sim's virtual clock for consistent timestamps), each charge is
+    additionally recorded as an ["io.row_access"] / ["io.index_probe"]
+    complete-span whose duration is the virtual seconds charged, and the
+    trace rides in the returned sink so downstream producers (driver,
+    scheduler) record their spans into the same buffer. *)
 
 val attach_pool_events : t -> Wj_obs.Sink.t -> unit
 (** Forward every buffer-pool access as a typed [Pool_hit] / [Pool_miss]

@@ -13,8 +13,13 @@ type t =
   | Stopped of stop_reason
   | Session_admitted of { session : int; label : string }
   | Session_started of { session : int }
-  | Session_report of { session : int; progress : Progress.t }
-  | Session_finished of { session : int; outcome : string }
+  | Session_report of {
+      session : int;
+      progress : Progress.t;
+      deadline_left : float option;
+    }
+  | Session_finished of { session : int; outcome : string; reason : string option }
+  | Policy_pick of { session : int; policy : string; width : float; queue_depth : int }
 
 let stop_reason_name = function
   | Target_reached -> "target_reached"
@@ -39,8 +44,15 @@ let describe = function
   | Session_admitted { session; label } ->
     Printf.sprintf "session_admitted session=%d label=%s" session label
   | Session_started { session } -> Printf.sprintf "session_started session=%d" session
-  | Session_report { session; progress } ->
-    Printf.sprintf "session_report session=%d walks=%d estimate=%g +/-%g" session
+  | Session_report { session; progress; deadline_left } ->
+    Printf.sprintf "session_report session=%d walks=%d estimate=%g +/-%g%s" session
       progress.Progress.walks progress.Progress.estimate progress.Progress.half_width
-  | Session_finished { session; outcome } ->
-    Printf.sprintf "session_finished session=%d outcome=%s" session outcome
+      (match deadline_left with
+      | None -> ""
+      | Some d -> Printf.sprintf " deadline_left=%.3f" d)
+  | Session_finished { session; outcome; reason } ->
+    Printf.sprintf "session_finished session=%d outcome=%s%s" session outcome
+      (match reason with None -> "" | Some r -> " reason=" ^ r)
+  | Policy_pick { session; policy; width; queue_depth } ->
+    Printf.sprintf "policy_pick session=%d policy=%s width=%g queue_depth=%d" session
+      policy width queue_depth

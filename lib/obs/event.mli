@@ -34,14 +34,28 @@ type t =
       (** A scheduler accepted a session into its queue ({!Wj_service}). *)
   | Session_started of { session : int }
       (** The session left the admission queue and began running. *)
-  | Session_report of { session : int; progress : Progress.t }
+  | Session_report of {
+      session : int;
+      progress : Progress.t;
+      deadline_left : float option;
+    }
       (** A scheduler-level progress report for one session (distinct from
-          the session's own driver [Report] ticks). *)
-  | Session_finished of { session : int; outcome : string }
+          the session's own driver [Report] ticks).  [deadline_left] is the
+          remaining seconds of the session's deadline, when it has one. *)
+  | Session_finished of { session : int; outcome : string; reason : string option }
       (** The session reached a terminal state; [outcome] is the terminal
           state's name (["done"], ["cancelled"], ["deadline_exceeded"]) —
           a string so this module stays below the service layer in the
-          dependency order. *)
+          dependency order.  [reason] is the driver's
+          {!stop_reason_name}, when the session ran long enough for its
+          driver to resolve one. *)
+  | Policy_pick of { session : int; policy : string; width : float; queue_depth : int }
+      (** A scheduling policy granted the next quantum to [session].
+          [width] is the CI half-width the decision was based on
+          ([nan] until the session has produced an estimate), and
+          [queue_depth] the number of runnable candidates considered —
+          together they make ["why did Widest_ci run that one?"]
+          answerable from the event stream alone. *)
 
 val stop_reason_name : stop_reason -> string
 (** Lowercase snake-case name, also used as the metric-family suffix of

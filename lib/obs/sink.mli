@@ -1,27 +1,39 @@
 (** Where a run session's observability goes.
 
     A sink couples an optional typed event callback with an optional
-    {!Metrics.t} registry.  Producers (walker, engine, drivers, buffer
-    pool) interrogate the sink once at setup: with {!noop} they keep zero
+    {!Metrics.t} registry and an optional {!Trace.t} span buffer.
+    Producers (walker, engine, drivers, buffer pool, scheduler)
+    interrogate the sink once at setup: with {!noop} they keep zero
     instrumentation on the hot path — no event allocation, no counter
-    stores — which is what keeps fixed-seed walks/sec at the
-    uninstrumented baseline.
+    stores, no span records — which is what keeps fixed-seed walks/sec at
+    the uninstrumented baseline.
 
-    The callback sees every event; cheap per-phase counting should go
-    through [metrics] instead, which producers translate into direct
-    counter/histogram handles at prepare time. *)
+    Event callbacks come in two granularities.  [`All] (the default) sees
+    every event, including the per-walk/per-probe hot-path ones.
+    [`Reports] sees only the milestone events — [Report], [Stopped],
+    [Plan_chosen], [Policy_pick] and the [Session_*] lifecycle — so a
+    flight recorder can subscribe to progress without dragging per-row
+    event construction onto the walk hot path.  Hot-path producers guard
+    on {!wants_events}; milestone producers guard on {!wants_reports}. *)
 
 type t
 
 val noop : t
 (** Observe nothing (the default everywhere). *)
 
-val make : ?on_event:(Event.t -> unit) -> ?metrics:Metrics.t -> unit -> t
-(** Couple an event callback and/or a metrics registry; with neither this
-    is {!noop}. *)
+val make :
+  ?on_event:(Event.t -> unit) ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?events:[ `All | `Reports ] ->
+  unit ->
+  t
+(** Couple an event callback, a metrics registry and/or a trace buffer;
+    with none of them this is {!noop}.  [events] (default [`All]) sets
+    the callback's granularity and is meaningless without [on_event]. *)
 
 val of_fn : (Event.t -> unit) -> t
-(** Events only. *)
+(** Events only, full granularity. *)
 
 val of_metrics : Metrics.t -> t
 (** Metrics only. *)
@@ -29,26 +41,36 @@ val of_metrics : Metrics.t -> t
 val metrics : t -> Metrics.t option
 (** The registry producers should bind their families in, if any. *)
 
+val trace : t -> Trace.t option
+(** The span buffer producers should record into, if any. *)
+
 val wants_events : t -> bool
-(** Whether an event callback exists — hot paths guard event construction
-    behind this. *)
+(** Whether a full-granularity event callback exists — hot paths guard
+    event construction behind this. *)
+
+val wants_reports : t -> bool
+(** Whether any event callback exists (full or reports-only) — milestone
+    producers (report ticks, stop, session lifecycle, plan/policy picks)
+    guard behind this.  Implied by {!wants_events}. *)
 
 val is_noop : t -> bool
-(** Neither callback nor metrics: producers may skip instrumentation
-    setup entirely. *)
+(** No callback, no metrics, no trace: producers may skip
+    instrumentation setup entirely. *)
 
 val emit : t -> Event.t -> unit
 (** Deliver one event to the callback, if any.  Hot paths must guard the
-    event's construction behind {!wants_events}; [emit] itself is then
-    only reached when a callback exists. *)
+    event's construction behind {!wants_events} (milestone sites behind
+    {!wants_reports}); [emit] itself is then only reached when a callback
+    exists. *)
 
 val scoped : t -> string -> t
-(** [scoped t name] keeps [t]'s event callback but replaces its metrics
-    registry (if any) with {!Metrics.scoped}[ m name], so every family a
-    producer registers through the result lands under ["<name>."].  The
-    service layer uses this to give each concurrent session its own
-    metric namespace inside one shared registry. *)
+(** [scoped t name] keeps [t]'s event callback and trace but replaces its
+    metrics registry (if any) with {!Metrics.scoped}[ m name], so every
+    family a producer registers through the result lands under
+    ["<name>."].  The service layer uses this to give each concurrent
+    session its own metric namespace inside one shared registry. *)
 
 val tee : t -> t -> t
-(** Both callbacks fire (left first); the left metrics registry wins when
+(** Both callbacks fire (left first) at the widest granularity either
+    side requested; the left metrics registry and the left trace win when
     both are present. *)

@@ -23,6 +23,27 @@ let gauge_value t name =
 let histogram_value t name =
   match List.assoc_opt name t with Some (Histogram a) -> a | _ -> [||]
 
+(* Smallest bucket index whose cumulative count reaches the [q]-quantile
+   of the recorded population; 0 on an empty histogram. *)
+let quantile a q =
+  let total = Array.fold_left ( + ) 0 a in
+  if total = 0 then 0
+  else begin
+    let target = q *. float_of_int total in
+    let cum = ref 0 and idx = ref (Array.length a - 1) and found = ref false in
+    Array.iteri
+      (fun i n ->
+        if not !found then begin
+          cum := !cum + n;
+          if float_of_int !cum >= target then begin
+            idx := i;
+            found := true
+          end
+        end)
+      a;
+    !idx
+  end
+
 let entry_equal a b =
   match (a, b) with
   | Counter x, Counter y -> x = y
@@ -60,9 +81,11 @@ let render t =
           |> List.filter (fun (_, n) -> n <> 0)
           |> List.map (fun (i, n) -> Printf.sprintf "%d:%d" i n)
         in
-        Printf.sprintf "%s (total %d)"
-          (if cells = [] then "-" else String.concat " " cells)
-          total
+        if total = 0 then "- (total 0)"
+        else
+          Printf.sprintf "%s (total %d, p50=%d p95=%d p99=%d)"
+            (if cells = [] then "-" else String.concat " " cells)
+            total (quantile a 0.50) (quantile a 0.95) (quantile a 0.99)
       | _ -> assert false);
   section "gauges"
     (function Gauge _ -> true | _ -> false)
@@ -116,7 +139,9 @@ let to_json t =
     (function Histogram _ -> true | _ -> false)
     (function
       | Histogram a ->
-        "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int a)) ^ "]"
+        Printf.sprintf "{\"buckets\": [%s], \"p50\": %d, \"p95\": %d, \"p99\": %d}"
+          (String.concat ", " (Array.to_list (Array.map string_of_int a)))
+          (quantile a 0.50) (quantile a 0.95) (quantile a 0.99)
       | _ -> assert false);
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
@@ -221,6 +246,21 @@ module Parse = struct
       Array.of_list (List.rev !acc)
     end
 
+  (* Histograms are written as {"buckets": [...], "p50": .., ...}; the
+     quantiles are derived data, so only the buckets are read back.
+     Pre-object dumps (a bare int array) still parse. *)
+  let histogram_value st =
+    skip_ws st;
+    match peek st with
+    | Some '[' -> int_array st
+    | _ ->
+      let buckets = ref [||] in
+      obj st (fun field ->
+          match field with
+          | "buckets" -> buckets := int_array st
+          | _ -> ignore (number st));
+      !buckets
+
   let gauge_value st =
     skip_ws st;
     match peek st with
@@ -242,6 +282,6 @@ let of_json s =
         Parse.obj st (fun name -> acc := (name, Counter (int_of_string (Parse.number st))) :: !acc)
       | "gauges" -> Parse.obj st (fun name -> acc := (name, Gauge (Parse.gauge_value st)) :: !acc)
       | "histograms" ->
-        Parse.obj st (fun name -> acc := (name, Histogram (Parse.int_array st)) :: !acc)
+        Parse.obj st (fun name -> acc := (name, Histogram (Parse.histogram_value st)) :: !acc)
       | s -> Parse.error st ("unknown section " ^ s));
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc

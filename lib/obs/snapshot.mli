@@ -2,7 +2,11 @@
 
     The JSON dump round-trips: [of_json (to_json s)] reconstructs [s]
     exactly (floats are printed with 17 significant digits; non-finite
-    gauges are encoded as the strings ["nan"], ["inf"], ["-inf"]). *)
+    gauges are encoded as the strings ["nan"], ["inf"], ["-inf"]).
+    Histograms are emitted as [{"buckets": [...], "p50": .., "p95": ..,
+    "p99": ..}]; the quantiles are derived data and only the buckets are
+    read back (a bare bucket array, the pre-flight-recorder shape, still
+    parses). *)
 
 type entry =
   | Counter of int
@@ -23,6 +27,12 @@ val gauge_value : t -> string -> float
 
 val histogram_value : t -> string -> int array
 (** [||] when absent or not a histogram. *)
+
+val quantile : int array -> float -> int
+(** [quantile buckets q] is the smallest bucket index whose cumulative
+    count reaches the [q]-quantile of the histogram's population (0 on an
+    empty histogram).  {!render} and {!to_json} report p50/p95/p99 of
+    every histogram through this. *)
 
 val equal : t -> t -> bool
 (** Structural, with NaN gauges compared equal to themselves. *)

@@ -31,6 +31,8 @@ let is_terminal = function
 
 type policy = Round_robin | Widest_ci
 
+let policy_name = function Round_robin -> "round_robin" | Widest_ci -> "widest_ci"
+
 (* The scheduler's uniform view of a driver session: every driver's
    [Session] module erases to these three closures. *)
 type job = {
@@ -49,6 +51,7 @@ type entry = {
   mutable state : state;
   mutable job : job option;
   mutable quanta : int;  (* quanta actually granted *)
+  mutable reason : Driver.stop_reason option;  (* why the driver stopped *)
 }
 
 type t = {
@@ -84,7 +87,26 @@ let create ?(quantum = 256) ?(max_live = 4) ?(policy = Round_robin)
 
 let quantum t = t.quantum
 
-let emit t ev = if Sink.wants_events t.sink then Sink.emit t.sink ev
+(* The scheduler only produces milestone events (session lifecycle,
+   policy picks), so a reports-only subscriber — the flight recorder —
+   sees all of them. *)
+let emit t ev = if Sink.wants_reports t.sink then Sink.emit t.sink ev
+
+let deadline_left t e = Option.map (fun d -> d -. Timer.elapsed t.clock) e.deadline
+
+(* Per-session progress gauges under the scheduler registry's
+   "session<id>." scope: cheap scalar state that snapshots and the
+   recorder's time series pick up without any event plumbing. *)
+let publish_progress t e (p : Progress.t) =
+  match Sink.metrics t.sink with
+  | None -> ()
+  | Some m ->
+    let scoped = Metrics.scoped m ("session" ^ string_of_int e.id) in
+    Wj_obs.Gauge.set (Metrics.gauge scoped "progress.half_width") p.Progress.half_width;
+    Wj_obs.Gauge.set (Metrics.gauge scoped "progress.estimate") p.Progress.estimate;
+    Wj_obs.Gauge.set
+      (Metrics.gauge scoped "progress.walks")
+      (float_of_int p.Progress.walks)
 
 (* Per-session observability: the submitter's own sink, teed with a
    metrics-only view of the scheduler's registry scoped under
@@ -108,21 +130,36 @@ let terminal_of_reason : Driver.stop_reason -> state = function
    report to emit and no result to fill. *)
 let finalize_unstarted t e term =
   e.state <- term;
-  emit t (Event.Session_finished { session = e.id; outcome = state_name term })
+  emit t
+    (Event.Session_finished { session = e.id; outcome = state_name term; reason = None })
 
 (* A started entry whose driver has resolved (or been interrupted): pass
-   through Reporting — final progress report, result fill — then settle. *)
-let finalize_started t e term =
+   through Reporting — final progress report, result fill — then settle.
+   [reason] is the driver-level stop reason, surfaced in the
+   [Session_finished] event and kept for {!sessions}. *)
+let finalize_started t e term ~reason =
   e.state <- Reporting;
+  e.reason <- reason;
   e.finish ();
   (match e.job with
-  | Some j when Sink.wants_events t.sink -> (
+  | Some j -> (
     match j.progress () with
-    | Some p -> emit t (Event.Session_report { session = e.id; progress = p })
+    | Some p ->
+      publish_progress t e p;
+      if Sink.wants_reports t.sink then
+        emit t
+          (Event.Session_report
+             { session = e.id; progress = p; deadline_left = deadline_left t e })
     | None -> ())
-  | _ -> ());
+  | None -> ());
   e.state <- term;
-  emit t (Event.Session_finished { session = e.id; outcome = state_name term });
+  emit t
+    (Event.Session_finished
+       {
+         session = e.id;
+         outcome = state_name term;
+         reason = Option.map Event.stop_reason_name reason;
+       });
   t.live <- List.filter (fun x -> x != e) t.live
 
 let begin_entry t e =
@@ -159,23 +196,40 @@ let width_of e =
    the live list (head runs, then moves to the back); Widest_ci picks the
    widest current confidence interval, breaking ties — including the
    common all-infinite start — by fewest quanta granted, then lowest id,
-   which keeps the policy fair when widths cannot discriminate. *)
+   which keeps the policy fair when widths cannot discriminate.  Every
+   pick is announced as a [Policy_pick] event carrying the width the
+   decision saw and how many candidates it saw it among, so a scheduling
+   trace is explainable after the fact. *)
 let select t =
-  match t.live with
-  | [] -> None
-  | hd :: tl -> (
-    match t.policy with
-    | Round_robin ->
-      t.live <- tl @ [ hd ];
-      Some hd
-    | Widest_ci ->
-      let better a b =
-        let wa = width_of a and wb = width_of b in
-        if wa <> wb then wa > wb
-        else if a.quanta <> b.quanta then a.quanta < b.quanta
-        else a.id < b.id
-      in
-      Some (List.fold_left (fun best e -> if better e best then e else best) hd tl))
+  let pick =
+    match t.live with
+    | [] -> None
+    | hd :: tl -> (
+      match t.policy with
+      | Round_robin ->
+        t.live <- tl @ [ hd ];
+        Some hd
+      | Widest_ci ->
+        let better a b =
+          let wa = width_of a and wb = width_of b in
+          if wa <> wb then wa > wb
+          else if a.quanta <> b.quanta then a.quanta < b.quanta
+          else a.id < b.id
+        in
+        Some (List.fold_left (fun best e -> if better e best then e else best) hd tl))
+  in
+  (match pick with
+  | Some e when Sink.wants_reports t.sink ->
+    emit t
+      (Event.Policy_pick
+         {
+           session = e.id;
+           policy = policy_name t.policy;
+           width = width_of e;
+           queue_depth = List.length t.live;
+         })
+  | _ -> ());
+  pick
 
 let tick t =
   admit t;
@@ -185,20 +239,30 @@ let tick t =
     let j = match e.job with Some j -> j | None -> assert false in
     if Token.cancelled e.token then begin
       j.interrupt Driver.Cancelled;
-      finalize_started t e Cancelled
+      finalize_started t e Cancelled ~reason:(Some Driver.Cancelled)
     end
     else if expired t e then begin
       j.interrupt Driver.Time_up;
-      finalize_started t e Deadline_exceeded
+      finalize_started t e Deadline_exceeded ~reason:(Some Driver.Time_up)
     end
     else begin
       e.quanta <- e.quanta + 1;
-      match j.advance ~max_steps:t.quantum with
-      | Some r -> finalize_started t e (terminal_of_reason r)
+      let trace = Sink.trace t.sink in
+      (match trace with
+      | Some tr -> Wj_obs.Trace.span_begin tr ~cat:"sched" ("quantum:" ^ e.label)
+      | None -> ());
+      let stopped = j.advance ~max_steps:t.quantum in
+      (match trace with Some tr -> Wj_obs.Trace.span_end tr ~cat:"sched" () | None -> ());
+      match stopped with
+      | Some r -> finalize_started t e (terminal_of_reason r) ~reason:(Some r)
       | None ->
-        if Sink.wants_events t.sink then (
+        if Sink.wants_reports t.sink || Sink.metrics t.sink <> None then (
           match j.progress () with
-          | Some p -> emit t (Event.Session_report { session = e.id; progress = p })
+          | Some p ->
+            publish_progress t e p;
+            emit t
+              (Event.Session_report
+                 { session = e.id; progress = p; deadline_left = deadline_left t e })
           | None -> ())
     end));
   t.live <> [] || not (Queue.is_empty t.queue)
@@ -224,6 +288,7 @@ let submit_entry t ~label ~deadline ~token ~start ~finish cell =
       state = Queued;
       job = None;
       quanta = 0;
+      reason = None;
     }
   in
   Queue.push e t.queue;
@@ -332,6 +397,7 @@ let state s = s.entry.state
 let id s = s.entry.id
 let label s = s.entry.label
 let quanta s = s.entry.quanta
+let stop_reason s = s.entry.reason
 let cancel s = Token.cancel s.entry.token
 let result s = !(s.cell)
 

@@ -62,6 +62,10 @@ type policy =
           start, and sessions that expose no scalar CI — break by fewest
           quanta granted, then lowest id) *)
 
+val policy_name : policy -> string
+(** ["round_robin"] / ["widest_ci"] — the [policy] string of
+    [Policy_pick] events. *)
+
 type t
 
 val create :
@@ -77,12 +81,20 @@ val create :
     submissions queue FIFO.  [clock] (default wall) times deadlines.
 
     [sink] is the scheduler-level sink: it receives [Session_admitted],
-    [Session_started], per-quantum [Session_report] and [Session_finished]
-    events, and — when it carries a metrics registry — each session's
-    driver metrics land in that registry under a ["session<id>."] scope
-    ({!Wj_obs.Metrics.scoped}), so one registry holds per-session families
-    side by side.  Raises [Invalid_argument] when [quantum < 1] or
-    [max_live < 1]. *)
+    [Session_started], per-quantum [Session_report] (carrying the
+    session's remaining deadline, when it has one), [Policy_pick] for
+    every scheduling decision, and [Session_finished] (carrying the
+    driver's stop reason) — all milestone events, so a reports-only
+    subscriber such as {!Wj_obs.Recorder.sink} sees everything the
+    scheduler does.  When the sink carries a metrics registry, each
+    session's driver metrics land in that registry under a
+    ["session<id>."] scope ({!Wj_obs.Metrics.scoped}) and the scheduler
+    additionally publishes per-session
+    ["session<id>.progress.{estimate,half_width,walks}"] gauges at each
+    report, so one registry holds per-session families side by side.
+    When it carries a trace, every quantum grant is recorded as a
+    ["quantum:<label>"] span.  Raises [Invalid_argument] when
+    [quantum < 1] or [max_live < 1]. *)
 
 val quantum : t -> int
 (** The configured steps-per-grant. *)
@@ -175,6 +187,10 @@ val label : _ session -> string
 
 val quanta : _ session -> int
 (** Quanta granted to this session so far (the fairness measure). *)
+
+val stop_reason : _ session -> Wj_core.Engine.Driver.stop_reason option
+(** The driver-level stop reason once the session is terminal ([None]
+    for a session retired while still queued). *)
 
 val cancel : _ session -> unit
 (** Cancel the session's token: a queued session retires without ever

@@ -109,6 +109,9 @@ type served_item = {
   outcome : item_outcome option;
       (* [None] when the session was retired before ever running *)
   session_state : Scheduler.state;
+  session_reason : Wj_obs.Event.stop_reason option;
+      (* why the driver stopped; [None] for exact items and sessions
+         retired before running *)
 }
 
 type served = {
@@ -183,15 +186,22 @@ let serve ?quantum ?max_live ?policy ?(sink = Wj_obs.Sink.noop) ?deadline
                   item;
                   outcome = Option.map (fun o -> Online_scalar o) (Scheduler.result s);
                   session_state = Scheduler.state s;
+                  session_reason = Scheduler.stop_reason s;
                 }
               | P_groups s ->
                 {
                   item;
                   outcome = Option.map (fun o -> Online_groups o) (Scheduler.result s);
                   session_state = Scheduler.state s;
+                  session_reason = Scheduler.stop_reason s;
                 }
               | P_exact o ->
-                { item; outcome = Some o; session_state = Scheduler.Done })
+                {
+                  item;
+                  outcome = Some o;
+                  session_state = Scheduler.Done;
+                  session_reason = None;
+                })
             pendings;
       })
     statements
@@ -240,6 +250,11 @@ let render_served served =
                  && si.session_state <> Scheduler.Done
               then label ^ " (" ^ Scheduler.state_name si.session_state ^ ")"
               else label
+            in
+            let label =
+              match si.session_reason with
+              | Some r -> label ^ " [" ^ Wj_obs.Event.stop_reason_name r ^ "]"
+              | None -> label
             in
             render_outcome buf label o
           | None ->

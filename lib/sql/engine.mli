@@ -67,6 +67,10 @@ type served_item = {
           queued (it never ran); cancelled {e running} sessions report the
           estimate accumulated so far *)
   session_state : Wj_service.Scheduler.state;
+  session_reason : Wj_obs.Event.stop_reason option;
+      (** why the session's driver loop stopped (target reached, time up,
+          budget exhausted, cancelled); [None] for exact items and for
+          sessions retired before ever running *)
 }
 
 type served = {
@@ -96,4 +100,5 @@ val serve :
     Raises [Lexer.Lex_error], [Parser.Parse_error] or [Binder.Bind_error]. *)
 
 val render_served : served list -> string
-(** Human-readable rendering of a served batch, one header per statement. *)
+(** Human-readable rendering of a served batch, one header per statement;
+    each online item's stop reason is appended as [[reason]]. *)

@@ -94,7 +94,7 @@ let run_fleet ?(quantum = 64) ?(max_live = 16) ?(policy = Scheduler.Round_robin)
   in
   let sink =
     Sink.of_fn (function
-      | Event.Session_report { session; progress } ->
+      | Event.Session_report { session; progress; deadline_left = _ } ->
         let r = trail session in
         r := point_of progress :: !r
       | _ -> ())
