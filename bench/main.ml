@@ -1065,6 +1065,153 @@ let trace_bench () =
   Printf.printf "  [trace] wrote BENCH_trace.json\n%!"
 
 (* ======================================================================= *)
+(* WCOJ substrate: pre-intersection reject suppression on cyclic walks,
+   and the leapfrog exact executor against the nested loop. *)
+(* ======================================================================= *)
+
+let wcoj_bench () =
+  header "WCOJ: constraint pre-intersection and leapfrog exact (triangle query)";
+  let module T = Wj_storage.Table in
+  let module S = Wj_storage.Schema in
+  let mk_triangle rows dom =
+    let prng = Wj_util.Prng.create 17 in
+    let mk name c1 c2 =
+      let t =
+        T.create ~name
+          ~schema:(S.make [ { S.name = c1; ty = TInt }; { name = c2; ty = TInt } ])
+          ()
+      in
+      for _ = 1 to rows do
+        ignore
+          (T.insert t
+             [| Int (Wj_util.Prng.int prng dom); Int (Wj_util.Prng.int prng dom) |])
+      done;
+      t
+    in
+    let f = mk "f" "a" "b" and g = mk "g" "b" "c" and h = mk "h" "c" "a" in
+    Query.make
+      ~tables:[ ("f", f); ("g", g); ("h", h) ]
+      ~joins:
+        [
+          { left = (0, 1); right = (1, 0); op = Eq };
+          { left = (1, 1); right = (2, 0); op = Eq };
+          { left = (2, 1); right = (0, 0); op = Eq };
+        ]
+      ~agg:Wj_stats.Estimator.Count ~expr:(Query.Const 1.0) ()
+  in
+  (* Walk side: the abl-failfast shape, where hash-only walks reject ~97%
+     of the time on the non-tree edge. *)
+  let wrows = if !quick then 5_000 else 20_000 in
+  let wdom = if !quick then 20 else 40 in
+  let q = mk_triangle wrows wdom in
+  let reg = Wj_core.Registry.build_for_query q in
+  let plans =
+    Walk_plan.enumerate ~max_plans:1 q reg
+    |> List.concat_map (Walk_plan.intersect_variants q reg)
+  in
+  let base = List.hd plans in
+  let variant = List.hd (List.rev plans) in
+  let probe_walks = if !quick then 10_000 else 50_000 in
+  let reject_rate plan =
+    let prepared = Wj_core.Walker.prepare q reg plan in
+    let prng = Wj_util.Prng.create seed in
+    let fails = ref 0 in
+    for _ = 1 to probe_walks do
+      match Wj_core.Walker.walk prepared prng with
+      | Wj_core.Walker.Success _ -> ()
+      | Wj_core.Walker.Failure _ -> incr fails
+    done;
+    float_of_int !fails /. float_of_int probe_walks
+  in
+  let walks_to_ci plan =
+    let out =
+      Online.run ~seed ~max_time:(if !quick then 10.0 else 30.0)
+        ~max_walks:5_000_000 ~target:(Target.relative 0.01)
+        ~plan_choice:(Online.Fixed plan) q reg
+    in
+    (out.final.walks, out.final.estimate, out.stopped_because = Online.Target_reached)
+  in
+  Printf.printf "%-20s %12s %14s %14s\n" "plan" "reject%" "walks to ±1%" "estimate";
+  let measure plan =
+    let rr = reject_rate plan in
+    let walks, est, reached = walks_to_ci plan in
+    Printf.printf "%-20s %12.2f %14s %14.0f\n%!" (Walk_plan.granularity plan)
+      (pct rr)
+      (if reached then string_of_int walks else Printf.sprintf "%d (cap)" walks)
+      est;
+    (rr, walks, est)
+  in
+  let rr_base, walks_base, est_base = measure base in
+  let rr_isect, walks_isect, est_isect = measure variant in
+  Printf.printf "  reject cut: %.1fx   walk cut: %.1fx\n%!"
+    (rr_base /. Float.max rr_isect 1e-9)
+    (float_of_int walks_base /. float_of_int (max walks_isect 1));
+  (* Exact side: smaller triangle (the nested loop pays the full
+     intermediate blow-up, ~n^2/dom row visits per start row). *)
+  let erows = if !quick then 1_000 else 2_000 in
+  let edom = if !quick then 25 else 40 in
+  let qe = mk_triangle erows edom in
+  let rege = Wj_core.Registry.build_for_query qe in
+  let time_exact strategy =
+    let t0 = Unix.gettimeofday () in
+    let r = Exact.aggregate ~strategy qe rege in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, r)
+  in
+  let nl_dt, nl = time_exact Exact.Nested_loop in
+  let lf_dt, lf = time_exact Exact.Leapfrog in
+  assert (nl.join_size = lf.join_size);
+  Printf.printf "%-20s %12s %14s %14s\n" "exact strategy" "seconds" "rows visited"
+    "rows/sec";
+  List.iter
+    (fun (name, dt, (r : Exact.result)) ->
+      Printf.printf "%-20s %12.3f %14d %14.0f\n%!" name dt r.rows_visited
+        (float_of_int r.rows_visited /. dt))
+    [ ("nested-loop", nl_dt, nl); ("leapfrog", lf_dt, lf) ];
+  Printf.printf "  triangles: %d   leapfrog speedup: %.1fx\n%!" lf.join_size
+    (nl_dt /. Float.max lf_dt 1e-9);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"experiment\": \"wcoj\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"walk_triangle\": { \"rows\": %d, \"domain\": %d },\n" wrows
+       wdom);
+  Buffer.add_string buf "  \"walks\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"hash\": { \"reject_rate\": %.4f, \"walks_to_1pct\": %d, \"estimate\": \
+        %.1f },\n"
+       rr_base walks_base est_base);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"trie_intersect\": { \"reject_rate\": %.6f, \"walks_to_1pct\": %d, \
+        \"estimate\": %.1f },\n"
+       rr_isect walks_isect est_isect);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"reject_cut\": %.1f,\n" (rr_base /. Float.max rr_isect 1e-9));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"walk_cut\": %.1f\n  },\n"
+       (float_of_int walks_base /. float_of_int (max walks_isect 1)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"exact_triangle\": { \"rows\": %d, \"domain\": %d },\n" erows
+       edom);
+  Buffer.add_string buf "  \"exact\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"nested_loop\": { \"seconds\": %.4f, \"rows_visited\": %d },\n" nl_dt
+       nl.rows_visited);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"leapfrog\": { \"seconds\": %.4f, \"rows_visited\": %d },\n"
+       lf_dt lf.rows_visited);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"join_size\": %d,\n    \"speedup\": %.1f\n  }\n}\n"
+       lf.join_size
+       (nl_dt /. Float.max lf_dt 1e-9));
+  let oc = open_out "BENCH_wcoj.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [wcoj] wrote BENCH_wcoj.json\n%!"
+
+(* ======================================================================= *)
 (* Bechamel micro-benchmarks. *)
 (* ======================================================================= *)
 
@@ -1144,6 +1291,7 @@ let experiments =
     ("layout", layout_bench);
     ("service", service_bench);
     ("trace", trace_bench);
+    ("wcoj", wcoj_bench);
     ("micro", micro);
   ]
 

@@ -137,7 +137,11 @@ let start_session ?(config = default_config) ?(max_rounds = max_int)
     List.iter
       (fun p ->
         Wj_obs.Sink.emit sink
-          (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q p }))
+          (Wj_obs.Event.Plan_chosen
+             {
+               description = Walk_plan.describe q p;
+               granularity = Walk_plan.granularity p;
+             }))
       plans;
   (* One engine per component, shared by all replicates: with [batch > 1]
      the in-flight walks of a component interleave across replicates. *)

@@ -128,7 +128,11 @@ let start_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t)
   let trial_successes = Estimator.successes est in
   if Sink.wants_reports sink then
     Sink.emit sink
-      (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
+      (Wj_obs.Event.Plan_chosen
+         {
+           description = Walk_plan.describe q plan;
+           granularity = Walk_plan.granularity plan;
+         });
   let engine = Engine.create ~batch:cfg.batch prepared in
   let history = ref [] in
   let emit_report () =
@@ -241,7 +245,11 @@ let start_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
   in
   if Sink.wants_reports sink then
     Sink.emit sink
-      (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
+      (Wj_obs.Event.Plan_chosen
+         {
+           description = Walk_plan.describe q plan;
+           granularity = Walk_plan.granularity plan;
+         });
   let engine = Engine.create ~batch:cfg.batch prepared in
   (* The optimizer's trial estimator cannot be split by group (it does not
      retain paths), so group estimators start from zero walks here. *)

@@ -59,7 +59,15 @@ let run_one_walk ?convergence q trial prng =
 let choose ?(config = default_config) ?(eager_checks = true) ?tracer
     ?(sink = Wj_obs.Sink.noop) ?convergence ?plans q registry prng =
   let plans =
-    match plans with Some ps -> ps | None -> Walk_plan.enumerate q registry
+    match plans with
+    | Some ps -> ps
+    | None ->
+      (* Trial across index granularity too: every enumerated plan plus
+         its trie pre-intersection variants.  For acyclic queries the
+         variants are the identity, so tree-query trials (and their
+         fixed-seed PRNG streams) are exactly as before. *)
+      Walk_plan.enumerate q registry
+      |> List.concat_map (Walk_plan.intersect_variants q registry)
   in
   if plans = [] then
     invalid_arg "Optimizer.choose: query admits no walk plan (needs decomposition)";

@@ -36,7 +36,11 @@ let run_session ?domains ?walks_per_domain (cfg : Run_config.t) q registry =
   in
   if Sink.wants_reports sink then
     Sink.emit sink
-      (Wj_obs.Event.Plan_chosen { description = Walk_plan.describe q plan });
+      (Wj_obs.Event.Plan_chosen
+         {
+           description = Walk_plan.describe q plan;
+           granularity = Walk_plan.granularity plan;
+         });
   (* Spawned domains get a metrics-only view of the sink: the flat counter
      cells are shared (increments race benignly, counts are approximate
      under contention — the documented tradeoff), but the event callback

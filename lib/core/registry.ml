@@ -1,8 +1,13 @@
 module Index = Wj_index.Index
 
-type t = { slots : (int * int, Index.t) Hashtbl.t }
+type t = {
+  slots : (int * int, Index.t) Hashtbl.t;
+  tries : (int * int list, Index.t) Hashtbl.t; (* (pos, key columns) *)
+  trie_phys : (string * int list, Index.t) Hashtbl.t; (* physical sharing *)
+}
 
-let create () = { slots = Hashtbl.create 32 }
+let create () =
+  { slots = Hashtbl.create 32; tries = Hashtbl.create 8; trie_phys = Hashtbl.create 8 }
 let add t ~pos ~column index = Hashtbl.replace t.slots (pos, column) index
 let find t ~pos ~column = Hashtbl.find_opt t.slots (pos, column)
 
@@ -72,20 +77,45 @@ let build_for_query ?(ordered_predicates = true) ?share q =
       q.Query.predicates;
   t
 
+let find_trie t ~pos ~columns = Hashtbl.find_opt t.tries (pos, columns)
+
+let ensure_trie t table ~pos ~columns =
+  match find_trie t ~pos ~columns with
+  | Some idx -> idx
+  | None ->
+    let key = (Wj_storage.Table.name table, columns) in
+    let idx =
+      match Hashtbl.find_opt t.trie_phys key with
+      | Some idx -> idx
+      | None ->
+        let idx = Index.build_trie table ~columns in
+        Hashtbl.replace t.trie_phys key idx;
+        idx
+    in
+    Hashtbl.replace t.tries (pos, columns) idx;
+    idx
+
 let iter t f = Hashtbl.iter (fun (pos, column) idx -> f ~pos ~column idx) t.slots
 
 let export_metrics t m =
   iter t (fun ~pos ~column idx ->
       Wj_obs.Gauge.set
         (Wj_obs.Metrics.gauge m (Printf.sprintf "index.pos%d.col%d.probes" pos column))
+        (float_of_int (Index.probes idx)));
+  Hashtbl.iter
+    (fun (pos, columns) idx ->
+      let cols = String.concat "_" (List.map string_of_int columns) in
+      Wj_obs.Gauge.set
+        (Wj_obs.Metrics.gauge m (Printf.sprintf "index.pos%d.trie%s.probes" pos cols))
         (float_of_int (Index.probes idx)))
+    t.tries
+
+let entries idx =
+  match idx.Index.kind with
+  | Index.Hash h -> Wj_index.Hash_index.total_entries h
+  | Index.Ordered b -> Wj_index.Btree.length b
+  | Index.Trie tr -> Wj_index.Trie.length tr
 
 let total_entries t =
-  Hashtbl.fold
-    (fun _ idx acc ->
-      acc
-      +
-      match idx.Index.kind with
-      | Index.Hash h -> Wj_index.Hash_index.total_entries h
-      | Index.Ordered b -> Wj_index.Btree.length b)
-    t.slots 0
+  Hashtbl.fold (fun _ idx acc -> acc + entries idx) t.slots 0
+  + Hashtbl.fold (fun _ idx acc -> acc + entries idx) t.trie_phys 0

@@ -28,8 +28,18 @@ val build_for_query :
     the same physical table and column (aliased tables share indexes, as in
     a real system). *)
 
+val ensure_trie :
+  t -> Wj_storage.Table.t -> pos:int -> columns:int list -> Wj_index.Index.t
+(** The trie index over [columns] of the table at [pos], building it on
+    first request.  Tries are cached per (position, column list) and
+    physically shared across positions aliasing the same base table —
+    same policy as {!build_for_query}'s single-column slots. *)
+
+val find_trie : t -> pos:int -> columns:int list -> Wj_index.Index.t option
+
 val iter : t -> (pos:int -> column:int -> Wj_index.Index.t -> unit) -> unit
-(** Visit every registered slot (iteration order unspecified). *)
+(** Visit every registered slot (iteration order unspecified; cached
+    tries are not slots and are not visited). *)
 
 val export_metrics : t -> Wj_obs.Metrics.t -> unit
 (** Snapshot each index's lifetime probe count into an

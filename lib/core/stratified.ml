@@ -56,7 +56,7 @@ let run ?(seed = 31) ?(confidence = 0.95) ?(allocation = Adaptive) ?(max_time = 
   let btree =
     match index.Index.kind with
     | Index.Ordered b -> b
-    | Index.Hash _ -> assert false
+    | Index.Hash _ | Index.Trie _ -> assert false
   in
   let plans =
     List.filter

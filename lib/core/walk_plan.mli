@@ -9,12 +9,34 @@
     plans are enumerated as (order, parent assignment) pairs, exactly the
     backtracking enumeration the paper describes. *)
 
+type fold = {
+  edge : Query.join_cond;  (** as listed in the query, for labelling *)
+  oriented : Query.join_cond;
+      (** flipped so the step's table is the right side; its right column
+          is the trie level the edge narrows *)
+}
+
+type intersect = {
+  itrie : Wj_index.Index.t;
+      (** [Trie] kind over (tree column :: folded edge columns) *)
+  folds : fold list;  (** one per trie level after the tree key *)
+}
+
 type step = {
   into : int;  (** table position being entered *)
   parent : int;  (** earlier position the step jumps back to *)
   cond : Query.join_cond;
       (** oriented so that [parent] is the left side and [into] the right *)
   index : Wj_index.Index.t;  (** index on [into]'s side of the condition *)
+  isect : intersect option;
+      (** constraint pre-intersection: instead of sampling the tree-edge
+          neighbour set and verifying non-tree edges afterwards, narrow
+          [itrie] by the tree key and each folded edge's key and sample
+          uniformly from the intersected range.  The intersected count
+          replaces the tree-edge count in the HT weight, which keeps the
+          estimator unbiased (rows that would have been rejected are
+          excluded from the sample space and contributed zero anyway).
+          Folded edges are removed from the plan's [nontree] list. *)
 }
 
 type t = {
@@ -41,5 +63,23 @@ val of_order : Query.t -> Registry.t -> int array -> t option
     "the plan constructed from the input query" used as the PostgreSQL
     baseline in Table 2. *)
 
+val intersect_variants : ?max_variants:int -> Query.t -> Registry.t -> t -> t list
+(** The plan itself followed by its index-granularity variants: one per
+    non-empty subset of foldable non-tree edges (capped at [max_variants],
+    default 8), each folding its edges into the step binding the edge's
+    later endpoint via a multi-column trie ({!step.isect}).  An edge is
+    foldable when its step's tree edge is [Eq]; at most one [Band] edge
+    may fold per step (it narrows the trie's last level as a key range).
+    Returns [[plan]] unchanged for acyclic plans — enumeration order and
+    fixed-seed behaviour of tree queries are untouched.  Tries are built
+    through {!Registry.ensure_trie} (cached, physically shared). *)
+
+val granularity : t -> string
+(** ["hash"] for a plain plan, ["trie-intersect(n)"] when [n] non-tree
+    edges are folded — the index-granularity axis of [Plan_chosen]. *)
+
 val describe : Query.t -> t -> string
-(** e.g. ["customer -> orders -> lineitem (non-tree: ...)"] *)
+(** e.g. ["customer -> orders -> lineitem (non-tree: ...)"]; folded edges
+    are listed under ["intersect: ..."] instead of ["non-tree: ..."], so
+    variants are distinct plan labels for the recorder's per-plan
+    attribution. *)

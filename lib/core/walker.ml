@@ -56,6 +56,29 @@ type phase =
   | Dead_unbound
   | Dead_bound
 
+(* A compiled non-tree join check, carrying what per-edge reject
+   attribution needs: the edge's label, its dedicated counter (when
+   metrics are on), alongside the aggregate nontree counter. *)
+type path_check = {
+  pc_check : int array -> bool;
+  pc_label : string; (* "f~h" — matches Walk_plan.describe's edge labels *)
+  pc_counter : Counter.t option; (* walker.rejects.nontree.<label> *)
+}
+
+(* Compiled constraint pre-intersection: the step's trie narrowed level by
+   level — level 0 by the tree-edge key, level l+1 by folded edge l.  Keys
+   of the already-bound other sides are flat column reads. *)
+type compiled_isec = {
+  ci_trie : Wj_index.Trie.t;
+  ci_other : int array; (* per fold: bound position supplying the key *)
+  ci_key : (int -> int) array; (* per fold: other row -> join key *)
+  ci_lo : int array; (* per fold: key-range delta (Eq: 0) *)
+  ci_hi : int array;
+  ci_labels : string array;
+  ci_counters : Counter.t option array;
+  ci_cost : int; (* abstract probe cost of the whole narrow chain *)
+}
+
 (* Per-step compiled form: everything a step touches resolved to typed
    column reads, so advancing a walk performs no Value.t allocation or
    matching. *)
@@ -63,7 +86,8 @@ type compiled_step = {
   step : Walk_plan.step;
   key_of_parent : int -> int; (* parent row -> join key (flat column read) *)
   row_checks : (int -> bool) array; (* predicates on the step's table *)
-  path_checks : (int array -> bool) array; (* non-tree joins due after this step *)
+  path_checks : path_check array; (* non-tree joins due after this step *)
+  isect : compiled_isec option;
 }
 
 type prepared = {
@@ -74,7 +98,7 @@ type prepared = {
   start_pred : Query.predicate option; (* the Olken-sampled predicate, if any *)
   start_preds : Query.predicate list; (* checked after sampling the start *)
   start_checks : (int -> bool) array; (* compiled [start_preds] *)
-  start_path_checks : (int array -> bool) array; (* non-tree joins due at the start *)
+  start_path_checks : path_check array; (* non-tree joins due at the start *)
   steps : compiled_step array;
   extract : int array -> float; (* compiled aggregate expression *)
   eager : bool;
@@ -156,10 +180,17 @@ let prepare ?(eager_checks = true) ?tracer ?(sink = Wj_obs.Sink.noop) q registry
       Some (fun ev -> Wj_obs.Sink.emit sink ev)
     else None
   in
+  let metrics = Wj_obs.Sink.metrics sink in
   let stats =
-    match Wj_obs.Sink.metrics sink with
+    match metrics with None -> None | Some m -> Some (instr_of_metrics m ~k:kq)
+  in
+  let edge_label (c : Query.join_cond) =
+    Printf.sprintf "%s~%s" q.Query.names.(fst c.left) q.Query.names.(fst c.right)
+  in
+  let edge_counter label =
+    match metrics with
     | None -> None
-    | Some m -> Some (instr_of_metrics m ~k:kq)
+    | Some m -> Some (Wj_obs.Metrics.counter m ("walker.rejects.nontree." ^ label))
   in
   let rank = Array.make kq 0 in
   Array.iteri (fun i pos -> rank.(pos) <- i) plan.order;
@@ -172,10 +203,63 @@ let prepare ?(eager_checks = true) ?tracer ?(sink = Wj_obs.Sink.noop) q registry
       checks_at.(at) <- c :: checks_at.(at))
     plan.nontree;
   let compiled_checks_at =
-    Array.map (fun cs -> Array.of_list (List.map (Query.compile_join q) cs)) checks_at
+    Array.map
+      (fun cs ->
+        Array.of_list
+          (List.map
+             (fun c ->
+               let label = edge_label c in
+               {
+                 pc_check = Query.compile_join q c;
+                 pc_label = label;
+                 pc_counter = edge_counter label;
+               })
+             cs))
+      checks_at
   in
   let start, start_count, start_pred, start_preds =
     choose_start q registry plan.order.(0)
+  in
+  let compile_isect (step : Walk_plan.step) =
+    match step.isect with
+    | None -> None
+    | Some { itrie; folds } ->
+      let tr =
+        match Wj_index.Index.as_trie itrie with
+        | Some tr -> tr
+        | None -> invalid_arg "Walker.prepare: intersect index is not a trie"
+      in
+      let folds = Array.of_list folds in
+      let labels = Array.map (fun (f : Walk_plan.fold) -> edge_label f.edge) folds in
+      Some
+        {
+          ci_trie = tr;
+          ci_other =
+            Array.map (fun (f : Walk_plan.fold) -> fst f.oriented.Query.left) folds;
+          ci_key =
+            Array.map
+              (fun (f : Walk_plan.fold) ->
+                Query.int_key_reader q ~pos:(fst f.oriented.Query.left)
+                  ~col:(snd f.oriented.Query.left))
+              folds;
+          ci_lo =
+            Array.map
+              (fun (f : Walk_plan.fold) ->
+                match f.oriented.Query.op with
+                | Query.Eq -> 0
+                | Query.Band { lo; _ } -> lo)
+              folds;
+          ci_hi =
+            Array.map
+              (fun (f : Walk_plan.fold) ->
+                match f.oriented.Query.op with
+                | Query.Eq -> 0
+                | Query.Band { hi; _ } -> hi)
+              folds;
+          ci_labels = labels;
+          ci_counters = Array.map edge_counter labels;
+          ci_cost = Wj_index.Index.count_cost itrie;
+        }
   in
   let steps =
     Array.mapi
@@ -186,6 +270,7 @@ let prepare ?(eager_checks = true) ?tracer ?(sink = Wj_obs.Sink.noop) q registry
           key_of_parent = Query.int_key_reader q ~pos:step.parent ~col:lcol;
           row_checks = Query.compile_predicates q step.into;
           path_checks = compiled_checks_at.(i + 1);
+          isect = compile_isect step;
         })
       plan.steps
   in
@@ -267,10 +352,26 @@ let all_row_checks (checks : (int -> bool) array) row =
   let rec go i = i >= n || (checks.(i) row && go (i + 1)) in
   go 0
 
-let all_path_checks (checks : (int array -> bool) array) path =
+(* Index of the first failing non-tree check, or -1 when all pass — the
+   failing edge is what the per-edge reject attribution charges. *)
+let first_failing_check (checks : path_check array) path =
   let n = Array.length checks in
-  let rec go i = i >= n || (checks.(i) path && go (i + 1)) in
+  let rec go i =
+    if i >= n then -1 else if checks.(i).pc_check path then go (i + 1) else i
+  in
   go 0
+
+(* Attribute a non-tree reject: aggregate counter, the edge's own counter,
+   and (when the sink wants events) a [Nontree_reject] with the label. *)
+let note_nontree_reject t ~pos ~label ~counter =
+  (match t.stats with
+  | None -> ()
+  | Some s ->
+    Counter.incr s.i_reject_nontree;
+    (match counter with None -> () | Some c -> Counter.incr c));
+  match t.emit with
+  | None -> ()
+  | Some f -> f (Wj_obs.Event.Nontree_reject { pos; edge = label })
 
 (* ---- Step-granular phases (shared by [walk] and the batched Engine) --- *)
 
@@ -291,13 +392,16 @@ let advance_start t prng path =
       let start_pos = t.plan.order.(0) in
       note_row_access t start_pos row;
       path.(start_pos) <- row;
-      if all_row_checks t.start_checks row then
-        if all_path_checks t.start_path_checks path then
-          Advanced (float_of_int t.start_count)
+      if all_row_checks t.start_checks row then begin
+        let fail = first_failing_check t.start_path_checks path in
+        if fail < 0 then Advanced (float_of_int t.start_count)
         else begin
-          (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_nontree);
+          let pc = t.start_path_checks.(fail) in
+          note_nontree_reject t ~pos:start_pos ~label:pc.pc_label
+            ~counter:pc.pc_counter;
           Dead_bound
         end
+      end
       else begin
         (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_pred);
         Dead_unbound
@@ -310,46 +414,110 @@ let advance_start t prng path =
     Histogram.add s.i_phase_cost 0 t.phase_cost);
   result
 
+(* Bind and vet a sampled candidate row (shared by the plain and the
+   pre-intersected step paths).  [d] is the size of the set the row was
+   drawn from — the step's HT factor. *)
+let bind_and_vet t c path ~row ~d =
+  let step = c.step in
+  note_row_access t step.Walk_plan.into row;
+  path.(step.Walk_plan.into) <- row;
+  if all_row_checks c.row_checks row then begin
+    let fail = first_failing_check c.path_checks path in
+    if fail < 0 then Advanced (float_of_int d)
+    else begin
+      let pc = c.path_checks.(fail) in
+      note_nontree_reject t ~pos:step.Walk_plan.into ~label:pc.pc_label
+        ~counter:pc.pc_counter;
+      Dead_bound
+    end
+  end
+  else begin
+    (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_pred);
+    Dead_unbound
+  end
+
 (* Probe the step's index from the already-bound parent row, sample one
    neighbour uniformly, bind and vet it. *)
 let advance_step t prng path i =
   let c = t.steps.(i) in
   let step = c.step in
-  let cond = step.Walk_plan.cond in
-  let v = c.key_of_parent path.(step.parent) in
-  let lo, hi = Query.join_key_range cond ~from_left:true v in
-  let probe = Index.probe_cost step.index in
-  note_index_probe t step.into probe;
-  let d =
-    match cond.op with
-    | Query.Eq -> Index.count_eq step.index v
-    | Query.Band _ -> Index.count_range step.index ~lo ~hi
-  in
-  t.phase_cost <- probe;
   let result =
-    if d = 0 then begin
-      (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_empty);
-      Dead_unbound
-    end
-    else begin
-      let pick = Prng.int prng d in
-      let row =
+    match c.isect with
+    | None -> begin
+      let cond = step.Walk_plan.cond in
+      let v = c.key_of_parent path.(step.parent) in
+      let lo, hi = Query.join_key_range cond ~from_left:true v in
+      let probe = Index.count_cost step.index in
+      note_index_probe t step.into probe;
+      let d =
         match cond.op with
-        | Query.Eq -> Index.nth_eq step.index v pick
-        | Query.Band _ -> Index.nth_range step.index ~lo ~hi pick
+        | Query.Eq -> Index.count_eq step.index v
+        | Query.Band _ -> Index.count_range step.index ~lo ~hi
       in
-      t.phase_cost <- t.phase_cost + probe + 1;
-      note_row_access t step.into row;
-      path.(step.into) <- row;
-      if all_row_checks c.row_checks row then
-        if all_path_checks c.path_checks path then Advanced (float_of_int d)
-        else begin
-          (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_nontree);
-          Dead_bound
-        end
-      else begin
-        (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_pred);
+      t.phase_cost <- probe;
+      if d = 0 then begin
+        (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_empty);
         Dead_unbound
+      end
+      else begin
+        let pick = Prng.int prng d in
+        let row =
+          match cond.op with
+          | Query.Eq -> Index.nth_eq step.index v pick
+          | Query.Band _ -> Index.nth_range step.index ~lo ~hi pick
+        in
+        t.phase_cost <- t.phase_cost + Index.probe_cost step.index + 1;
+        bind_and_vet t c path ~row ~d
+      end
+    end
+    | Some ci -> begin
+      (* Constraint pre-intersection: narrow the trie by the tree key,
+         then by each folded non-tree edge's key, and sample uniformly
+         from the surviving slot range.  An empty range consumes no PRNG
+         draw — the walk is dead either way, and plans stay internally
+         deterministic (variant plans draw differently from the base
+         plan, as any two distinct plans do). *)
+      let v = c.key_of_parent path.(step.parent) in
+      note_index_probe t step.into ci.ci_cost;
+      t.phase_cost <- ci.ci_cost;
+      let tr = ci.ci_trie in
+      let lo, hi = Wj_index.Trie.root tr in
+      let lo, hi = Wj_index.Trie.narrow tr ~level:0 ~lo ~hi ~klo:v ~khi:v in
+      if lo >= hi then begin
+        (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_empty);
+        Dead_unbound
+      end
+      else begin
+        let nfolds = Array.length ci.ci_key in
+        let slo = ref lo and shi = ref hi in
+        let failed = ref (-1) in
+        let l = ref 0 in
+        while !failed < 0 && !l < nfolds do
+          let ov = ci.ci_key.(!l) path.(ci.ci_other.(!l)) in
+          let nlo, nhi =
+            Wj_index.Trie.narrow tr ~level:(!l + 1) ~lo:!slo ~hi:!shi
+              ~klo:(ov + ci.ci_lo.(!l)) ~khi:(ov + ci.ci_hi.(!l))
+          in
+          if nlo >= nhi then failed := !l
+          else begin
+            slo := nlo;
+            shi := nhi;
+            incr l
+          end
+        done;
+        if !failed >= 0 then begin
+          (* The folded edge has no satisfying neighbour: a non-tree
+             reject caught before sampling, charged to that edge. *)
+          note_nontree_reject t ~pos:step.into ~label:ci.ci_labels.(!failed)
+            ~counter:ci.ci_counters.(!failed);
+          Dead_unbound
+        end
+        else begin
+          let d = !shi - !slo in
+          let row = Wj_index.Trie.row tr (!slo + Prng.int prng d) in
+          t.phase_cost <- t.phase_cost + 1;
+          bind_and_vet t c path ~row ~d
+        end
       end
     end
   in

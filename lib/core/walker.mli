@@ -92,7 +92,17 @@ val advance_start : prepared -> Wj_util.Prng.t -> int array -> phase
 
 val advance_step : prepared -> Wj_util.Prng.t -> int array -> int -> phase
 (** Advance one plan step: probe the step's index from the bound parent
-    row, sample a uniform neighbour, bind and vet it. *)
+    row, sample a uniform neighbour, bind and vet it.
+
+    When the step carries a pre-intersection spec ({!Walk_plan.step.isect})
+    the neighbour set is first narrowed through the step's trie by every
+    folded non-tree edge; the sample is uniform over the intersected set
+    and its count is the HT factor.  An empty intersection is a non-tree
+    reject caught before sampling: it consumes no PRNG draw, returns
+    [Dead_unbound] (no row was bound) and is attributed to the folded
+    edge in the per-edge reject counters
+    (["walker.rejects.nontree.<edge>"]) and [Nontree_reject] events, as
+    are post-bind non-tree check failures. *)
 
 val phase_cost : prepared -> int
 (** Abstract cost (index-entry accesses + tuple fetches) of the most

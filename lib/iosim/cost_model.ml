@@ -12,7 +12,7 @@ let default =
     ram_access = 2e-7;
     random_io = 1e-4;
     seq_io = 1e-5;
-    index_level_cost = 4e-7;
+    index_level_cost = 2e-7;
   }
 
 let pages_of_rows t rows = (rows + t.rows_per_page - 1) / t.rows_per_page

@@ -18,7 +18,13 @@ type t = {
   ram_access : float;  (** seconds per in-memory tuple access *)
   random_io : float;  (** seconds per buffer-pool miss *)
   seq_io : float;  (** seconds per sequentially scanned page *)
-  index_level_cost : float;  (** seconds per B-tree level (cached interior) *)
+  index_level_cost : float;
+      (** seconds per abstract index-entry access ({!Wj_index.Index.probe_cost}
+          unit).  Calibrated against the probe-cost units: a counted
+          B+-tree lookup reports [2 x height] accesses (two rank descents)
+          and a trie [levels x ceil(log2 n)], so the per-unit charge is
+          half the old per-level constant — one cached interior descent
+          costs the same seconds as before the recalibration. *)
 }
 
 val default : t

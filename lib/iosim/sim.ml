@@ -99,8 +99,8 @@ let sink ?metrics ?trace t =
     | Report _ | Stopped _ -> (
       match metrics with Some m -> export_gauges t m | None -> ())
     | Walk_started | Walk_succeeded _ | Walk_failed _ | Pool_hit _ | Pool_miss _
-    | Plan_chosen _ | Session_admitted _ | Session_started _ | Session_report _
-    | Session_finished _ | Policy_pick _ ->
+    | Plan_chosen _ | Nontree_reject _ | Session_admitted _ | Session_started _
+    | Session_report _ | Session_finished _ | Policy_pick _ ->
       ()
   in
   Wj_obs.Sink.make ~on_event ?metrics ?trace ()

@@ -8,7 +8,8 @@ type t =
   | Row_access of { pos : int; row : int }
   | Pool_hit of { table : int; page : int }
   | Pool_miss of { table : int; page : int }
-  | Plan_chosen of { description : string }
+  | Plan_chosen of { description : string; granularity : string }
+  | Nontree_reject of { pos : int; edge : string }
   | Report of Progress.t
   | Stopped of stop_reason
   | Session_admitted of { session : int; label : string }
@@ -35,7 +36,10 @@ let describe = function
   | Row_access { pos; row } -> Printf.sprintf "row_access pos=%d row=%d" pos row
   | Pool_hit { table; page } -> Printf.sprintf "pool_hit table=%d page=%d" table page
   | Pool_miss { table; page } -> Printf.sprintf "pool_miss table=%d page=%d" table page
-  | Plan_chosen { description } -> "plan_chosen " ^ description
+  | Plan_chosen { description; granularity } ->
+    Printf.sprintf "plan_chosen %s [%s]" description granularity
+  | Nontree_reject { pos; edge } ->
+    Printf.sprintf "nontree_reject pos=%d edge=%s" pos edge
   | Report p ->
     Printf.sprintf "report elapsed=%.3f walks=%d successes=%d estimate=%g +/-%g"
       p.Progress.elapsed p.Progress.walks p.Progress.successes p.Progress.estimate

@@ -27,7 +27,16 @@ type t =
   | Row_access of { pos : int; row : int }  (** Tuple fetch. *)
   | Pool_hit of { table : int; page : int }
   | Pool_miss of { table : int; page : int }
-  | Plan_chosen of { description : string }  (** The driver picked a walk plan. *)
+  | Plan_chosen of { description : string; granularity : string }
+      (** The driver picked a walk plan; [granularity] is the plan's
+          index-granularity axis ({!Wj_core.Walk_plan.granularity}:
+          ["hash"], or ["trie-intersect(n)"] when [n] non-tree edges are
+          folded into trie pre-intersection steps). *)
+  | Nontree_reject of { pos : int; edge : string }
+      (** A walk died on a non-tree edge at table position [pos]; [edge]
+          is the edge's label (["f~h"]), attributing rejects per edge.
+          Fired both when a bound row fails the check and when a
+          pre-intersected candidate set comes up empty. *)
   | Report of Progress.t  (** Periodic report tick. *)
   | Stopped of stop_reason  (** The driver resolved its stop condition. *)
   | Session_admitted of { session : int; label : string }
