@@ -1212,6 +1212,114 @@ let wcoj_bench () =
   Printf.printf "  [wcoj] wrote BENCH_wcoj.json\n%!"
 
 (* ======================================================================= *)
+(* External memory: the paged backend under shrinking buffer pools. *)
+(* ======================================================================= *)
+
+(* Walks/sec and time-to-±1%-CI with the pool at 100% / 25% / 5% of the
+   dataset's data pages, plus the measured fault count against the iosim
+   cost-model prediction (the old simulation is the oracle for the real
+   pager).  Writes BENCH_extmem.json. *)
+let extmem_bench () =
+  let module Backend = Wj_storage.Backend in
+  let module Buffer_pool = Wj_storage.Buffer_pool in
+  let module Table = Wj_storage.Table in
+  header "External memory: paged backend vs buffer pool size (Q3)";
+  let d = Data.get (if !quick then 0.01 else 0.02) in
+  let spec = Queries.Q3 in
+  let q = Queries.build ~variant:Standard spec d in
+  let tables = Array.to_list q.Query.tables in
+  let distinct =
+    List.fold_left
+      (fun acc t -> if List.memq t acc then acc else t :: acc)
+      [] tables
+  in
+  let rpp = Cost_model.default.Cost_model.rows_per_page in
+  let data_pages t =
+    Wj_storage.Schema.arity (Table.schema t) * ((Table.length t + rpp - 1) / rpp)
+  in
+  let total_pages = List.fold_left (fun acc t -> acc + data_pages t) 0 distinct in
+  Printf.printf "  dataset: %d column-segment pages (%d bytes each)\n%!" total_pages
+    Backend.page_bytes;
+  let dir = Filename.temp_dir "wj_extmem_bench" "" in
+  let cap = if !quick then 5.0 else 20.0 in
+  let oracle_walks = if !quick then 5_000 else 20_000 in
+  let fracs = [ ("100pct", 1.0); ("25pct", 0.25); ("5pct", 0.05) ] in
+  Printf.printf "%-8s %10s %12s %10s %12s %9s %11s %11s %7s\n" "pool" "pages"
+    "t to ±1%" "walks" "walks/sec" "hit%" "faults" "predicted" "ratio";
+  let rows =
+    List.map
+      (fun (label, frac) ->
+        let pool_pages =
+          max 4 (int_of_float (Float.round (frac *. float_of_int total_pages)))
+        in
+        let ptables, pool =
+          Backend.prepare_tables (Backend.Paged { dir; pool_pages }) tables
+        in
+        let pool = Option.get pool in
+        let pq = { q with Query.tables = Array.of_list ptables } in
+        let reg = Queries.registry pq in
+        (* Index builds scanned every segment; measure runs from cold. *)
+        Buffer_pool.clear pool;
+        let out =
+          Online.run ~seed ~max_time:cap ~target:(Target.relative 0.01)
+            ~plan_choice:Online.First_enumerated pq reg
+        in
+        let elapsed = out.final.elapsed in
+        let walks_per_sec = float_of_int out.final.walks /. Float.max elapsed 1e-9 in
+        let hit_rate =
+          float_of_int (Buffer_pool.hits pool)
+          /. float_of_int (max 1 (Buffer_pool.accesses pool))
+        in
+        (* Fault oracle: replay a fixed walk budget on both sides.  The
+           in-memory run feeds the walker's row accesses into the iosim
+           cost model; the paged run counts real segment faults. *)
+        let reg_mem = Queries.registry q in
+        let sim = Sim.create ~pool_pages ~clock:(Timer.virtual_ ()) () in
+        ignore
+          (Online.run ~seed ~max_time:infinity ~max_walks:oracle_walks
+             ~plan_choice:Online.First_enumerated ~sink:(Sim.sink sim) q reg_mem);
+        let predicted = Buffer_pool.misses (Sim.pool sim) in
+        Buffer_pool.clear pool;
+        ignore
+          (Online.run ~seed ~max_time:infinity ~max_walks:oracle_walks
+             ~plan_choice:Online.First_enumerated pq reg);
+        let measured = Buffer_pool.misses pool in
+        let ratio = float_of_int measured /. float_of_int (max 1 predicted) in
+        Printf.printf "%-8s %10d %12s %10d %12.0f %9.1f %11d %11d %7.2f\n%!" label
+          pool_pages
+          (fmt_time ~cap elapsed)
+          out.final.walks walks_per_sec (pct hit_rate) measured predicted ratio;
+        (label, pool_pages, elapsed, out.final.walks, walks_per_sec, hit_rate,
+         measured, predicted, ratio))
+      fracs
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"experiment\": \"extmem\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"query\": \"%s\",\n  \"dataset_pages\": %d,\n"
+       (Queries.name_of spec) total_pages);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"page_bytes\": %d,\n  \"oracle_walks\": %d,\n"
+       Backend.page_bytes oracle_walks);
+  Buffer.add_string buf "  \"pools\": [\n";
+  List.iteri
+    (fun i (label, pages, t, walks, wps, hr, measured, predicted, ratio) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"label\": \"%s\", \"pool_pages\": %d, \"time_to_1pct\": %.4f, \
+            \"walks\": %d, \"walks_per_sec\": %.0f, \"hit_rate\": %.4f, \
+            \"faults\": %d, \"predicted_faults\": %d, \
+            \"measured_over_predicted\": %.3f }%s\n"
+           label pages t walks wps hr measured predicted ratio
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_extmem.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [extmem] wrote BENCH_extmem.json\n%!"
+
+(* ======================================================================= *)
 (* Bechamel micro-benchmarks. *)
 (* ======================================================================= *)
 
@@ -1292,6 +1400,7 @@ let experiments =
     ("service", service_bench);
     ("trace", trace_bench);
     ("wcoj", wcoj_bench);
+    ("extmem", extmem_bench);
     ("micro", micro);
   ]
 

@@ -149,11 +149,62 @@ module Flag = struct
       docv = "";
       doc = "Record begin/end spans (quanta, driver advances, optimizer trials).";
     }
+
+  let memory_budget =
+    {
+      names = [ "memory-budget" ];
+      docv = "PAGES";
+      doc =
+        "Select the paged storage backend: serve table data from on-disk \
+         column segments through a buffer pool of $(docv) pages (one page = \
+         32 rows of one column).";
+    }
+
+  let data_dir =
+    {
+      names = [ "data-dir" ];
+      docv = "PATH";
+      doc =
+        "Directory for the paged backend's segment files (default _wjdata; \
+         setting it implies the paged backend).";
+    }
 end
 
 let sf_arg = Arg.(value & opt float 0.01 & Flag.(info sf))
 let seed_arg = Arg.(value & opt int 7 & Flag.(info seed))
 let tbl_dir_arg = Arg.(value & opt (some dir) None & Flag.(info tbl_dir))
+let memory_budget_arg = Arg.(value & opt (some int) None & Flag.(info memory_budget))
+let data_dir_arg = Arg.(value & opt (some string) None & Flag.(info data_dir))
+
+(* --- paged backend ----------------------------------------------------- *)
+
+(* Either flag opts into the paged backend; the other takes its default. *)
+let backend_of memory_budget data_dir =
+  match (memory_budget, data_dir) with
+  | None, None -> None
+  | pool_pages, dir -> Some (Wj_storage.Backend.paged ?dir ?pool_pages ())
+
+(* Page the catalog here (rather than letting the SQL engine do it from
+   [cfg.backend]) so the CLI holds the pool and can report fault counts
+   after the run. *)
+let paged_catalog backend catalog =
+  match backend with
+  | None -> (catalog, None)
+  | Some b ->
+    Printf.printf "Paging tables: %s ...\n%!" (Format.asprintf "%a" Wj_storage.Backend.pp b);
+    Wj_storage.Backend.prepare_catalog b catalog
+
+let pool_report = function
+  | None -> ()
+  | Some pool ->
+    let module P = Wj_storage.Buffer_pool in
+    let hits = P.hits pool and misses = P.misses pool in
+    Printf.printf
+      "buffer pool: %d/%d pages resident; %d accesses = %d hits + %d misses \
+       (%.1f%% hit rate)\n"
+      (P.resident pool) (P.capacity pool) (P.accesses pool) hits misses
+      (if P.accesses pool = 0 then 0.0
+       else 100.0 *. float_of_int hits /. float_of_int (P.accesses pool))
 
 (* --- metrics ---------------------------------------------------------- *)
 
@@ -212,13 +263,15 @@ let sql_errors run =
 
 (* --- query ------------------------------------------------------------ *)
 
-let query_run sf seed tbl_dir metrics json sql =
+let query_run sf seed tbl_dir memory_budget data_dir metrics json sql =
   let d = load sf seed tbl_dir in
   let catalog = Wj_tpch.Generator.catalog d in
+  let catalog, pool = paged_catalog (backend_of memory_budget data_dir) catalog in
   let sink, m_opt = metrics_sink ~metrics ~json in
   sql_errors (fun () ->
       let r = Wj_sql.Engine.execute ~seed ~sink ~on_report:print_endline catalog sql in
       print_string (Wj_sql.Engine.render r);
+      pool_report pool;
       metrics_finish ~json m_opt;
       0)
 
@@ -228,8 +281,8 @@ let query_term =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
   in
   Term.(
-    const query_run $ sf_arg $ seed_arg $ tbl_dir_arg $ metrics_arg $ metrics_json_arg
-    $ sql_arg)
+    const query_run $ sf_arg $ seed_arg $ tbl_dir_arg $ memory_budget_arg
+    $ data_dir_arg $ metrics_arg $ metrics_json_arg $ sql_arg)
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -248,10 +301,11 @@ let policy_conv =
   in
   Arg.conv (parse, print)
 
-let serve_run sf seed tbl_dir metrics json time quantum max_live policy deadline
-    sqls =
+let serve_run sf seed tbl_dir memory_budget data_dir metrics json time quantum
+    max_live policy deadline sqls =
   let d = load sf seed tbl_dir in
   let catalog = Wj_tpch.Generator.catalog d in
+  let catalog, pool = paged_catalog (backend_of memory_budget data_dir) catalog in
   let msink, m_opt = metrics_sink ~metrics ~json in
   (* Interleaved progress: render the scheduler's Session_* event stream. *)
   let labels : (int, string) Hashtbl.t = Hashtbl.create 8 in
@@ -288,6 +342,7 @@ let serve_run sf seed tbl_dir metrics json time quantum max_live policy deadline
           sqls
       in
       print_string (Wj_sql.Engine.render_served served);
+      pool_report pool;
       metrics_finish ~json m_opt;
       0)
 
@@ -304,8 +359,9 @@ let serve_term =
   in
   let deadline_arg = Arg.(value & opt (some float) None & Flag.(info deadline)) in
   Term.(
-    const serve_run $ sf_arg $ seed_arg $ tbl_dir_arg $ metrics_arg $ metrics_json_arg
-    $ time_arg $ quantum_arg $ max_live_arg $ policy_arg $ deadline_arg $ sqls_arg)
+    const serve_run $ sf_arg $ seed_arg $ tbl_dir_arg $ memory_budget_arg
+    $ data_dir_arg $ metrics_arg $ metrics_json_arg $ time_arg $ quantum_arg
+    $ max_live_arg $ policy_arg $ deadline_arg $ sqls_arg)
 
 (* --- top -------------------------------------------------------------- *)
 
@@ -361,10 +417,11 @@ type top_row = {
   mutable r_rate : float;  (* walks/s between the last two reports *)
 }
 
-let top_run sf seed tbl_dir time quantum max_live policy deadline interval tracing
-    record sqls =
+let top_run sf seed tbl_dir memory_budget data_dir time quantum max_live policy
+    deadline interval tracing record sqls =
   let d = load sf seed tbl_dir in
   let catalog = Wj_tpch.Generator.catalog d in
+  let catalog, pool = paged_catalog (backend_of memory_budget data_dir) catalog in
   let recorder = Wj_obs.Recorder.create ~tracing () in
   let rows : (int, top_row) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
@@ -478,6 +535,7 @@ let top_run sf seed tbl_dir time quantum max_live policy deadline interval traci
       if tty then draw ~force:true () else List.iter print_endline (table ());
       print_newline ();
       print_string (Wj_sql.Engine.render_served served);
+      pool_report pool;
       print_recorder_summary recorder;
       (match record with None -> () | Some file -> write_record recorder file);
       0)
@@ -498,9 +556,9 @@ let top_term =
   let trace_arg = Arg.(value & flag & Flag.(info trace)) in
   let record_arg = Arg.(value & opt (some string) None & Flag.(info record)) in
   Term.(
-    const top_run $ sf_arg $ seed_arg $ tbl_dir_arg $ time_arg $ quantum_arg
-    $ max_live_arg $ policy_arg $ deadline_arg $ interval_arg $ trace_arg
-    $ record_arg $ sqls_arg)
+    const top_run $ sf_arg $ seed_arg $ tbl_dir_arg $ memory_budget_arg
+    $ data_dir_arg $ time_arg $ quantum_arg $ max_live_arg $ policy_arg
+    $ deadline_arg $ interval_arg $ trace_arg $ record_arg $ sqls_arg)
 
 (* --- tpch ------------------------------------------------------------- *)
 
@@ -519,11 +577,24 @@ let spec_arg =
   let doc = "Benchmark query: q3, q7 or q10." in
   Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"QUERY" ~doc)
 
-let tpch_run sf seed tbl_dir spec barebone time target exact complete metrics json
-    record =
+let tpch_run sf seed tbl_dir memory_budget data_dir spec barebone time target exact
+    complete metrics json record =
   let d = load sf seed tbl_dir in
   let variant = if barebone then Wj_tpch.Queries.Barebone else Standard in
   let q = Wj_tpch.Queries.build ~variant spec d in
+  (* Swap the query's tables for paged twins before the registry is
+     built, so index builds scan (and fault) the segment files too. *)
+  let q, pool =
+    match backend_of memory_budget data_dir with
+    | None -> (q, None)
+    | Some b ->
+      Printf.printf "Paging tables: %s ...\n%!"
+        (Format.asprintf "%a" Wj_storage.Backend.pp b);
+      let tables, pool =
+        Wj_storage.Backend.prepare_tables b (Array.to_list q.Wj_core.Query.tables)
+      in
+      ({ q with Wj_core.Query.tables = Array.of_list tables }, pool)
+  in
   let reg = Wj_tpch.Queries.registry q in
   let sink, m_opt = metrics_sink ~metrics ~json in
   let target = Option.map (fun pct -> Wj_stats.Target.relative (pct /. 100.0)) target in
@@ -567,6 +638,7 @@ let tpch_run sf seed tbl_dir spec barebone time target exact complete metrics js
         e.join_size
         (100.0 *. Float.abs ((out.final.estimate -. e.value) /. e.value))
     end;
+    pool_report pool;
     (match m_opt with Some m -> Wj_core.Registry.export_metrics reg m | None -> ());
     metrics_finish ~json m_opt;
     (match (recorder, record) with
@@ -585,9 +657,9 @@ let tpch_term =
   let complete_arg = Arg.(value & flag & Flag.(info complete)) in
   let record_arg = Arg.(value & opt (some string) None & Flag.(info record)) in
   Term.(
-    const tpch_run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg $ barebone_arg
-    $ time_arg $ target_arg $ exact_arg $ complete_arg $ metrics_arg
-    $ metrics_json_arg $ record_arg)
+    const tpch_run $ sf_arg $ seed_arg $ tbl_dir_arg $ memory_budget_arg
+    $ data_dir_arg $ spec_arg $ barebone_arg $ time_arg $ target_arg $ exact_arg
+    $ complete_arg $ metrics_arg $ metrics_json_arg $ record_arg)
 
 (* --- plans ------------------------------------------------------------ *)
 

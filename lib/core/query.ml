@@ -179,6 +179,20 @@ let compile_cell_cmp tbl column value =
   | Table.Str_cursor (ids, pool), Value.Str s ->
     non_null (fun row -> String.compare pool.(ids.(row)) s)
   | Table.Str_cursor _, (Value.Int _ | Value.Float _) -> non_null (fun _ -> 1)
+  | Table.Paged_int_cursor get, Value.Int v ->
+    non_null (fun row -> Int.compare (get row) v)
+  | Table.Paged_int_cursor get, Value.Float f ->
+    non_null (fun row -> Float.compare (float_of_int (get row)) f)
+  | Table.Paged_int_cursor _, Value.Str _ -> non_null (fun _ -> -1)
+  | Table.Paged_float_cursor get, Value.Int v ->
+    let f = float_of_int v in
+    non_null (fun row -> Float.compare (get row) f)
+  | Table.Paged_float_cursor get, Value.Float f ->
+    non_null (fun row -> Float.compare (get row) f)
+  | Table.Paged_float_cursor _, Value.Str _ -> non_null (fun _ -> -1)
+  | Table.Paged_str_cursor (get, pool), Value.Str s ->
+    non_null (fun row -> String.compare pool.(get row) s)
+  | Table.Paged_str_cursor _, (Value.Int _ | Value.Float _) -> non_null (fun _ -> 1)
   | _, Value.Null -> non_null (fun _ -> 1)
 
 let compile_predicate t p =
@@ -186,22 +200,24 @@ let compile_predicate t p =
   | Cmp { table; column; op; value = Value.Str s }
     when op = Ceq
          && (match Table.cursor t.tables.(table) column with
-            | Table.Str_cursor _ -> true
+            | Table.Str_cursor _ | Table.Paged_str_cursor _ -> true
             | _ -> false) -> (
-    (* Dictionary fast path: string equality is one id compare. *)
+    (* Dictionary fast path: string equality is one id compare (paged
+       columns share the dictionary semantics, so the same id works). *)
     let tbl = t.tables.(table) in
     match Table.dict_id tbl ~col:column s with
     | None -> fun _ -> false
     | Some id ->
       let nulls = Table.null_mask tbl column in
-      let ids =
+      let id_at =
         match Table.cursor tbl column with
-        | Table.Str_cursor (ids, _) -> ids
+        | Table.Str_cursor (ids, _) -> fun row -> ids.(row)
+        | Table.Paged_str_cursor (get, _) -> get
         | _ -> assert false
       in
       if Bitset.any nulls then fun row ->
-        (not (Bitset.mem nulls row)) && ids.(row) = id
-      else fun row -> ids.(row) = id)
+        (not (Bitset.mem nulls row)) && id_at row = id
+      else fun row -> id_at row = id)
   | Cmp { table; column; op; value } ->
     let cmp = compile_cell_cmp t.tables.(table) column value in
     (match op with
@@ -244,6 +260,32 @@ let compile_predicate t p =
     | Table.Str_cursor (ids, pool) ->
       non_null (fun row ->
           let x = pool.(ids.(row)) in
+          List.exists
+            (function
+              | Value.Str y -> String.equal x y
+              | Value.Int _ | Value.Float _ | Value.Null -> false)
+            values)
+    | Table.Paged_int_cursor get ->
+      non_null (fun row ->
+          let x = get row in
+          List.exists
+            (function
+              | Value.Int y -> x = y
+              | Value.Float y -> Float.equal (float_of_int x) y
+              | Value.Str _ | Value.Null -> false)
+            values)
+    | Table.Paged_float_cursor get ->
+      non_null (fun row ->
+          let x = get row in
+          List.exists
+            (function
+              | Value.Float y -> Float.equal x y
+              | Value.Int y -> Float.equal x (float_of_int y)
+              | Value.Str _ | Value.Null -> false)
+            values)
+    | Table.Paged_str_cursor (get, pool) ->
+      non_null (fun row ->
+          let x = pool.(get row) in
           List.exists
             (function
               | Value.Str y -> String.equal x y

@@ -16,6 +16,7 @@ type t = {
   plan_choice : plan_choice;
   sink : Wj_obs.Sink.t;
   recorder : Wj_obs.Recorder.t option;
+  backend : Wj_storage.Backend.t;
 }
 
 let default =
@@ -32,12 +33,13 @@ let default =
     plan_choice = Optimize Optimizer.default_config;
     sink = Wj_obs.Sink.noop;
     recorder = None;
+    backend = Wj_storage.Backend.In_memory;
   }
 
 let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     ?report_every ?(batch = 1) ?clock ?should_stop
     ?(plan_choice = Optimize Optimizer.default_config) ?(sink = Wj_obs.Sink.noop)
-    ?recorder () =
+    ?recorder ?(backend = Wj_storage.Backend.In_memory) () =
   {
     seed;
     confidence;
@@ -51,11 +53,13 @@ let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     plan_choice;
     sink;
     recorder;
+    backend;
   }
 
 let with_seed t seed = { t with seed }
 let with_sink t sink = { t with sink }
 let with_recorder t recorder = { t with recorder = Some recorder }
+let with_backend t backend = { t with backend }
 
 (* The sink a driver should actually observe through: the configured sink
    teed (left, so its metrics registry and trace win) with the recorder's

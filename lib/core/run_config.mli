@@ -29,6 +29,11 @@ type t = {
   recorder : Wj_obs.Recorder.t option;
       (** flight recorder; when present, drivers tee its reports-only sink
           into [sink] and feed it convergence diagnostics *)
+  backend : Wj_storage.Backend.t;
+      (** storage backing for the session's tables; [In_memory] by
+          default.  {!Wj_sql.Engine} applies a [Paged] backend to the
+          catalog before binding, so indexes build from (and walks fault
+          through) the segment files. *)
 }
 
 val default : t
@@ -48,6 +53,7 @@ val make :
   ?plan_choice:plan_choice ->
   ?sink:Wj_obs.Sink.t ->
   ?recorder:Wj_obs.Recorder.t ->
+  ?backend:Wj_storage.Backend.t ->
   unit ->
   t
 (** Defaults as in {!default}. *)
@@ -61,6 +67,9 @@ val with_sink : t -> Wj_obs.Sink.t -> t
 
 val with_recorder : t -> Wj_obs.Recorder.t -> t
 (** Functional update attaching a flight recorder. *)
+
+val with_backend : t -> Wj_storage.Backend.t -> t
+(** Functional update of the storage backend. *)
 
 val resolved_sink : t -> Wj_obs.Sink.t
 (** [sink] teed with the recorder's reports-only sink when a recorder is

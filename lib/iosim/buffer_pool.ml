@@ -1,84 +1,6 @@
-(* Intrusive doubly-linked LRU list with a sentinel node. *)
-type node = {
-  key : int * int;
-  mutable prev : node;
-  mutable next : node;
-}
-
-type t = {
-  cap : int;
-  table : (int * int, node) Hashtbl.t;
-  sentinel : node; (* sentinel.next = most recent, sentinel.prev = least *)
-  mutable hit_count : int;
-  mutable miss_count : int;
-  mutable observer : (hit:bool -> table:int -> page:int -> unit) option;
-}
-
-let make_sentinel () =
-  let rec s = { key = (min_int, min_int); prev = s; next = s } in
-  s
-
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
-  {
-    cap = capacity;
-    table = Hashtbl.create (2 * capacity);
-    sentinel = make_sentinel ();
-    hit_count = 0;
-    miss_count = 0;
-    observer = None;
-  }
-
-let capacity t = t.cap
-let resident t = Hashtbl.length t.table
-
-let unlink node =
-  node.prev.next <- node.next;
-  node.next.prev <- node.prev
-
-let push_front t node =
-  node.next <- t.sentinel.next;
-  node.prev <- t.sentinel;
-  t.sentinel.next.prev <- node;
-  t.sentinel.next <- node
-
-let notify t ~hit ~table ~page =
-  match t.observer with None -> () | Some f -> f ~hit ~table ~page
-
-let touch t ~table ~page =
-  let key = (table, page) in
-  match Hashtbl.find_opt t.table key with
-  | Some node ->
-    t.hit_count <- t.hit_count + 1;
-    unlink node;
-    push_front t node;
-    notify t ~hit:true ~table ~page;
-    true
-  | None ->
-    t.miss_count <- t.miss_count + 1;
-    if Hashtbl.length t.table >= t.cap then begin
-      let victim = t.sentinel.prev in
-      unlink victim;
-      Hashtbl.remove t.table victim.key
-    end;
-    let node = { key; prev = t.sentinel; next = t.sentinel } in
-    Hashtbl.add t.table key node;
-    push_front t node;
-    notify t ~hit:false ~table ~page;
-    false
-
-let contains t ~table ~page = Hashtbl.mem t.table (table, page)
-let hits t = t.hit_count
-let misses t = t.miss_count
-let accesses t = t.hit_count + t.miss_count
-let set_observer t obs = t.observer <- obs
-
-let reset_stats t =
-  t.hit_count <- 0;
-  t.miss_count <- 0
-
-let clear t =
-  Hashtbl.reset t.table;
-  t.sentinel.next <- t.sentinel;
-  t.sentinel.prev <- t.sentinel;
-  reset_stats t
+(* The pool now lives in wj_storage ({!Wj_storage.Buffer_pool}) so paged
+   tables can fault through the very same pager the simulation uses,
+   without a wj_storage -> wj_iosim dependency cycle.  This alias keeps
+   the historical [Wj_iosim.Buffer_pool] path working for the cost
+   simulation and its tests. *)
+include Wj_storage.Buffer_pool

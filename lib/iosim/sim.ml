@@ -10,7 +10,7 @@ type t = {
 let create ?(model = Cost_model.default) ~pool_pages ~clock () =
   if not (Timer.is_virtual clock) then
     invalid_arg "Sim.create: clock must be virtual";
-  { model; pool = Buffer_pool.create ~capacity:pool_pages; clock; charged = 0.0 }
+  { model; pool = Buffer_pool.create ~capacity:pool_pages (); clock; charged = 0.0 }
 
 let model t = t.model
 let pool t = t.pool

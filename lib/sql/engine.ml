@@ -38,6 +38,12 @@ let apply_clauses (cfg : Wj_core.Run_config.t) (statement : Ast.statement)
       | None -> cfg.Wj_core.Run_config.report_every);
   }
 
+(* Swap the catalog's tables for their paged twins when the session asks
+   for the paged backend — before binding, so indexes build from (and
+   walks fault through) the segment files. *)
+let apply_backend (cfg : Wj_core.Run_config.t) catalog =
+  fst (Wj_storage.Backend.prepare_catalog cfg.Wj_core.Run_config.backend catalog)
+
 (* Build one registry per bound query, sharing physical indexes through
    [shared] (threaded across a statement's aggregates — and, in [serve],
    across every statement of the batch). *)
@@ -50,6 +56,7 @@ let build_registries shared queries =
     queries
 
 let execute_session ?on_report (cfg : Wj_core.Run_config.t) catalog sql =
+  let catalog = apply_backend cfg catalog in
   let statement = Parser.parse sql in
   let bound = Binder.bind catalog statement in
   let cfg = apply_clauses cfg statement bound in
@@ -128,6 +135,7 @@ type pending =
 
 let serve ?quantum ?max_live ?policy ?(sink = Wj_obs.Sink.noop) ?deadline
     (cfg : Wj_core.Run_config.t) catalog sqls =
+  let catalog = apply_backend cfg catalog in
   let sched =
     Scheduler.create ?quantum ?max_live ?policy ~sink
       ?clock:cfg.Wj_core.Run_config.clock ()

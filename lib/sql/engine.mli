@@ -28,6 +28,9 @@ val execute_session :
     REPORTINTERVAL beats [cfg.report_every].  [cfg.sink] observes every
     ONLINE aggregate in turn (metric families accumulate across them).
     [on_report] receives formatted progress lines on every report tick.
+    When [cfg.backend] is [Paged], the catalog's tables are swapped for
+    their segment-backed twins (written on first use) before binding, so
+    index builds and walks fault through a bounded buffer pool.
     Raises [Lexer.Lex_error], [Parser.Parse_error] or [Binder.Bind_error]. *)
 
 val execute :

@@ -22,6 +22,14 @@ let table_exn t name =
 
 let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
 
+let map_tables t f =
+  let mapped = create () in
+  Hashtbl.iter (fun name tbl -> Hashtbl.replace mapped.tables name (f tbl)) t.tables;
+  Hashtbl.iter
+    (fun key kinds -> Hashtbl.replace mapped.indexes key (ref !kinds))
+    t.indexes;
+  mapped
+
 let register_index t ~table ~column kind =
   let tbl = table_exn t table in
   (match Schema.find (Table.schema tbl) column with

@@ -17,6 +17,12 @@ val table : t -> string -> Table.t option
 val table_exn : t -> string -> Table.t
 val tables : t -> Table.t list
 
+val map_tables : t -> (Table.t -> Table.t) -> t
+(** A new catalog with every table replaced by [f table] (same names,
+    index metadata copied).  Used by {!Backend} to swap the in-memory
+    tables for their paged equivalents without touching callers'
+    bindings. *)
+
 val register_index : t -> table:string -> column:string -> index_kind -> unit
 (** Records that the given column is indexed.  Raises if the table or column
     is unknown. *)

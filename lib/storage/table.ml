@@ -8,10 +8,19 @@ type strcol = {
   dict : (string, int) Hashtbl.t; (* string -> id *)
 }
 
+type pstrcol = {
+  pids : Segment.file; (* dictionary id per row, 8-byte slots *)
+  ppool : string array; (* id -> string; decoded once at open *)
+  pdict : (string, int) Hashtbl.t; (* string -> id *)
+}
+
 type col =
   | Icol of Int_vec.t
   | Fcol of Float_vec.t
   | Scol of strcol
+  | Picol of Segment.file (* paged int column *)
+  | Pfcol of Segment.file (* paged float column *)
+  | Pscol of pstrcol (* paged string column *)
 
 type t = {
   name : string;
@@ -57,6 +66,13 @@ let col_length t c =
   | Icol v -> Int_vec.length v
   | Fcol v -> Float_vec.length v
   | Scol s -> Int_vec.length s.ids
+  | Picol _ | Pfcol _ | Pscol _ -> t.nrows
+
+let is_paged t =
+  Array.exists (function Picol _ | Pfcol _ | Pscol _ -> true | _ -> false) t.cols
+
+let read_only_error t what =
+  invalid_arg (Printf.sprintf "Table.%s(%s): paged table is read-only" what t.name)
 
 (* ---- Typed column writers -------------------------------------------- *)
 
@@ -72,11 +88,13 @@ let push_error t ~col what =
 let push_int t ~col v =
   match t.cols.(col) with
   | Icol c -> Int_vec.push c v
+  | Picol _ | Pfcol _ | Pscol _ -> read_only_error t "push_int"
   | Fcol _ | Scol _ -> push_error t ~col "push_int"
 
 let push_float t ~col v =
   match t.cols.(col) with
   | Fcol c -> Float_vec.push c v
+  | Picol _ | Pfcol _ | Pscol _ -> read_only_error t "push_float"
   | Icol _ | Scol _ -> push_error t ~col "push_float"
 
 let intern s str =
@@ -91,6 +109,7 @@ let intern s str =
 let push_str t ~col v =
   match t.cols.(col) with
   | Scol s -> Int_vec.push s.ids (intern s v)
+  | Picol _ | Pfcol _ | Pscol _ -> read_only_error t "push_str"
   | Icol _ | Fcol _ -> push_error t ~col "push_str"
 
 let push_null t ~col =
@@ -103,7 +122,8 @@ let push_null t ~col =
     Float_vec.push c 0.0
   | Scol s ->
     Bitset.set t.nulls.(col) (Int_vec.length s.ids);
-    Int_vec.push s.ids (-1));
+    Int_vec.push s.ids (-1)
+  | Picol _ | Pfcol _ | Pscol _ -> read_only_error t "push_null");
   ()
 
 let commit_row t =
@@ -133,6 +153,7 @@ let rollback_row t =
         | Icol v -> Int_vec.truncate v t.nrows
         | Fcol v -> Float_vec.truncate v t.nrows
         | Scol s -> Int_vec.truncate s.ids t.nrows
+        | Picol _ | Pfcol _ | Pscol _ -> ()
       end)
     t.cols
 
@@ -166,6 +187,9 @@ let cell t row col =
     | Icol v -> Value.Int (Int_vec.get v row)
     | Fcol v -> Value.Float (Float_vec.get v row)
     | Scol s -> Value.Str (Wj_util.Vec.get s.pool (Int_vec.get s.ids row))
+    | Picol f -> Value.Int (Segment.read_int f row)
+    | Pfcol f -> Value.Float (Segment.read_float f row)
+    | Pscol p -> Value.Str p.ppool.(Segment.read_int p.pids row)
 
 let row t i =
   check_row t i "row";
@@ -176,7 +200,11 @@ let int_cell t row col =
   | Icol v ->
     if is_null t row col then cell_error t ~row ~col "int_cell: NULL in"
     else Int_vec.get v row
-  | Fcol _ | Scol _ -> cell_error t ~row ~col "int_cell: non-int column"
+  | Picol f ->
+    if is_null t row col then cell_error t ~row ~col "int_cell: NULL in"
+    else Segment.read_int f row
+  | Fcol _ | Scol _ | Pfcol _ | Pscol _ ->
+    cell_error t ~row ~col "int_cell: non-int column"
 
 let float_cell t row col =
   match t.cols.(col) with
@@ -186,7 +214,13 @@ let float_cell t row col =
   | Icol v ->
     if is_null t row col then cell_error t ~row ~col "float_cell: NULL in"
     else float_of_int (Int_vec.get v row)
-  | Scol _ -> cell_error t ~row ~col "float_cell: non-numeric column"
+  | Pfcol f ->
+    if is_null t row col then cell_error t ~row ~col "float_cell: NULL in"
+    else Segment.read_float f row
+  | Picol f ->
+    if is_null t row col then cell_error t ~row ~col "float_cell: NULL in"
+    else float_of_int (Segment.read_int f row)
+  | Scol _ | Pscol _ -> cell_error t ~row ~col "float_cell: non-numeric column"
 
 let iteri f t =
   for i = 0 to t.nrows - 1 do
@@ -207,45 +241,57 @@ let column_index t name = Schema.find_exn t.schema name
 let get_int t ~col row =
   match t.cols.(col) with
   | Icol v -> Int_vec.get v row
-  | Fcol _ | Scol _ -> push_error t ~col "get_int"
+  | Picol f -> Segment.read_int f row
+  | Fcol _ | Scol _ | Pfcol _ | Pscol _ -> push_error t ~col "get_int"
 
 let get_float t ~col row =
   match t.cols.(col) with
   | Fcol v -> Float_vec.get v row
-  | Icol _ | Scol _ -> push_error t ~col "get_float"
+  | Pfcol f -> Segment.read_float f row
+  | Icol _ | Scol _ | Picol _ | Pscol _ -> push_error t ~col "get_float"
 
 let get_str_id t ~col row =
   match t.cols.(col) with
   | Scol s -> Int_vec.get s.ids row
-  | Icol _ | Fcol _ -> push_error t ~col "get_str_id"
+  | Pscol p -> Segment.read_int p.pids row
+  | Icol _ | Fcol _ | Picol _ | Pfcol _ -> push_error t ~col "get_str_id"
 
 type cursor =
   | Int_cursor of int array
   | Float_cursor of float array
   | Str_cursor of int array * string array
+  | Paged_int_cursor of (int -> int)
+  | Paged_float_cursor of (int -> float)
+  | Paged_str_cursor of (int -> int) * string array
 
 let cursor t col =
   match t.cols.(col) with
   | Icol v -> Int_cursor (Int_vec.data v)
   | Fcol v -> Float_cursor (Float_vec.data v)
   | Scol s -> Str_cursor (Int_vec.data s.ids, Wj_util.Vec.to_array s.pool)
+  | Picol f -> Paged_int_cursor (fun row -> Segment.read_int f row)
+  | Pfcol f -> Paged_float_cursor (fun row -> Segment.read_float f row)
+  | Pscol p -> Paged_str_cursor ((fun row -> Segment.read_int p.pids row), p.ppool)
 
 let null_mask t col = t.nulls.(col)
 
 let dict_id t ~col s =
   match t.cols.(col) with
   | Scol sc -> Hashtbl.find_opt sc.dict s
-  | Icol _ | Fcol _ -> push_error t ~col "dict_id"
+  | Pscol p -> Hashtbl.find_opt p.pdict s
+  | Icol _ | Fcol _ | Picol _ | Pfcol _ -> push_error t ~col "dict_id"
 
 let dict_value t ~col id =
   match t.cols.(col) with
   | Scol sc -> Wj_util.Vec.get sc.pool id
-  | Icol _ | Fcol _ -> push_error t ~col "dict_value"
+  | Pscol p -> p.ppool.(id)
+  | Icol _ | Fcol _ | Picol _ | Pfcol _ -> push_error t ~col "dict_value"
 
 let dict_size t ~col =
   match t.cols.(col) with
   | Scol sc -> Wj_util.Vec.length sc.pool
-  | Icol _ | Fcol _ -> push_error t ~col "dict_size"
+  | Pscol p -> Array.length p.ppool
+  | Icol _ | Fcol _ | Picol _ | Pfcol _ -> push_error t ~col "dict_size"
 
 let int_reader t col =
   match t.cols.(col) with
@@ -257,7 +303,16 @@ let int_reader t col =
         else Int_vec.get v row
     end
     else fun row -> Int_vec.get v row
-  | Fcol _ | Scol _ -> fun row -> cell_error t ~row ~col "int_reader: non-int column"
+  | Picol f ->
+    if Bitset.any t.nulls.(col) then begin
+      let nulls = t.nulls.(col) in
+      fun row ->
+        if Bitset.mem nulls row then cell_error t ~row ~col "int_reader: NULL in"
+        else Segment.read_int f row
+    end
+    else fun row -> Segment.read_int f row
+  | Fcol _ | Scol _ | Pfcol _ | Pscol _ ->
+    fun row -> cell_error t ~row ~col "int_reader: non-int column"
 
 let float_reader t col =
   match t.cols.(col) with
@@ -277,4 +332,194 @@ let float_reader t col =
         else float_of_int (Int_vec.get v row)
     end
     else fun row -> float_of_int (Int_vec.get v row)
-  | Scol _ -> fun row -> cell_error t ~row ~col "float_reader: non-numeric column"
+  | Pfcol f ->
+    if Bitset.any t.nulls.(col) then begin
+      let nulls = t.nulls.(col) in
+      fun row ->
+        if Bitset.mem nulls row then cell_error t ~row ~col "float_reader: NULL in"
+        else Segment.read_float f row
+    end
+    else fun row -> Segment.read_float f row
+  | Picol f ->
+    if Bitset.any t.nulls.(col) then begin
+      let nulls = t.nulls.(col) in
+      fun row ->
+        if Bitset.mem nulls row then cell_error t ~row ~col "float_reader: NULL in"
+        else float_of_int (Segment.read_int f row)
+    end
+    else fun row -> float_of_int (Segment.read_int f row)
+  | Scol _ | Pscol _ ->
+    fun row -> cell_error t ~row ~col "float_reader: non-numeric column"
+
+(* ---- On-disk paged format --------------------------------------------- *)
+
+(* Directory layout, one subdirectory per table:
+
+     <dir>/<name>/superblock     text: magic, nrows, rows_per_page, schema
+     <dir>/<name>/col<i>.dat     8-byte slots (int64 / float bits / dict ids)
+     <dir>/<name>/col<i>.nulls   null bitmap, 1 bit per row, LSB-first
+     <dir>/<name>/col<i>.dict    TStr only: count, then (len, bytes) entries
+
+   All .dat/.nulls/.dict files are zero-padded to page multiples and read
+   back through the shared buffer pool.  The superblock is a few dozen
+   bytes of metadata and is read directly. *)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    Sys.mkdir path 0o755
+  end
+
+let ty_tag = function
+  | Value.TInt -> "int"
+  | Value.TFloat -> "float"
+  | Value.TStr -> "str"
+
+let ty_of_tag = function
+  | "int" -> Value.TInt
+  | "float" -> Value.TFloat
+  | "str" -> Value.TStr
+  | tag -> invalid_arg ("Table: bad superblock column type " ^ tag)
+
+let table_dir ~dir ~name = Filename.concat dir name
+let col_path tdir i ext = Filename.concat tdir (Printf.sprintf "col%d.%s" i ext)
+
+let write_null_file t ~col path ~page_bytes =
+  let w = Segment.create_writer path ~page_bytes in
+  let nulls = t.nulls.(col) in
+  let nbytes = (t.nrows + 7) / 8 in
+  let packed = Bytes.make nbytes '\000' in
+  for row = 0 to t.nrows - 1 do
+    if Bitset.mem nulls row then begin
+      let b = Char.code (Bytes.get packed (row / 8)) in
+      Bytes.set packed (row / 8) (Char.chr (b lor (1 lsl (row mod 8))))
+    end
+  done;
+  Segment.put_bytes w packed;
+  Segment.close_writer w
+
+let write_pages ?(rows_per_page = Segment.default_rows_per_page) t ~dir =
+  if is_paged t then read_only_error t "write_pages";
+  if rows_per_page <= 0 then
+    invalid_arg "Table.write_pages: rows_per_page must be positive";
+  let page_bytes = rows_per_page * 8 in
+  let tdir = table_dir ~dir ~name:t.name in
+  mkdir_p tdir;
+  let oc = Out_channel.open_text (Filename.concat tdir "superblock") in
+  Printf.fprintf oc "wjseg 1\nname %S\nnrows %d\nrows_per_page %d\ncols %d\n"
+    t.name t.nrows rows_per_page (Array.length t.cols);
+  Array.iteri
+    (fun i _ ->
+      let c = Schema.column t.schema i in
+      Printf.fprintf oc "col %S %s\n" c.Schema.name (ty_tag c.Schema.ty))
+    t.cols;
+  Out_channel.close oc;
+  Array.iteri
+    (fun i col ->
+      let w = Segment.create_writer (col_path tdir i "dat") ~page_bytes in
+      (match col with
+      | Icol v ->
+        for row = 0 to t.nrows - 1 do
+          Segment.put_int w (Int_vec.get v row)
+        done
+      | Fcol v ->
+        for row = 0 to t.nrows - 1 do
+          Segment.put_float w (Float_vec.get v row)
+        done
+      | Scol s ->
+        for row = 0 to t.nrows - 1 do
+          Segment.put_int w (Int_vec.get s.ids row)
+        done;
+        let dw = Segment.create_writer (col_path tdir i "dict") ~page_bytes in
+        Segment.put_int dw (Wj_util.Vec.length s.pool);
+        for id = 0 to Wj_util.Vec.length s.pool - 1 do
+          let str = Wj_util.Vec.get s.pool id in
+          Segment.put_int dw (String.length str);
+          Segment.put_bytes dw (Bytes.of_string str)
+        done;
+        Segment.close_writer dw
+      | Picol _ | Pfcol _ | Pscol _ -> assert false);
+      Segment.close_writer w;
+      write_null_file t ~col:i (col_path tdir i "nulls") ~page_bytes)
+    t.cols
+
+let read_superblock path =
+  let ic = In_channel.open_text path in
+  let line () =
+    match In_channel.input_line ic with
+    | Some l -> l
+    | None -> invalid_arg ("Table: truncated superblock " ^ path)
+  in
+  let magic = line () in
+  if magic <> "wjseg 1" then
+    invalid_arg (Printf.sprintf "Table: bad superblock magic %S in %s" magic path);
+  let name = Scanf.sscanf (line ()) "name %S" (fun s -> s) in
+  let nrows = Scanf.sscanf (line ()) "nrows %d" (fun n -> n) in
+  let rows_per_page = Scanf.sscanf (line ()) "rows_per_page %d" (fun n -> n) in
+  let ncols = Scanf.sscanf (line ()) "cols %d" (fun n -> n) in
+  let cols =
+    List.init ncols (fun _ ->
+        Scanf.sscanf (line ()) "col %S %s" (fun n ty ->
+            { Schema.name = n; Schema.ty = ty_of_tag ty }))
+  in
+  In_channel.close ic;
+  (name, nrows, rows_per_page, cols)
+
+let read_nulls file ~nrows =
+  let nulls = Bitset.create () in
+  if nrows > 0 then begin
+    let packed = Segment.read_all file in
+    for row = 0 to nrows - 1 do
+      if Char.code (Bytes.get packed (row / 8)) land (1 lsl (row mod 8)) <> 0 then
+        Bitset.set nulls row
+    done
+  end;
+  nulls
+
+let read_dict file =
+  let raw = Segment.read_all file in
+  let count = Int64.to_int (Bytes.get_int64_le raw 0) in
+  let pool = Array.make count "" in
+  let dict = Hashtbl.create (max 16 count) in
+  let off = ref 8 in
+  for id = 0 to count - 1 do
+    let len = Int64.to_int (Bytes.get_int64_le raw !off) in
+    let s = Bytes.sub_string raw (!off + 8) len in
+    pool.(id) <- s;
+    Hashtbl.add dict s id;
+    off := !off + 8 + len
+  done;
+  (pool, dict)
+
+let open_paged ~pool ~dir ~name =
+  let tdir = table_dir ~dir ~name in
+  let sb_name, nrows, rows_per_page, sb_cols =
+    read_superblock (Filename.concat tdir "superblock")
+  in
+  if sb_name <> name then
+    invalid_arg
+      (Printf.sprintf "Table.open_paged: directory %s holds table %S, not %S" tdir
+         sb_name name);
+  if rows_per_page * 8 <> Buffer_pool.page_bytes pool then
+    invalid_arg
+      (Printf.sprintf
+         "Table.open_paged(%s): segments use %d rows/page (%d-byte pages) but \
+          the pool's frames are %d bytes"
+         name rows_per_page (rows_per_page * 8)
+         (Buffer_pool.page_bytes pool));
+  let schema = Schema.make sb_cols in
+  let cols =
+    Array.init (Schema.arity schema) (fun i ->
+        let dat = Segment.open_file pool (col_path tdir i "dat") in
+        match Schema.ty_of schema i with
+        | Value.TInt -> Picol dat
+        | Value.TFloat -> Pfcol dat
+        | Value.TStr ->
+          let ppool, pdict = read_dict (Segment.open_file pool (col_path tdir i "dict")) in
+          Pscol { pids = dat; ppool; pdict })
+  in
+  let nulls =
+    Array.init (Schema.arity schema) (fun i ->
+        read_nulls (Segment.open_file pool (col_path tdir i "nulls")) ~nrows)
+  in
+  { name; schema; cols; nulls; nrows }

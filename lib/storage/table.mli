@@ -13,7 +13,18 @@
     ({!push_int}/{!push_float}/{!push_str}/{!push_null} + {!commit_row})
     that bulk loaders use to fill columns without materializing a boxed
     value per cell.  Random-walk hot paths read through the unboxed
-    accessors and {!cursor} snapshots, never through [Value.t]. *)
+    accessors and {!cursor} snapshots, never through [Value.t].
+
+    A table can alternatively be {e paged}: written once to fixed-size
+    on-disk column segments ({!write_pages}) and reopened
+    ({!open_paged}) with every data page faulted through a shared
+    {!Buffer_pool} on read.  A paged table is read-only; its accessors
+    ({!get_int}, {!int_reader}, {!cursor}, ...) have identical
+    semantics — including null sentinels and dictionary ids — so
+    indexes, walks and exact executors run unchanged on either backing.
+    String dictionaries and null bitmaps are faulted in once at open and
+    then held resident; only the per-row column data pages page in and
+    out under the pool's LRU policy. *)
 
 type t
 
@@ -98,6 +109,12 @@ type cursor =
   | Float_cursor of float array
   | Str_cursor of int array * string array
       (** (dictionary ids per row, pool snapshot: id -> string) *)
+  | Paged_int_cursor of (int -> int)
+      (** fault-capable read of a paged [TInt] column (no null check,
+          like [Int_cursor]) *)
+  | Paged_float_cursor of (int -> float)
+  | Paged_str_cursor of (int -> int) * string array
+      (** (fault-capable id read, resident pool: id -> string) *)
 
 val cursor : t -> int -> cursor
 
@@ -121,3 +138,24 @@ val dict_id : t -> col:int -> string -> int option
 
 val dict_value : t -> col:int -> int -> string
 val dict_size : t -> col:int -> int
+
+(** {2 Paged on-disk backing} *)
+
+val is_paged : t -> bool
+(** True when the table's columns are segment-backed (read-only; every
+    data read faults through the owning buffer pool). *)
+
+val write_pages : ?rows_per_page:int -> t -> dir:string -> unit
+(** Writes an in-memory table to [dir/<name>/] as fixed-size column
+    segments: a text superblock (schema, row count, page geometry),
+    one [col<i>.dat] of 8-byte slots per column, a null bitmap
+    [col<i>.nulls] per column, and a [col<i>.dict] string dictionary per
+    [TStr] column.  [rows_per_page] defaults to
+    {!Segment.default_rows_per_page} (32, matching the iosim cost
+    model).  Raises [Invalid_argument] on an already-paged table. *)
+
+val open_paged : pool:Buffer_pool.t -> dir:string -> name:string -> t
+(** Reopens a table written by {!write_pages}.  Data pages fault through
+    [pool] on demand; dictionaries and null bitmaps load through [pool]
+    once at open and stay resident.  Raises [Invalid_argument] when the
+    pool's [page_bytes] does not match the on-disk [rows_per_page]. *)

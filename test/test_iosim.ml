@@ -11,7 +11,7 @@ let check_float = Alcotest.(check (float 1e-12))
 (* ---- Buffer_pool ----------------------------------------------------- *)
 
 let test_pool_hits_and_misses () =
-  let p = Buffer_pool.create ~capacity:2 in
+  let p = Buffer_pool.create ~capacity:2 () in
   Alcotest.(check bool) "first access misses" false (Buffer_pool.touch p ~table:0 ~page:0);
   Alcotest.(check bool) "repeat hits" true (Buffer_pool.touch p ~table:0 ~page:0);
   Alcotest.(check bool) "second page misses" false (Buffer_pool.touch p ~table:0 ~page:1);
@@ -20,7 +20,7 @@ let test_pool_hits_and_misses () =
   Alcotest.(check int) "resident" 2 (Buffer_pool.resident p)
 
 let test_pool_lru_eviction () =
-  let p = Buffer_pool.create ~capacity:2 in
+  let p = Buffer_pool.create ~capacity:2 () in
   ignore (Buffer_pool.touch p ~table:0 ~page:0);
   ignore (Buffer_pool.touch p ~table:0 ~page:1);
   (* Touch page 0 so page 1 becomes LRU. *)
@@ -33,14 +33,14 @@ let test_pool_lru_eviction () =
   Alcotest.(check int) "capacity respected" 2 (Buffer_pool.resident p)
 
 let test_pool_tables_disambiguated () =
-  let p = Buffer_pool.create ~capacity:4 in
+  let p = Buffer_pool.create ~capacity:4 () in
   ignore (Buffer_pool.touch p ~table:0 ~page:7);
   Alcotest.(check bool) "same page other table misses" false
     (Buffer_pool.touch p ~table:1 ~page:7);
   Alcotest.(check int) "two pages" 2 (Buffer_pool.resident p)
 
 let test_pool_clear_and_stats () =
-  let p = Buffer_pool.create ~capacity:3 in
+  let p = Buffer_pool.create ~capacity:3 () in
   ignore (Buffer_pool.touch p ~table:0 ~page:0);
   ignore (Buffer_pool.touch p ~table:0 ~page:0);
   Buffer_pool.reset_stats p;
@@ -50,16 +50,34 @@ let test_pool_clear_and_stats () =
   Alcotest.(check int) "cleared" 0 (Buffer_pool.resident p);
   Alcotest.(check bool) "gone" false (Buffer_pool.contains p ~table:0 ~page:0)
 
+let test_pool_evict_all_keeps_counters () =
+  (* Reconciliation identity (accesses = hits + misses) must survive
+     eviction: [evict_all] drops residency only, [clear] drops both. *)
+  let p = Buffer_pool.create ~capacity:3 () in
+  ignore (Buffer_pool.touch p ~table:0 ~page:0);
+  ignore (Buffer_pool.touch p ~table:0 ~page:0);
+  ignore (Buffer_pool.touch p ~table:0 ~page:1);
+  Buffer_pool.evict_all p;
+  Alcotest.(check int) "evicted" 0 (Buffer_pool.resident p);
+  Alcotest.(check int) "hits kept" 1 (Buffer_pool.hits p);
+  Alcotest.(check int) "misses kept" 2 (Buffer_pool.misses p);
+  Alcotest.(check int) "identity holds" (Buffer_pool.accesses p)
+    (Buffer_pool.hits p + Buffer_pool.misses p);
+  (* Post-eviction accesses miss again: residency really was dropped. *)
+  Alcotest.(check bool) "cold after evict_all" false
+    (Buffer_pool.touch p ~table:0 ~page:0);
+  Alcotest.(check int) "miss counted on top" 3 (Buffer_pool.misses p)
+
 let test_pool_validation () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Buffer_pool.create: capacity must be positive") (fun () ->
-      ignore (Buffer_pool.create ~capacity:0))
+      ignore (Buffer_pool.create ~capacity:0 ()))
 
 let test_pool_heavy_churn () =
   (* Sequential sweep over 10x the capacity: everything misses; then a
      re-sweep of the last <capacity> pages hits. *)
   let cap = 50 in
-  let p = Buffer_pool.create ~capacity:cap in
+  let p = Buffer_pool.create ~capacity:cap () in
   for page = 0 to (10 * cap) - 1 do
     ignore (Buffer_pool.touch p ~table:0 ~page)
   done;
@@ -156,6 +174,8 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_pool_lru_eviction;
           Alcotest.test_case "tables disambiguated" `Quick test_pool_tables_disambiguated;
           Alcotest.test_case "clear and stats" `Quick test_pool_clear_and_stats;
+          Alcotest.test_case "evict_all keeps counters" `Quick
+            test_pool_evict_all_keeps_counters;
           Alcotest.test_case "validation" `Quick test_pool_validation;
           Alcotest.test_case "heavy churn" `Quick test_pool_heavy_churn;
         ] );

@@ -204,7 +204,7 @@ let test_batch_reconciliation () =
     + Snapshot.counter_value snap "walker.failures")
 
 let test_pool_reconciliation () =
-  let pool = Buffer_pool.create ~capacity:4 in
+  let pool = Buffer_pool.create ~capacity:4 () in
   let hits = ref 0 and misses = ref 0 in
   Buffer_pool.set_observer pool
     (Some (fun ~hit ~table:_ ~page:_ -> if hit then incr hits else incr misses));
