@@ -67,12 +67,26 @@ let pct x = 100.0 *. x
 let rel_err est truth =
   if truth = 0.0 then Float.abs est else Float.abs ((est -. truth) /. truth)
 
+(* Every online cell below runs through the Run_config session path; these
+   forward the bench's global seed and the legacy defaults. *)
+let online_run ?target ?max_time ?max_walks ?report_every ?clock ?plan_choice
+    ?batch ?sink ?eager_checks ?tracer ?on_report q reg =
+  Online.run_session ?eager_checks ?tracer ?on_report
+    (Wj_core.Run_config.make ~seed ?target ?max_time ?max_walks ?report_every
+       ?clock ?plan_choice ?batch ?sink ())
+    q reg
+
+let online_run_group_by ?max_time ?max_walks ?report_every ?on_group_report q reg =
+  Online.run_group_by_session ?on_group_report
+    (Wj_core.Run_config.make ~seed ?max_time ?max_walks ?report_every ())
+    q reg
+
 (* Time for wander join to reach a relative CI target; the optimizer runs
    inside (its trial walks feed the final estimator, as in the paper). *)
 let wj_time_to_ci ?(plan_choice = Online.Optimize Optimizer.default_config) ~target ~cap q
     reg =
   let out =
-    Online.run ~seed ~max_time:cap ~target:(Target.relative target) ~plan_choice q reg
+    online_run ~max_time:cap ~target:(Target.relative target) ~plan_choice q reg
   in
   (out.final.elapsed, out)
 
@@ -118,7 +132,7 @@ let fig8 () =
       let truth = (Exact.aggregate q reg).value in
       let wj = ref [] in
       ignore
-        (Online.run ~seed ~max_time:horizon ~report_every:step
+        (online_run ~max_time:horizon ~report_every:step
            ~on_report:(fun r ->
              wj :=
                (r.elapsed, pct (r.half_width /. truth), pct (rel_err r.estimate truth))
@@ -305,7 +319,7 @@ let fig12 () =
   Array.iter (fun s -> Printf.printf "  %11s" s) Generator.market_segments;
   print_newline ();
   ignore
-    (Online.run_group_by ~seed
+    (online_run_group_by
        ~max_time:(if !quick then 1.5 else 3.0)
        ~report_every:0.5
        ~on_group_report:(fun t groups ->
@@ -362,7 +376,7 @@ let fig13 () =
           let clock2 = Timer.hybrid () in
           let sim2 = Sim.create ~model ~pool_pages ~clock:clock2 () in
           let wj =
-            Online.run ~seed ~clock:clock2 ~max_time:vcap
+            online_run ~clock:clock2 ~max_time:vcap
               ~target:(Target.relative target) ~tracer:(Sim.walker_tracer sim2) q reg
           in
           (* Wander join with data resident (the "sufficient memory" side of
@@ -375,7 +389,7 @@ let fig13 () =
             (fun pos t -> Sim.warm sim3 ~table:pos ~rows:(Wj_storage.Table.length t))
             q.Query.tables;
           let wj_warm =
-            Online.run ~seed ~clock:clock3 ~max_time:vcap
+            online_run ~clock:clock3 ~max_time:vcap
               ~target:(Target.relative target) ~tracer:(Sim.walker_tracer sim3) q reg
           in
           Printf.printf "%-4s %-5s  %14.1f %14s %14s %16s\n%!" (Queries.name_of spec)
@@ -426,7 +440,7 @@ let tab2 () =
           let run_sim plan_choice =
             let clock = Timer.hybrid () in
             let sim = Sim.create ~model ~pool_pages ~clock () in
-            Online.run ~seed ~clock ~max_time:vcap ~target:(Target.relative 0.05)
+            online_run ~clock ~max_time:vcap ~target:(Target.relative 0.05)
               ~plan_choice ~tracer:(Sim.walker_tracer sim) q reg
           in
           let o1 = run_sim (Online.Optimize Optimizer.default_config) in
@@ -472,7 +486,7 @@ let tab3 () =
           (* Sufficient memory. *)
           let sysx = 0.55 *. t_full *. scale_ratio in
           let budget = sysx /. 10.0 in
-          let wj = Online.run ~seed ~max_time:budget q reg in
+          let wj = online_run ~max_time:budget q reg in
           (* Wander join's work per CI level is scale-free, so it gets the
              paper-scale budget; ripple's is not — in the same budget at
              paper scale it samples fraction budget/(N*cost) of each table,
@@ -498,7 +512,7 @@ let tab3 () =
           let clock = Timer.hybrid () in
           let sim = Sim.create ~model ~pool_pages ~clock () in
           let wjv =
-            Online.run ~seed ~clock ~max_time:budget_v ~tracer:(Sim.walker_tracer sim) q
+            online_run ~clock ~max_time:budget_v ~tracer:(Sim.walker_tracer sim) q
               reg
           in
           let clock2 = Timer.hybrid () in
@@ -627,7 +641,7 @@ let abl_failfast () =
   List.iter
     (fun eager ->
       let out =
-        Online.run ~seed ~max_time:1.0 ~eager_checks:eager
+        online_run ~max_time:1.0 ~eager_checks:eager
           ~plan_choice:Online.First_enumerated q reg
       in
       Printf.printf "%-8s %14.0f %14.2f\n%!"
@@ -677,7 +691,7 @@ let abl_stratified () =
   let reg = Wj_core.Registry.build_for_query q in
   Wj_core.Registry.add reg ~pos:0 ~column:0 (Wj_index.Index.build_ordered ta ~column:0);
   let walks = if !quick then 50_000 else 200_000 in
-  let plain = Online.run_group_by ~seed ~max_walks:walks ~max_time:60.0 q reg in
+  let plain = online_run_group_by ~max_walks:walks ~max_time:60.0 q reg in
   let strat =
     Wj_core.Stratified.run ~seed ~allocation:Wj_core.Stratified.Adaptive ~max_walks:walks
       ~max_time:60.0 q reg
@@ -749,7 +763,7 @@ let engine_bench () =
         List.map
           (fun batch ->
             let out =
-              Online.run ~seed ~max_time:horizon ~plan_choice:(Online.Fixed plan)
+              online_run ~max_time:horizon ~plan_choice:(Online.Fixed plan)
                 ~batch q reg
             in
             let rate = float_of_int out.final.walks /. out.final.elapsed in
@@ -803,7 +817,7 @@ let obs_bench () =
       let plan = pg_plan q reg in
       let rate ?sink () =
         let out =
-          Online.run ~seed ~max_time:horizon ~plan_choice:(Online.Fixed plan) ?sink q
+          online_run ~max_time:horizon ~plan_choice:(Online.Fixed plan) ?sink q
             reg
         in
         float_of_int out.final.walks /. out.final.elapsed
@@ -860,7 +874,7 @@ let layout_bench () =
       let reg = Queries.registry q in
       let plan = pg_plan q reg in
       let out =
-        Online.run ~seed ~max_time:horizon ~plan_choice:(Online.Fixed plan) q reg
+        online_run ~max_time:horizon ~plan_choice:(Online.Fixed plan) q reg
       in
       let walk_rate = float_of_int out.final.walks /. out.final.elapsed in
       let exact, t_exact = Timer.time_it (fun () -> Exact.aggregate q reg) in
@@ -917,15 +931,15 @@ let service_bench () =
               Wj_core.Run_config.make ~seed:(seed + i) ~max_time:horizon
                 ~plan_choice:(Wj_core.Run_config.Fixed plan) ()
             in
-            Scheduler.submit_query sched cfg q reg)
+            Scheduler.submit sched cfg q reg)
       in
       let (), elapsed = Timer.time_it (fun () -> Scheduler.drain sched) in
       let walks =
         List.map
           (fun s ->
             match Scheduler.result s with
-            | Some (o : Online.outcome) -> float_of_int o.final.walks
-            | None -> 0.0)
+            | Some (Wj_core.Session.Scalar o) -> float_of_int o.final.walks
+            | _ -> 0.0)
           sessions
       in
       let total = List.fold_left ( +. ) 0.0 walks in
@@ -956,6 +970,139 @@ let service_bench () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "  [service] wrote BENCH_service.json\n%!"
+
+(* ======================================================================= *)
+(* Multicore: domain-sharded scheduler x interleaved prefetching engine. *)
+(* ======================================================================= *)
+
+let mcore_bench () =
+  header "Multicore: walks/sec by domains x batch x prefetch";
+  (* Fleets of 16 pinned walk-budget sessions drained on 1/2/4/N domains,
+     each session running the batched engine with prefetch on or off.
+     Fixed plans and walk budgets: every cell does identical work, so
+     walks/sec differences are pure scheduling + engine effects.  The
+     sharded drain is estimate-transparent (test_service pins that), so
+     only throughput is interesting here. *)
+  let module Scheduler = Wj_service.Scheduler in
+  let d = Data.get (if !quick then 0.01 else 0.02) in
+  let ncores = Stdlib.Domain.recommended_domain_count () in
+  let domain_counts = List.sort_uniq compare [ 1; 2; 4; max 1 ncores ] in
+  let batches = [ 1; 8; 64 ] in
+  let fleet = 16 in
+  let walks = if !quick then 1_500 else 10_000 in
+  let mk_triangle () =
+    let module T = Wj_storage.Table in
+    let module S = Wj_storage.Schema in
+    let rows = if !quick then 5_000 else 20_000 in
+    let dom = if !quick then 20 else 40 in
+    let prng = Wj_util.Prng.create 17 in
+    let mk name c1 c2 =
+      let t =
+        T.create ~name
+          ~schema:(S.make [ { S.name = c1; ty = TInt }; { name = c2; ty = TInt } ])
+          ()
+      in
+      for _ = 1 to rows do
+        ignore
+          (T.insert t
+             [| Int (Wj_util.Prng.int prng dom); Int (Wj_util.Prng.int prng dom) |])
+      done;
+      t
+    in
+    let f = mk "f" "a" "b" and g = mk "g" "b" "c" and h = mk "h" "c" "a" in
+    Query.make
+      ~tables:[ ("f", f); ("g", g); ("h", h) ]
+      ~joins:
+        [
+          { left = (0, 1); right = (1, 0); op = Eq };
+          { left = (1, 1); right = (2, 0); op = Eq };
+          { left = (2, 1); right = (0, 0); op = Eq };
+        ]
+      ~agg:Wj_stats.Estimator.Count ~expr:(Query.Const 1.0) ()
+  in
+  let cases =
+    let tpch spec =
+      let q = Queries.build ~variant:Barebone spec d in
+      (Queries.name_of spec, q, Queries.registry q)
+    in
+    let qt = mk_triangle () in
+    [ tpch Queries.Q3; tpch Queries.Q7;
+      ("triangle", qt, Wj_core.Registry.build_for_query qt) ]
+  in
+  let cell ~q ~reg ~plan ~domains ~batch ~prefetch =
+    let sched = Scheduler.create ~quantum:256 ~max_live:fleet ~domains () in
+    let sessions =
+      List.init fleet (fun i ->
+          let cfg =
+            Wj_core.Run_config.make ~seed:(seed + i) ~max_walks:walks
+              ~max_time:3600.0 ~batch ~prefetch
+              ~plan_choice:(Wj_core.Run_config.Fixed plan) ()
+          in
+          Scheduler.submit sched ~pin:i cfg q reg)
+    in
+    let (), elapsed = Timer.time_it (fun () -> Scheduler.drain sched) in
+    let total =
+      List.fold_left
+        (fun acc s ->
+          match Scheduler.result s with
+          | Some (Wj_core.Session.Scalar o) -> acc + o.Online.final.walks
+          | _ -> acc)
+        0 sessions
+    in
+    float_of_int total /. Float.max elapsed 1e-9
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"mcore\",\n  \"unit\": \"walks_per_sec\",\n\
+       \  \"cores\": %d,\n  \"fleet\": %d,\n  \"walks_per_session\": %d,\n\
+       \  \"queries\": {\n"
+       ncores fleet walks);
+  List.iteri
+    (fun qi (name, q, reg) ->
+      let plan = pg_plan q reg in
+      Printf.printf "%-9s %8s %6s  %s\n" name "domains" "batch" "on / off walks/sec";
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" name);
+      let base_1 = ref 0.0 and best_n = ref 0.0 in
+      let gain64 = ref 0.0 in
+      List.iteri
+        (fun di domains ->
+          Buffer.add_string buf (Printf.sprintf "      \"domains_%d\": {" domains);
+          List.iteri
+            (fun bi batch ->
+              let on = cell ~q ~reg ~plan ~domains ~batch ~prefetch:true in
+              let off = cell ~q ~reg ~plan ~domains ~batch ~prefetch:false in
+              if batch = 64 then begin
+                if domains = 1 then base_1 := on;
+                if on > !best_n then best_n := on;
+                if domains = 1 then gain64 := on /. Float.max off 1e-9
+              end;
+              Printf.printf "%-9s %8d %6d  %10.0f / %10.0f\n%!" "" domains batch on
+                off;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   " \"batch_%d\": { \"prefetch_on\": %.0f, \"prefetch_off\": \
+                    %.0f }%s"
+                   batch on off
+                   (if bi = List.length batches - 1 then "" else ",")))
+            batches;
+          Buffer.add_string buf
+            (Printf.sprintf " }%s\n"
+               (if di = List.length domain_counts - 1 then "" else ",")))
+        domain_counts;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      ,\"summary\": { \"scaling_best_over_1_batch64\": %.2f, \
+            \"prefetch_gain_1dom_batch64\": %.3f }\n    }%s\n"
+           (!best_n /. Float.max !base_1 1e-9)
+           !gain64
+           (if qi = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_mcore.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [mcore] wrote BENCH_mcore.json\n%!"
 
 (* ======================================================================= *)
 (* Flight recorder: walks/sec by recorder mode. *)
@@ -1125,7 +1272,7 @@ let wcoj_bench () =
   in
   let walks_to_ci plan =
     let out =
-      Online.run ~seed ~max_time:(if !quick then 10.0 else 30.0)
+      online_run ~max_time:(if !quick then 10.0 else 30.0)
         ~max_walks:5_000_000 ~target:(Target.relative 0.01)
         ~plan_choice:(Online.Fixed plan) q reg
     in
@@ -1261,7 +1408,7 @@ let extmem_bench () =
         (* Index builds scanned every segment; measure runs from cold. *)
         Buffer_pool.clear pool;
         let out =
-          Online.run ~seed ~max_time:cap ~target:(Target.relative 0.01)
+          online_run ~max_time:cap ~target:(Target.relative 0.01)
             ~plan_choice:Online.First_enumerated pq reg
         in
         let elapsed = out.final.elapsed in
@@ -1276,12 +1423,12 @@ let extmem_bench () =
         let reg_mem = Queries.registry q in
         let sim = Sim.create ~pool_pages ~clock:(Timer.virtual_ ()) () in
         ignore
-          (Online.run ~seed ~max_time:infinity ~max_walks:oracle_walks
+          (online_run ~max_time:infinity ~max_walks:oracle_walks
              ~plan_choice:Online.First_enumerated ~sink:(Sim.sink sim) q reg_mem);
         let predicted = Buffer_pool.misses (Sim.pool sim) in
         Buffer_pool.clear pool;
         ignore
-          (Online.run ~seed ~max_time:infinity ~max_walks:oracle_walks
+          (online_run ~max_time:infinity ~max_walks:oracle_walks
              ~plan_choice:Online.First_enumerated pq reg);
         let measured = Buffer_pool.misses pool in
         let ratio = float_of_int measured /. float_of_int (max 1 predicted) in
@@ -1398,6 +1545,7 @@ let experiments =
     ("obs", obs_bench);
     ("layout", layout_bench);
     ("service", service_bench);
+    ("mcore", mcore_bench);
     ("trace", trace_bench);
     ("wcoj", wcoj_bench);
     ("extmem", extmem_bench);

@@ -113,6 +113,15 @@ module Flag = struct
       doc = "Admission cap: sessions running concurrently; the rest queue FIFO.";
     }
 
+  let domains =
+    {
+      names = [ "domains" ];
+      docv = "N";
+      doc =
+        "Shard the scheduler drain across N OCaml domains (sessions are \
+         pinned per statement; estimates are identical at any domain count).";
+    }
+
   let policy =
     {
       names = [ "policy" ];
@@ -302,7 +311,7 @@ let policy_conv =
   Arg.conv (parse, print)
 
 let serve_run sf seed tbl_dir memory_budget data_dir metrics json time quantum
-    max_live policy deadline sqls =
+    max_live domains policy deadline sqls =
   let d = load sf seed tbl_dir in
   let catalog = Wj_tpch.Generator.catalog d in
   let catalog, pool = paged_catalog (backend_of memory_budget data_dir) catalog in
@@ -338,8 +347,8 @@ let serve_run sf seed tbl_dir memory_budget data_dir metrics json time quantum
   in
   sql_errors (fun () ->
       let served =
-        Wj_sql.Engine.serve ?quantum ?max_live ~policy ~sink ?deadline cfg catalog
-          sqls
+        Wj_sql.Engine.serve ?quantum ?max_live ?domains ~policy ~sink ?deadline
+          cfg catalog sqls
       in
       print_string (Wj_sql.Engine.render_served served);
       pool_report pool;
@@ -354,6 +363,7 @@ let serve_term =
   let time_arg = Arg.(value & opt float 5.0 & Flag.(info (time 5.0))) in
   let quantum_arg = Arg.(value & opt (some int) None & Flag.(info quantum)) in
   let max_live_arg = Arg.(value & opt (some int) None & Flag.(info max_live)) in
+  let domains_arg = Arg.(value & opt (some int) None & Flag.(info domains)) in
   let policy_arg =
     Arg.(value & opt policy_conv Wj_service.Scheduler.Round_robin & Flag.(info policy))
   in
@@ -361,7 +371,7 @@ let serve_term =
   Term.(
     const serve_run $ sf_arg $ seed_arg $ tbl_dir_arg $ memory_budget_arg
     $ data_dir_arg $ metrics_arg $ metrics_json_arg $ time_arg $ quantum_arg
-    $ max_live_arg $ policy_arg $ deadline_arg $ sqls_arg)
+    $ max_live_arg $ domains_arg $ policy_arg $ deadline_arg $ sqls_arg)
 
 (* --- top -------------------------------------------------------------- *)
 
@@ -721,7 +731,11 @@ let groupby_run sf seed tbl_dir spec stratified time =
         out.strata
     end
     else begin
-      let out = Wj_core.Online.run_group_by ~seed ~max_time:time q reg in
+      let out =
+        Wj_core.Online.run_group_by_session
+          (Wj_core.Run_config.make ~seed ~max_time:time ())
+          q reg
+      in
       Printf.printf "plain group-by, %d walks total:\n" out.total_walks;
       List.iter (fun (key, r) -> print_report key r "") out.groups
     end;

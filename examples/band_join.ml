@@ -53,7 +53,11 @@ let () =
   let exact = Wj_exec.Exact.aggregate q registry in
   Printf.printf "pairs within +/-30 ticks: %d; exact AVG(celsius*dust) = %.4f\n%!"
     exact.join_size exact.value;
-  let out = Wj_core.Online.run ~seed:2 ~max_time:1.0 q registry in
+  let out =
+    Wj_core.Online.run_session
+      (Wj_core.Run_config.make ~seed:2 ~max_time:1.0 ())
+      q registry
+  in
   Printf.printf "online estimate after %.1fs: %.4f +/- %.4f  (plan %s)\n\n"
     out.final.elapsed out.final.estimate out.final.half_width out.plan_description;
 

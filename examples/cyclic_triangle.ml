@@ -49,7 +49,11 @@ let () =
   let registry = Wj_core.Registry.build_for_query triangle in
   let exact = Wj_exec.Exact.aggregate triangle registry in
   Printf.printf "triangle count, exact: %.0f\n" exact.value;
-  let out = Wj_core.Online.run ~seed:8 ~max_time:1.0 triangle registry in
+  let out =
+    Wj_core.Online.run_session
+      (Wj_core.Run_config.make ~seed:8 ~max_time:1.0 ())
+      triangle registry
+  in
   Printf.printf "wander join estimate:  %.1f +/- %.1f  (plan %s)\n\n"
     out.final.estimate out.final.half_width out.plan_description;
 
@@ -87,7 +91,11 @@ let () =
      registry. *)
   let full = Wj_core.Registry.build_for_query chain in
   let exact2 = Wj_exec.Exact.aggregate chain full in
-  let hy = Wj_core.Hybrid.run ~seed:4 ~max_time:3.0 chain partial in
+  let hy =
+    Wj_core.Hybrid.run_session
+      (Wj_core.Run_config.make ~seed:4 ~max_time:3.0 ())
+      chain partial
+  in
   Printf.printf "exact chain count: %.0f\n" exact2.value;
   Printf.printf "hybrid estimate:   %.1f +/- %.1f  (%d walks across %d components)\n"
     hy.estimate hy.half_width hy.walks (List.length hy.components);

@@ -16,7 +16,7 @@ let () =
   Array.iter (fun s -> Printf.printf "  %12s" s) Wj_tpch.Generator.market_segments;
   print_newline ();
   let out =
-    Wj_core.Online.run_group_by ~seed:5 ~max_time:2.0 ~report_every:0.25
+    Wj_core.Online.run_group_by_session
       ~on_group_report:(fun t groups ->
         Printf.printf "%7.2fs" t;
         List.iter
@@ -24,6 +24,7 @@ let () =
             Printf.printf "  %11.2f%%" (100.0 *. r.half_width /. Float.abs r.estimate))
           groups;
         print_newline ())
+      (Wj_core.Run_config.make ~seed:5 ~max_time:2.0 ~report_every:0.25 ())
       q registry
   in
 

@@ -64,11 +64,12 @@ let () =
   (* 3. Run online aggregation: watch the confidence interval shrink. *)
   Printf.printf "online SUM(items.price) for country 7:\n";
   let out =
-    Wj_core.Online.run ~seed:42 ~max_time:1.0
-      ~target:(Wj_stats.Target.relative 0.005) ~report_every:0.1
+    Wj_core.Online.run_session
       ~on_report:(fun r ->
         Printf.printf "  %.2fs  %12.1f +/- %8.1f   (%d walks)\n%!" r.elapsed
           r.estimate r.half_width r.walks)
+      (Wj_core.Run_config.make ~seed:42 ~max_time:1.0
+         ~target:(Wj_stats.Target.relative 0.005) ~report_every:0.1 ())
       q registry
   in
   Printf.printf "final:  %12.1f +/- %8.1f  via plan %s\n" out.final.estimate

@@ -27,13 +27,14 @@ let () =
 
   Printf.printf "wander join, stopping at +/-1%% (95%% confidence):\n%!";
   let out =
-    Wj_core.Online.run ~seed:3 ~max_time:30.0
-      ~target:(Wj_stats.Target.relative 0.01) ~report_every:0.5
+    Wj_core.Online.run_session
       ~on_report:(fun r ->
         Printf.printf "  %.2fs  %.6g +/- %.3g  (%.2f%% rel, %d walks)\n%!" r.elapsed
           r.estimate r.half_width
           (100.0 *. r.half_width /. Float.abs r.estimate)
           r.walks)
+      (Wj_core.Run_config.make ~seed:3 ~max_time:30.0
+         ~target:(Wj_stats.Target.relative 0.01) ~report_every:0.5 ())
       q registry
   in
   Printf.printf "\nplan: %s (optimizer: %.1f ms, %d trial walks)\n"

@@ -54,11 +54,12 @@ let estimate_size ?(seed = 5) ?(max_walks = 20_000) ?(max_time = 0.2) q registry
     { members; size = float_of_int !count; half_width = 0.0; walks = 0 }
   end
   else begin
-    let out =
-      Online.run ~seed ~max_walks ~max_time
-        ~plan_choice:(Online.Optimize { Optimizer.tau = 30; max_rounds = 500 })
-        q' registry'
+    let cfg =
+      Run_config.make ~seed ~max_walks ~max_time
+        ~plan_choice:(Run_config.Optimize { Optimizer.tau = 30; max_rounds = 500 })
+        ()
     in
+    let out = Online.run_session cfg q' registry' in
     {
       members;
       size = Float.max 0.0 out.final.estimate;

@@ -3,14 +3,16 @@ module Timer = Wj_util.Timer
 module Prng = Wj_util.Prng
 module Vec = Wj_util.Vec
 
-type config = {
+(* The knob record lives in [Session_spec] (it is the payload of
+   [Session_spec.Hybrid]); re-exported here so existing [Hybrid.config]
+   consumers keep compiling unchanged. *)
+type config = Session_spec.hybrid_config = {
   replicates : int;
   max_paths_per_component : int;
   trial_walks_per_plan : int;
 }
 
-let default_config =
-  { replicates = 8; max_paths_per_component = 512; trial_walks_per_plan = 50 }
+let default_config = Session_spec.default_hybrid_config
 
 type outcome = {
   estimate : float;
@@ -145,7 +147,11 @@ let start_session ?(config = default_config) ?(max_rounds = max_int)
       plans;
   (* One engine per component, shared by all replicates: with [batch > 1]
      the in-flight walks of a component interleave across replicates. *)
-  let engines = Array.map (Engine.create ~batch:cfg.Run_config.batch) prepared in
+  let engines =
+    Array.map
+      (Engine.create ~batch:cfg.Run_config.batch ~prefetch:cfg.Run_config.prefetch)
+      prepared
+  in
   let cross_conds =
     let comp_of = Array.make (Query.k q) (-1) in
     List.iteri

@@ -13,16 +13,19 @@
     replicates: R disjoint estimator streams run side by side and the CI is
     the normal interval over the R replicate estimates. *)
 
-type config = {
+type config = Session_spec.hybrid_config = {
   replicates : int;  (** default 8 *)
   max_paths_per_component : int;
       (** freeze a component's walking once this many successful paths are
           stored (keeps the cross product bounded); default 512 *)
   trial_walks_per_plan : int;  (** per-component plan selection; default 50 *)
 }
+(** Re-export of {!Session_spec.hybrid_config}: the same record is the
+    payload of [Session_spec.Hybrid], so spec-driven and direct callers
+    share one type. *)
 
 val default_config : config
-(** The field defaults above. *)
+(** = {!Session_spec.default_hybrid_config}. *)
 
 type outcome = {
   estimate : float;
@@ -95,6 +98,7 @@ val run :
   Query.t ->
   Registry.t ->
   outcome
+  [@@deprecated "use Hybrid.run_session with a Run_config (or Session.run)"]
 (** Thin shim over {!run_session}.  [batch] (default 1) sets each
     component engine's number of in-flight walks; with [batch > 1] a
     component's walks interleave across replicates (see {!Engine}). *)

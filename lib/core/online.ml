@@ -133,7 +133,7 @@ let start_session ?(eager_checks = true) ?tracer ?on_report (cfg : Run_config.t)
            description = Walk_plan.describe q plan;
            granularity = Walk_plan.granularity plan;
          });
-  let engine = Engine.create ~batch:cfg.batch prepared in
+  let engine = Engine.create ~batch:cfg.batch ~prefetch:cfg.prefetch prepared in
   let history = ref [] in
   let emit_report () =
     let r = make_report ~confidence:cfg.confidence ~elapsed:(Timer.elapsed clock) est in
@@ -250,7 +250,7 @@ let start_group_by_session ?on_group_report (cfg : Run_config.t) q registry =
            description = Walk_plan.describe q plan;
            granularity = Walk_plan.granularity plan;
          });
-  let engine = Engine.create ~batch:cfg.batch prepared in
+  let engine = Engine.create ~batch:cfg.batch ~prefetch:cfg.prefetch prepared in
   (* The optimizer's trial estimator cannot be split by group (it does not
      retain paths), so group estimators start from zero walks here. *)
   let groups : (Value.t, Estimator.t) Hashtbl.t = Hashtbl.create 16 in

@@ -126,6 +126,7 @@ val run :
   Query.t ->
   Registry.t ->
   outcome
+  [@@deprecated "use Online.run_session with a Run_config (or Session.run)"]
 (** Thin shim over {!run_session}.  Defaults: seed 42, confidence 0.95, no
     target, [max_time] 10 s, [max_walks] unlimited, wall clock, optimizer
     with default config, no-op sink.  [batch] (default 1) sets the walk
@@ -191,6 +192,7 @@ val run_group_by :
   Query.t ->
   Registry.t ->
   group_outcome
+  [@@deprecated "use Online.run_group_by_session with a Run_config (or Session.run)"]
 (** Thin shim over {!run_group_by_session}.  [should_stop] is polled on
     the same cadence as in {!run} and aborts the loop early; [batch] as in
     {!run}. *)

@@ -53,6 +53,7 @@ val run :
   Query.t ->
   Registry.t ->
   outcome
+  [@@deprecated "use Parallel.run_session with a Run_config (or Session.run)"]
 (** Thin shim over {!run_session}; defaults seed 77, confidence 0.95,
     [max_time] 1 s, optimizer plan choice, batch 1, no-op sink. *)
 

@@ -11,9 +11,11 @@ type t = {
   max_walks : int option;
   report_every : float option;
   batch : int;
+  prefetch : bool;
   clock : Wj_util.Timer.t option;
   should_stop : (unit -> bool) option;
   plan_choice : plan_choice;
+  spec : Session_spec.t;
   sink : Wj_obs.Sink.t;
   recorder : Wj_obs.Recorder.t option;
   backend : Wj_storage.Backend.t;
@@ -28,18 +30,21 @@ let default =
     max_walks = None;
     report_every = None;
     batch = 1;
+    prefetch = true;
     clock = None;
     should_stop = None;
     plan_choice = Optimize Optimizer.default_config;
+    spec = Session_spec.default;
     sink = Wj_obs.Sink.noop;
     recorder = None;
     backend = Wj_storage.Backend.In_memory;
   }
 
 let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
-    ?report_every ?(batch = 1) ?clock ?should_stop
-    ?(plan_choice = Optimize Optimizer.default_config) ?(sink = Wj_obs.Sink.noop)
-    ?recorder ?(backend = Wj_storage.Backend.In_memory) () =
+    ?report_every ?(batch = 1) ?(prefetch = true) ?clock ?should_stop
+    ?(plan_choice = Optimize Optimizer.default_config)
+    ?(spec = Session_spec.default) ?(sink = Wj_obs.Sink.noop) ?recorder
+    ?(backend = Wj_storage.Backend.In_memory) () =
   {
     seed;
     confidence;
@@ -48,15 +53,18 @@ let make ?(seed = 42) ?(confidence = 0.95) ?target ?(max_time = 10.0) ?max_walks
     max_walks;
     report_every;
     batch;
+    prefetch;
     clock;
     should_stop;
     plan_choice;
+    spec;
     sink;
     recorder;
     backend;
   }
 
 let with_seed t seed = { t with seed }
+let with_spec t spec = { t with spec }
 let with_sink t sink = { t with sink }
 let with_recorder t recorder = { t with recorder = Some recorder }
 let with_backend t backend = { t with backend }

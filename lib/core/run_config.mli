@@ -22,9 +22,20 @@ type t = {
   max_walks : int option;  (** walk/round/sample budget *)
   report_every : float option;  (** periodic report interval, seconds *)
   batch : int;  (** engine in-flight walks; 1 = sequential walker *)
+  prefetch : bool;
+      (** interleave the batch's index probes (issue every slot's locate
+          + prefetch touches before resolving any); default [true].
+          Never changes estimates — the issue phase draws nothing — and
+          is irrelevant at [batch = 1].  See {!Engine.create}. *)
   clock : Wj_util.Timer.t option;  (** [None] = wall clock *)
   should_stop : (unit -> bool) option;  (** cooperative cancellation *)
   plan_choice : plan_choice;
+  spec : Session_spec.t;
+      (** which driver a unified entry point ({!Session.start},
+          [Scheduler.submit], [Sql.Engine.serve]) runs when no explicit
+          spec is passed; default {!Session_spec.default} (online).
+          Driver-specific entry points ([Online.run_session], …) ignore
+          it. *)
   sink : Wj_obs.Sink.t;  (** observability; default {!Wj_obs.Sink.noop} *)
   recorder : Wj_obs.Recorder.t option;
       (** flight recorder; when present, drivers tee its reports-only sink
@@ -48,9 +59,11 @@ val make :
   ?max_walks:int ->
   ?report_every:float ->
   ?batch:int ->
+  ?prefetch:bool ->
   ?clock:Wj_util.Timer.t ->
   ?should_stop:(unit -> bool) ->
   ?plan_choice:plan_choice ->
+  ?spec:Session_spec.t ->
   ?sink:Wj_obs.Sink.t ->
   ?recorder:Wj_obs.Recorder.t ->
   ?backend:Wj_storage.Backend.t ->
@@ -61,6 +74,9 @@ val make :
 val with_seed : t -> int -> t
 (** Functional update, for deriving per-session configs from a shared
     base (the service layer's admission path). *)
+
+val with_spec : t -> Session_spec.t -> t
+(** Functional update of the default session spec. *)
 
 val with_sink : t -> Wj_obs.Sink.t -> t
 (** Functional update of the observability sink. *)

@@ -1,0 +1,56 @@
+(* First-class description of *which* wander-join driver a session runs
+   and the per-algorithm knobs it takes.  One value of [t] is what the
+   unified [Session.start] / [Scheduler.submit] entry points dispatch on,
+   replacing the four parallel submit_*/run_* families. *)
+
+type online = {
+  eager_checks : bool;
+  on_report : (Wj_obs.Progress.t -> unit) option;
+}
+
+type group_by = {
+  on_group_report :
+    (float -> (Wj_storage.Value.t * Wj_obs.Progress.t) list -> unit) option;
+}
+
+type hybrid_config = {
+  replicates : int;
+  max_paths_per_component : int;
+  trial_walks_per_plan : int;
+}
+
+type hybrid = { config : hybrid_config; max_rounds : int option }
+type parallel = { domains : int option; walks_per_domain : int option }
+
+type t =
+  | Online of online
+  | Group_by of group_by
+  | Hybrid of hybrid
+  | Parallel of parallel
+
+let default_hybrid_config =
+  { replicates = 8; max_paths_per_component = 512; trial_walks_per_plan = 50 }
+
+let default_online = Online { eager_checks = true; on_report = None }
+let default = default_online
+
+let online ?(eager_checks = true) ?on_report () =
+  Online { eager_checks; on_report }
+
+let group_by ?on_group_report () = Group_by { on_group_report }
+
+let hybrid ?(config = default_hybrid_config) ?max_rounds () =
+  Hybrid { config; max_rounds }
+
+let parallel ?domains ?walks_per_domain () =
+  Parallel { domains; walks_per_domain }
+
+let describe = function
+  | Online _ -> "online"
+  | Group_by _ -> "group-by"
+  | Hybrid h ->
+    Printf.sprintf "hybrid(replicates=%d)" h.config.replicates
+  | Parallel { domains; _ } -> (
+    match domains with
+    | Some d -> Printf.sprintf "parallel(domains=%d)" d
+    | None -> "parallel")

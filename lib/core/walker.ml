@@ -24,6 +24,8 @@ type instr = {
   i_phase_cost : Histogram.t; (* bucket = phase index, weight = cost *)
   i_index_probes : Counter.t;
   i_row_accesses : Counter.t;
+  i_prefetch_issued : Counter.t; (* issue_step calls *)
+  i_prefetch_batched : Counter.t; (* issues that shared a sweep with >= 2 *)
 }
 
 let instr_of_metrics m ~k =
@@ -41,6 +43,8 @@ let instr_of_metrics m ~k =
     i_phase_cost = h (max 1 k) "walker.phase_cost";
     i_index_probes = c "walker.index_probes";
     i_row_accesses = c "walker.row_accesses";
+    i_prefetch_issued = c "walker.prefetch.issued";
+    i_prefetch_batched = c "walker.prefetch.batched";
   }
 
 type outcome =
@@ -521,6 +525,164 @@ let advance_step t prng path i =
       end
     end
   in
+  (match t.stats with
+  | None -> ()
+  | Some s ->
+    Histogram.observe s.i_phase_attempts (i + 1);
+    Histogram.add s.i_phase_cost (i + 1) t.phase_cost);
+  result
+
+(* ---- Issue/resolve split of [advance_step] ---------------------------- *)
+
+(* One slot's in-flight probe between the issue and resolve phases.  A
+   mutable scratch record owned by the engine slot and reused across
+   walks, so steady-state issuing allocates only what [Index.locate_*]
+   returns. *)
+type issued = {
+  mutable iv_step : int; (* step index the locate answers; -1 = none *)
+  mutable iv_located : Index.located option; (* plain (non-isect) steps *)
+  mutable iv_cost : int; (* abstract cost charged by the issue phase *)
+  mutable iv_slo : int; (* isect: surviving slot range *)
+  mutable iv_shi : int;
+  mutable iv_failed : int; (* isect: failing fold index, or -1 *)
+}
+
+let make_issued () =
+  {
+    iv_step = -1;
+    iv_located = None;
+    iv_cost = 0;
+    iv_slo = 0;
+    iv_shi = 0;
+    iv_failed = -1;
+  }
+
+let issued_step iss = iss.iv_step
+
+let[@inline] note_prefetch_issued t =
+  match t.stats with None -> () | Some s -> Counter.incr s.i_prefetch_issued
+
+let note_prefetch_batched t n =
+  match t.stats with None -> () | Some s -> Counter.add s.i_prefetch_batched n
+
+(* The count-and-locate half of [advance_step]: everything up to (but not
+   including) the PRNG draw.  Draws nothing, so issuing a whole batch
+   before resolving any slot leaves every walk's draw sequence — and
+   therefore every estimate — bit-for-bit unchanged. *)
+let issue_step t iss path i =
+  let c = t.steps.(i) in
+  let step = c.step in
+  note_prefetch_issued t;
+  (match c.isect with
+  | None ->
+    let cond = step.Walk_plan.cond in
+    let v = c.key_of_parent path.(step.parent) in
+    let probe = Index.count_cost step.index in
+    note_index_probe t step.into probe;
+    let l =
+      match cond.op with
+      | Query.Eq -> Index.locate_eq step.index v
+      | Query.Band _ ->
+        let lo, hi = Query.join_key_range cond ~from_left:true v in
+        Index.locate_range step.index ~lo ~hi
+    in
+    Index.located_prefetch l;
+    if Index.located_count l > 0 then
+      Table.prefetch_row t.query.Query.tables.(step.into) (Index.located_nth l 0);
+    iss.iv_step <- i;
+    iss.iv_located <- Some l;
+    iss.iv_cost <- probe
+  | Some ci ->
+    (* The full narrow chain runs at issue time (it is the locate); the
+       resolve phase only draws and binds. *)
+    let v = c.key_of_parent path.(step.parent) in
+    note_index_probe t step.into ci.ci_cost;
+    let tr = ci.ci_trie in
+    let lo, hi = Wj_index.Trie.root tr in
+    let lo, hi = Wj_index.Trie.narrow tr ~level:0 ~lo ~hi ~klo:v ~khi:v in
+    iss.iv_step <- i;
+    iss.iv_located <- None;
+    iss.iv_cost <- ci.ci_cost;
+    iss.iv_failed <- -1;
+    if lo >= hi then begin
+      iss.iv_slo <- lo;
+      iss.iv_shi <- lo
+    end
+    else begin
+      let nfolds = Array.length ci.ci_key in
+      let slo = ref lo and shi = ref hi in
+      let failed = ref (-1) in
+      let l = ref 0 in
+      while !failed < 0 && !l < nfolds do
+        let ov = ci.ci_key.(!l) path.(ci.ci_other.(!l)) in
+        let nlo, nhi =
+          Wj_index.Trie.narrow tr ~level:(!l + 1) ~lo:!slo ~hi:!shi
+            ~klo:(ov + ci.ci_lo.(!l)) ~khi:(ov + ci.ci_hi.(!l))
+        in
+        if nlo >= nhi then failed := !l
+        else begin
+          slo := nlo;
+          shi := nhi;
+          incr l
+        end
+      done;
+      iss.iv_slo <- !slo;
+      iss.iv_shi <- !shi;
+      iss.iv_failed <- !failed;
+      if !failed < 0 then begin
+        let head = Wj_index.Trie.row tr !slo in
+        ignore (Sys.opaque_identity head);
+        Table.prefetch_row t.query.Query.tables.(step.into) head
+      end
+    end)
+
+(* The draw-bind-vet half: consumes exactly the PRNG draws the classic
+   [advance_step] would, in the same order, and charges the step's select
+   at [Index.resolve_cost] — the locate was already paid once by
+   [issue_step], where the classic path pays [probe_cost] again. *)
+let resolve_step t prng iss path i =
+  let c = t.steps.(i) in
+  let step = c.step in
+  t.phase_cost <- iss.iv_cost;
+  let result =
+    match c.isect with
+    | None -> begin
+      let l =
+        match iss.iv_located with
+        | Some l -> l
+        | None -> invalid_arg "Walker.resolve_step: no issued probe"
+      in
+      let d = Index.located_count l in
+      if d = 0 then begin
+        (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_empty);
+        Dead_unbound
+      end
+      else begin
+        let pick = Prng.int prng d in
+        let row = Index.located_nth l pick in
+        t.phase_cost <- t.phase_cost + Index.resolve_cost step.index + 1;
+        bind_and_vet t c path ~row ~d
+      end
+    end
+    | Some ci ->
+      if iss.iv_failed >= 0 then begin
+        note_nontree_reject t ~pos:step.into ~label:ci.ci_labels.(iss.iv_failed)
+          ~counter:ci.ci_counters.(iss.iv_failed);
+        Dead_unbound
+      end
+      else if iss.iv_shi <= iss.iv_slo then begin
+        (match t.stats with None -> () | Some s -> Counter.incr s.i_reject_empty);
+        Dead_unbound
+      end
+      else begin
+        let d = iss.iv_shi - iss.iv_slo in
+        let row = Wj_index.Trie.row ci.ci_trie (iss.iv_slo + Prng.int prng d) in
+        t.phase_cost <- t.phase_cost + 1;
+        bind_and_vet t c path ~row ~d
+      end
+  in
+  iss.iv_step <- -1;
+  iss.iv_located <- None;
   (match t.stats with
   | None -> ()
   | Some s ->

@@ -16,10 +16,13 @@ let run ?(seed = 13) ?(confidence = 0.95) ?target ?report_every ?on_report ?batc
         (r, t))
   in
   let online =
-    Online.run ~seed ~confidence ?target ?report_every ?on_report ?batch
-      ~max_time:infinity
-      ~should_stop:(fun () -> Atomic.get finished)
-      q registry
+    let cfg =
+      Wj_core.Run_config.make ~seed ~confidence ?target ?report_every ?batch
+        ~max_time:infinity
+        ~should_stop:(fun () -> Atomic.get finished)
+        ()
+    in
+    Online.run_session ?on_report cfg q registry
   in
   let exact, exact_time = Domain.join exact_domain in
   { exact; exact_time; online }

@@ -101,6 +101,29 @@ let families t =
   Hashtbl.fold (fun name fam acc -> (name, fam) :: acc) t.core.table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Fold [src]'s families into [into] (find-or-create under [into]'s
+   prefix): counters and histograms add, gauges take the source's value.
+   [families] is name-sorted, so a fixed sequence of merges lands cells
+   in a deterministic registration order.  The domain-sharded scheduler
+   merges each shard's registry into the main one at the join barrier, in
+   shard order. *)
+let merge ~into src =
+  List.iter
+    (fun (name, fam) ->
+      match fam with
+      | Counter c ->
+        let v = Counter.value c in
+        if v <> 0 then Counter.add (counter into name) v
+      | Histogram h ->
+        let buckets = Histogram.buckets h in
+        let dst = histogram into ~buckets name in
+        for b = 0 to buckets - 1 do
+          let n = Histogram.count h b in
+          if n <> 0 then Histogram.add dst b n
+        done
+      | Gauge g -> Gauge.set (gauge into name) (Gauge.value g))
+    (families src)
+
 let reset t =
   Hashtbl.iter
     (fun _ fam ->

@@ -51,5 +51,15 @@ type family =
 val families : t -> (string * family) list
 (** All registered families, sorted by name. *)
 
+val merge : into:t -> t -> unit
+(** Fold the source registry's families into [into] (find-or-create,
+    under [into]'s prefix): counters and histogram buckets {e add},
+    gauges take the source's current value.  Iterates {!families} — name
+    order — so a fixed merge sequence registers cells deterministically.
+    The domain-sharded scheduler calls this at its join barrier, in shard
+    order, to combine per-domain registries into the submitter-visible
+    one.  Raises [Invalid_argument] on a kind mismatch between same-named
+    families. *)
+
 val reset : t -> unit
 (** Zero every cell; registrations survive. *)

@@ -8,6 +8,8 @@ module Online = Wj_core.Online
 module Parallel = Wj_core.Parallel
 module Hybrid = Wj_core.Hybrid
 module Driver = Wj_core.Engine.Driver
+module Session = Wj_core.Session
+module Session_spec = Wj_core.Session_spec
 
 type state =
   | Queued
@@ -46,7 +48,12 @@ type entry = {
   label : string;
   token : Token.t;
   deadline : float option;  (* absolute seconds on the scheduler clock *)
-  start : unit -> job;  (* deferred: plan selection happens on admission *)
+  pin : int option;  (* fixed shard under a multi-domain drain *)
+  start : t -> job;
+      (* deferred: plan selection happens on admission.  The argument is
+         the scheduler actually hosting the entry — the submitting one,
+         or the per-domain shard it was pinned to — whose sink scopes the
+         session's metrics. *)
   finish : unit -> unit;  (* fill the submitter's result cell once stopped *)
   mutable state : state;
   mutable job : job option;
@@ -54,10 +61,11 @@ type entry = {
   mutable reason : Driver.stop_reason option;  (* why the driver stopped *)
 }
 
-type t = {
+and t = {
   quantum : int;
   max_live : int;
   policy : policy;
+  domains : int;
   sink : Sink.t;
   clock : Timer.t;
   mutable next_id : int;
@@ -66,17 +74,27 @@ type t = {
   mutable all : entry list;  (* every submission, reverse admission order *)
 }
 
-type 'a session = { entry : entry; cell : 'a option ref; sched : t }
+(* The submitter's handle: the unified result cell plus a typed
+   projection of it (identity for [submit], a constructor match for the
+   legacy per-algorithm shims). *)
+type 'a session = {
+  entry : entry;
+  cell : Session.outcome option ref;
+  view : Session.outcome -> 'a option;
+  sched : t;
+}
 
 let create ?(quantum = 256) ?(max_live = 4) ?(policy = Round_robin)
-    ?(sink = Sink.noop) ?clock () =
+    ?(domains = 1) ?(sink = Sink.noop) ?clock () =
   if quantum < 1 then invalid_arg "Scheduler.create: quantum < 1";
   if max_live < 1 then invalid_arg "Scheduler.create: max_live < 1";
+  if domains < 1 then invalid_arg "Scheduler.create: domains < 1";
   let clock = match clock with Some c -> c | None -> Timer.wall () in
   {
     quantum;
     max_live;
     policy;
+    domains;
     sink;
     clock;
     next_id = 0;
@@ -86,6 +104,7 @@ let create ?(quantum = 256) ?(max_live = 4) ?(policy = Round_robin)
   }
 
 let quantum t = t.quantum
+let domains t = t.domains
 
 (* The scheduler only produces milestone events (session lifecycle,
    policy picks), so a reports-only subscriber — the flight recorder —
@@ -164,7 +183,7 @@ let finalize_started t e term ~reason =
 
 let begin_entry t e =
   e.state <- Running;
-  e.job <- Some (e.start ());
+  e.job <- Some (e.start t);
   t.live <- t.live @ [ e ];
   emit t (Event.Session_started { session = e.id })
 
@@ -267,11 +286,79 @@ let tick t =
     end));
   t.live <> [] || not (Queue.is_empty t.queue)
 
-let drain t = while tick t do () done
+let drain_local t = while tick t do () done
+
+(* ---- Domain-sharded drain --------------------------------------------- *)
+
+(* One shard = one OCaml domain draining a private sub-scheduler.  Queued
+   entries are pinned to shard [(pin | id) mod domains]; each shard gets
+   its own sink — a fresh metrics registry when the main sink carries
+   one, an event buffer when it has a callback — so nothing inside the
+   concurrent drain loops is shared.  Sessions keep their own PRNG
+   streams and budgets, so which domain hosts a session never changes its
+   trajectory.  At the join barrier the buffered milestone events replay
+   and the shard registries merge into the main sink, in shard order:
+   for a fixed seed and pinning, scheduler output is reproducible
+   whatever the domain count.  (Quantum trace spans are dropped on
+   shards: a span buffer is not domain-safe.) *)
+type shard = {
+  sh_sched : t;
+  sh_events : Event.t list ref;  (* reverse emission order *)
+  sh_metrics : Metrics.t option;
+}
+
+let make_shard t =
+  let sh_events = ref [] in
+  let sh_metrics =
+    Option.map (fun _ -> Metrics.create ()) (Sink.metrics t.sink)
+  in
+  let on_event =
+    if Sink.wants_reports t.sink then
+      Some (fun ev -> sh_events := ev :: !sh_events)
+    else None
+  in
+  let sink = Sink.make ?on_event ?metrics:sh_metrics () in
+  {
+    sh_sched =
+      { t with sink; queue = Queue.create (); live = []; all = []; next_id = 0 };
+    sh_events;
+    sh_metrics;
+  }
+
+let shard_of t e = (match e.pin with Some p -> p | None -> e.id) mod t.domains
+
+let drain_sharded t =
+  let shards = Array.init t.domains (fun _ -> make_shard t) in
+  Queue.iter
+    (fun e -> Queue.push e (shards.(shard_of t e)).sh_sched.queue)
+    t.queue;
+  Queue.clear t.queue;
+  let workers =
+    Array.init (t.domains - 1) (fun i ->
+        let sub = shards.(i + 1).sh_sched in
+        Domain.spawn (fun () -> drain_local sub))
+  in
+  drain_local shards.(0).sh_sched;
+  Array.iter Domain.join workers;
+  (* Deterministic publication: shard 0's events and counters land first,
+     then shard 1's, ... *)
+  Array.iter
+    (fun sh ->
+      List.iter (fun ev -> emit t ev) (List.rev !(sh.sh_events));
+      match (sh.sh_metrics, Sink.metrics t.sink) with
+      | Some src, Some dst -> Metrics.merge ~into:dst src
+      | _ -> ())
+    shards
+
+let drain t =
+  if t.domains > 1 && not (Queue.is_empty t.queue) then drain_sharded t;
+  (* Single-domain path, and whatever is live on the main scheduler
+     itself (sessions already started by [tick]/[await] interleaving). *)
+  drain_local t
 
 (* ---- Submission ------------------------------------------------------ *)
 
-let submit_entry t ~label ~deadline ~token ~start ~finish cell =
+let submit_entry t ~label ~deadline ~token ~pin ~start ~finish cell view =
   let id = t.next_id in
   t.next_id <- id + 1;
   let label = if label = "" then "session" ^ string_of_int id else label in
@@ -283,6 +370,7 @@ let submit_entry t ~label ~deadline ~token ~start ~finish cell =
       label;
       token;
       deadline;
+      pin;
       start = start id;
       finish;
       state = Queued;
@@ -294,102 +382,97 @@ let submit_entry t ~label ~deadline ~token ~start ~finish cell =
   Queue.push e t.queue;
   t.all <- e :: t.all;
   emit t (Event.Session_admitted { session = id; label });
-  { entry = e; cell; sched = t }
+  { entry = e; cell; view; sched = t }
 
-let submit_query t ?(label = "") ?deadline ?token ?(eager_checks = true)
-    (cfg : Run_config.t) q registry =
-  let cell = ref None in
-  let sess = ref None in
-  let start id () =
-    let cfg =
-      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
-    in
-    let s = Online.start_session ~eager_checks cfg q registry in
-    sess := Some s;
-    {
-      advance = (fun ~max_steps -> Online.Session.advance s ~max_steps);
-      interrupt = (fun r -> Online.Session.interrupt s r);
-      progress = (fun () -> Some (Online.Session.progress s));
-    }
-  in
-  let finish () =
-    match !sess with
-    | Some s -> cell := Some (Online.Session.outcome s)
-    | None -> ()
-  in
-  submit_entry t ~label ~deadline ~token ~start ~finish cell
-
-let submit_group_by t ?(label = "") ?deadline ?token (cfg : Run_config.t) q
+(* The one admission path: a [Session_spec.t] (explicit, or the config's)
+   picks the driver; the erased {!Wj_core.Session.handle} is the job.
+   The session's metrics land under "session<id>." of whichever
+   (sub-)scheduler hosts the entry. *)
+let submit t ?(label = "") ?deadline ?token ?pin ?spec (cfg : Run_config.t) q
     registry =
   let cell = ref None in
   let sess = ref None in
-  let start id () =
+  let start id exec =
     let cfg =
-      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
+      Run_config.with_sink cfg (session_sink exec id cfg.Run_config.sink)
     in
-    let s = Online.start_group_by_session cfg q registry in
-    sess := Some s;
+    let h = Session.start ?spec cfg q registry in
+    sess := Some h;
     {
-      advance = (fun ~max_steps -> Online.Group_session.advance s ~max_steps);
-      interrupt = (fun r -> Online.Group_session.interrupt s r);
-      progress = (fun () -> None);
+      advance = (fun ~max_steps -> h.Session.advance ~max_steps);
+      interrupt = h.Session.interrupt;
+      progress = h.Session.progress;
     }
   in
   let finish () =
     match !sess with
-    | Some s -> cell := Some (Online.Group_session.outcome s)
     | None -> ()
-  in
-  submit_entry t ~label ~deadline ~token ~start ~finish cell
-
-let submit_hybrid t ?(label = "") ?deadline ?token ?config ?max_rounds
-    (cfg : Run_config.t) q registry =
-  let cell = ref None in
-  let sess = ref None in
-  let start id () =
-    let cfg =
-      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
-    in
-    let s = Hybrid.start_session ?config ?max_rounds cfg q registry in
-    sess := Some s;
-    {
-      advance = (fun ~max_steps -> Hybrid.Session.advance s ~max_steps);
-      interrupt = (fun r -> Hybrid.Session.interrupt s r);
-      progress = (fun () -> None);
-    }
-  in
-  let finish () =
-    match !sess with
-    | Some s -> cell := Some (Hybrid.Session.outcome s)
-    | None -> ()
-  in
-  submit_entry t ~label ~deadline ~token ~start ~finish cell
-
-let submit_parallel t ?(label = "") ?deadline ?token ?domains ?walks_per_domain
-    (cfg : Run_config.t) q registry =
-  let cell = ref None in
-  let sess = ref None in
-  let start id () =
-    let cfg =
-      Run_config.with_sink cfg (session_sink t id cfg.Run_config.sink)
-    in
-    let s = Parallel.start_session ?domains ?walks_per_domain cfg q registry in
-    sess := Some s;
-    {
-      advance = (fun ~max_steps -> Parallel.Session.advance s ~max_steps);
-      interrupt = (fun r -> Parallel.Session.interrupt s r);
-      progress = (fun () -> None);
-    }
-  in
-  let finish () =
-    match !sess with
-    | Some s -> (
-      match Parallel.Session.outcome s with
+    | Some h -> (
+      (* A parallel session interrupted before its first advance has no
+         outcome at all; its cell stays [None]. *)
+      match h.Session.outcome () with
       | o -> cell := Some o
       | exception Invalid_argument _ -> ())
-    | None -> ()
   in
-  submit_entry t ~label ~deadline ~token ~start ~finish cell
+  submit_entry t ~label ~deadline ~token ~pin ~start ~finish cell Option.some
+
+(* Legacy per-algorithm entry points: thin shims over {!submit} that
+   build the spec and project the unified outcome back to the
+   algorithm's type. *)
+
+let submit_query t ?label ?deadline ?token ?(eager_checks = true)
+    (cfg : Run_config.t) q registry =
+  let s =
+    submit t ?label ?deadline ?token
+      ~spec:(Session_spec.online ~eager_checks ())
+      cfg q registry
+  in
+  {
+    entry = s.entry;
+    cell = s.cell;
+    view = (function Session.Scalar o -> Some o | _ -> None);
+    sched = s.sched;
+  }
+
+let submit_group_by t ?label ?deadline ?token (cfg : Run_config.t) q registry =
+  let s =
+    submit t ?label ?deadline ?token ~spec:(Session_spec.group_by ()) cfg q
+      registry
+  in
+  {
+    entry = s.entry;
+    cell = s.cell;
+    view = (function Session.Groups o -> Some o | _ -> None);
+    sched = s.sched;
+  }
+
+let submit_hybrid t ?label ?deadline ?token ?config ?max_rounds
+    (cfg : Run_config.t) q registry =
+  let s =
+    submit t ?label ?deadline ?token
+      ~spec:(Session_spec.hybrid ?config ?max_rounds ())
+      cfg q registry
+  in
+  {
+    entry = s.entry;
+    cell = s.cell;
+    view = (function Session.Hybrid o -> Some o | _ -> None);
+    sched = s.sched;
+  }
+
+let submit_parallel t ?label ?deadline ?token ?domains ?walks_per_domain
+    (cfg : Run_config.t) q registry =
+  let s =
+    submit t ?label ?deadline ?token
+      ~spec:(Session_spec.parallel ?domains ?walks_per_domain ())
+      cfg q registry
+  in
+  {
+    entry = s.entry;
+    cell = s.cell;
+    view = (function Session.Parallel o -> Some o | _ -> None);
+    sched = s.sched;
+  }
 
 (* ---- Session handles ------------------------------------------------- *)
 
@@ -399,13 +482,15 @@ let label s = s.entry.label
 let quanta s = s.entry.quanta
 let stop_reason s = s.entry.reason
 let cancel s = Token.cancel s.entry.token
-let result s = !(s.cell)
+let result s = Option.bind !(s.cell) s.view
 
 let await s =
-  while (not (is_terminal s.entry.state)) && tick s.sched do
-    ()
-  done;
-  !(s.cell)
+  if s.sched.domains > 1 then drain s.sched
+  else
+    while (not (is_terminal s.entry.state)) && tick s.sched do
+      ()
+    done;
+  result s
 
 type info = { info_id : int; info_label : string; info_state : state; info_quanta : int }
 

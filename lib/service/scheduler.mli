@@ -72,6 +72,7 @@ val create :
   ?quantum:int ->
   ?max_live:int ->
   ?policy:policy ->
+  ?domains:int ->
   ?sink:Wj_obs.Sink.t ->
   ?clock:Wj_util.Timer.t ->
   unit ->
@@ -79,6 +80,20 @@ val create :
 (** [quantum] (default 256) is the number of engine steps per grant;
     [max_live] (default 4) caps concurrently Running sessions — further
     submissions queue FIFO.  [clock] (default wall) times deadlines.
+
+    [domains] (default 1) shards {!drain} across that many OCaml domains:
+    queued sessions are pinned to per-domain workers (shard
+    [(pin | id) mod domains]), each worker drains its shard against a
+    private sink, and at the join barrier the shards' buffered milestone
+    events replay and their metrics registries {!Wj_obs.Metrics.merge}
+    into this scheduler's sink, in shard order.  A session's trajectory
+    is a pure function of its own PRNG stream, so sharding never changes
+    estimates; with a fixed seed and pinning, and sessions that stop on
+    their own budgets/targets (not wall time), output is bit-for-bit
+    reproducible at any domain count.  Per-session event callbacks and
+    [max_live] apply per shard; quantum trace spans are not recorded on
+    non-zero shards; the paged storage backend's buffer pool is not
+    domain-safe — use multi-domain scheduling with in-memory tables.
 
     [sink] is the scheduler-level sink: it receives [Session_admitted],
     [Session_started], per-quantum [Session_report] (carrying the
@@ -99,8 +114,39 @@ val create :
 val quantum : t -> int
 (** The configured steps-per-grant. *)
 
+val domains : t -> int
+(** The configured drain-time shard count (1 = single-domain). *)
+
 type 'a session
 (** Handle returned at submission; ['a] is the driver outcome type. *)
+
+val submit :
+  t ->
+  ?label:string ->
+  ?deadline:float ->
+  ?token:Token.t ->
+  ?pin:int ->
+  ?spec:Wj_core.Session_spec.t ->
+  Wj_core.Run_config.t ->
+  Wj_core.Query.t ->
+  Wj_core.Registry.t ->
+  Wj_core.Session.outcome session
+(** The unified admission path: one entry point for every driver.
+    [spec] (default [cfg.spec], itself defaulting to online) picks the
+    algorithm and its knobs; the session runs through
+    {!Wj_core.Session.start}.  Nothing runs yet — plan selection happens
+    when the scheduler starts the session (so a cancelled queued session
+    costs nothing).  [deadline] is in seconds from submission on the
+    scheduler clock; [token] allows external cancellation (a fresh token
+    is created otherwise — see {!cancel}); [label] defaults to
+    ["session<id>"].  [pin] fixes the session's shard under a
+    multi-domain {!drain} (default: its id); sessions sharing a pin value
+    always land on the same domain, which is what makes a fixed-seed
+    multi-domain run reproducible.
+
+    The legacy [submit_query]/[submit_group_by]/[submit_hybrid]/
+    [submit_parallel] entry points below are deprecated shims over this
+    one. *)
 
 val submit_query :
   t ->
@@ -112,12 +158,8 @@ val submit_query :
   Wj_core.Query.t ->
   Wj_core.Registry.t ->
   Wj_core.Online.outcome session
-(** Admit a scalar online-aggregation session ({!Wj_core.Online}).
-    Nothing runs yet — plan selection happens when the session is started
-    by the scheduler (so a cancelled queued session costs nothing).
-    [deadline] is in seconds from submission on the scheduler clock;
-    [token] allows external cancellation (a fresh token is created
-    otherwise — see {!cancel}).  [label] defaults to ["session<id>"]. *)
+  [@@deprecated "use Scheduler.submit with Session_spec.online"]
+(** @deprecated Shim over {!submit} with {!Wj_core.Session_spec.online}. *)
 
 val submit_group_by :
   t ->
@@ -128,7 +170,8 @@ val submit_group_by :
   Wj_core.Query.t ->
   Wj_core.Registry.t ->
   Wj_core.Online.group_outcome session
-(** As {!submit_query} for GROUP BY sessions. *)
+  [@@deprecated "use Scheduler.submit with Session_spec.group_by"]
+(** @deprecated Shim over {!submit} with {!Wj_core.Session_spec.group_by}. *)
 
 val submit_hybrid :
   t ->
@@ -141,8 +184,9 @@ val submit_hybrid :
   Wj_core.Query.t ->
   Wj_core.Registry.t ->
   Wj_core.Hybrid.outcome session
-(** As {!submit_query} for hybrid (decomposed-graph) sessions; one engine
-    step is one hybrid round. *)
+  [@@deprecated "use Scheduler.submit with Session_spec.hybrid"]
+(** @deprecated Shim over {!submit} with {!Wj_core.Session_spec.hybrid};
+    one engine step is one hybrid round. *)
 
 val submit_parallel :
   t ->
@@ -155,10 +199,12 @@ val submit_parallel :
   Wj_core.Query.t ->
   Wj_core.Registry.t ->
   Wj_core.Parallel.outcome session
-(** Admit a multicore fan-out session.  Parallel sessions are one-shot
-    ({!Wj_core.Parallel.Session}): the whole fan-out runs within the first
-    quantum granted to it.  [result] stays [None] when the session is
-    cancelled while queued. *)
+  [@@deprecated "use Scheduler.submit with Session_spec.parallel"]
+(** @deprecated Shim over {!submit} with
+    {!Wj_core.Session_spec.parallel}.  Parallel sessions are one-shot
+    ({!Wj_core.Parallel.Session}): the whole fan-out runs within the
+    first quantum granted to it.  [result] stays [None] when the session
+    is cancelled while queued. *)
 
 (** {2 Driving the scheduler} *)
 
@@ -171,7 +217,10 @@ val tick : t -> bool
     queued (i.e. nothing left to do). *)
 
 val drain : t -> unit
-(** [tick] until everything submitted has reached a terminal state. *)
+(** [tick] until everything submitted has reached a terminal state.  With
+    [domains > 1], queued sessions are first dealt to per-domain shard
+    schedulers and drained concurrently (see {!create}); anything already
+    live on this scheduler finishes on the calling domain afterwards. *)
 
 (** {2 Session handles} *)
 

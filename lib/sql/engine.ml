@@ -127,17 +127,19 @@ type served = {
   served_items : served_item list;
 }
 
-(* What we hold per ONLINE aggregate between submission and drain. *)
+(* What we hold per ONLINE aggregate between submission and drain.  All
+   online items flow through the unified [Scheduler.submit]/[Session_spec]
+   path; the scalar/group split only reappears when the outcome is read
+   back. *)
 type pending =
-  | P_scalar of Online.outcome Scheduler.session
-  | P_groups of Online.group_outcome Scheduler.session
+  | P_session of Wj_core.Session.outcome Scheduler.session
   | P_exact of item_outcome
 
-let serve ?quantum ?max_live ?policy ?(sink = Wj_obs.Sink.noop) ?deadline
-    (cfg : Wj_core.Run_config.t) catalog sqls =
+let serve ?quantum ?max_live ?policy ?domains ?(sink = Wj_obs.Sink.noop)
+    ?deadline (cfg : Wj_core.Run_config.t) catalog sqls =
   let catalog = apply_backend cfg catalog in
   let sched =
-    Scheduler.create ?quantum ?max_live ?policy ~sink
+    Scheduler.create ?quantum ?max_live ?policy ?domains ~sink
       ?clock:cfg.Wj_core.Run_config.clock ()
   in
   (* One shared-index thread across the whole batch: statements over the
@@ -157,15 +159,14 @@ let serve ?quantum ?max_live ?policy ?(sink = Wj_obs.Sink.noop) ?deadline
               let label = Printf.sprintf "stmt%d %s" si (item_label item) in
               let p =
                 if bound.Binder.online then begin
-                  match q.Wj_core.Query.group_by with
-                  | Some _ ->
-                    P_groups
-                      (Scheduler.submit_group_by sched ~label ?deadline cfg q
-                         registry)
-                  | None ->
-                    P_scalar
-                      (Scheduler.submit_query sched ~label ?deadline cfg q
-                         registry)
+                  let spec =
+                    match q.Wj_core.Query.group_by with
+                    | Some _ -> Wj_core.Session_spec.group_by ()
+                    | None -> Wj_core.Session_spec.online ()
+                  in
+                  P_session
+                    (Scheduler.submit sched ~label ?deadline ~pin:si ~spec cfg
+                       q registry)
                 end
                 else
                   P_exact
@@ -189,17 +190,16 @@ let serve ?quantum ?max_live ?policy ?(sink = Wj_obs.Sink.noop) ?deadline
           List.map
             (fun (item, p) ->
               match p with
-              | P_scalar s ->
+              | P_session s ->
+                let outcome =
+                  match Scheduler.result s with
+                  | Some (Wj_core.Session.Scalar o) -> Some (Online_scalar o)
+                  | Some (Wj_core.Session.Groups g) -> Some (Online_groups g)
+                  | Some _ | None -> None
+                in
                 {
                   item;
-                  outcome = Option.map (fun o -> Online_scalar o) (Scheduler.result s);
-                  session_state = Scheduler.state s;
-                  session_reason = Scheduler.stop_reason s;
-                }
-              | P_groups s ->
-                {
-                  item;
-                  outcome = Option.map (fun o -> Online_groups o) (Scheduler.result s);
+                  outcome;
                   session_state = Scheduler.state s;
                   session_reason = Scheduler.stop_reason s;
                 }

@@ -86,14 +86,18 @@ val serve :
   ?quantum:int ->
   ?max_live:int ->
   ?policy:Wj_service.Scheduler.policy ->
+  ?domains:int ->
   ?sink:Wj_obs.Sink.t ->
   ?deadline:float ->
   Wj_core.Run_config.t ->
   Wj_storage.Catalog.t ->
   string list ->
   served list
-(** [quantum]/[max_live]/[policy] configure the scheduler (see
-    {!Wj_service.Scheduler.create}); [sink] is the {e scheduler-level}
+(** [quantum]/[max_live]/[policy]/[domains] configure the scheduler (see
+    {!Wj_service.Scheduler.create}); every online item runs through the
+    unified {!Wj_service.Scheduler.submit} path, pinned by statement index
+    so a multi-domain drain keeps one statement's items on one domain.
+    [sink] is the {e scheduler-level}
     sink receiving [Session_admitted]/[Session_started]/[Session_report]/
     [Session_finished] events (one [Session_report] per quantum — the
     interleaved progress stream) and hosting per-session scoped metrics.

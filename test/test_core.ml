@@ -8,6 +8,7 @@ module Walk_plan = Wj_core.Walk_plan
 module Walker = Wj_core.Walker
 module Optimizer = Wj_core.Optimizer
 module Online = Wj_core.Online
+module Run_config = Wj_core.Run_config
 module Engine = Wj_core.Engine
 module Decompose = Wj_core.Decompose
 module Hybrid = Wj_core.Hybrid
@@ -481,7 +482,9 @@ let test_walker_band_join () =
   let exact = Exact.aggregate q reg in
   (* 0 -> {0,1,2}, 5 -> {5,6,7}, 10 -> {10,11,12}: 9 pairs. *)
   Alcotest.(check int) "exact band count" 9 exact.join_size;
-  let out = Online.run ~seed:2 ~max_walks:20_000 ~max_time:10.0 q reg in
+  let out =
+    Online.run_session (Run_config.make ~seed:2 ~max_walks:20_000 ~max_time:10.0 ()) q reg
+  in
   Alcotest.(check bool)
     (Printf.sprintf "online band estimate %.2f" out.final.estimate)
     true
@@ -510,8 +513,10 @@ let test_walker_eager_vs_lazy_checks () =
   List.iter
     (fun eager ->
       let out =
-        Online.run ~seed:21 ~max_walks:60_000 ~max_time:20.0 ~eager_checks:eager
-          ~plan_choice:Online.First_enumerated q reg
+        Online.run_session ~eager_checks:eager
+          (Run_config.make ~seed:21 ~max_walks:60_000 ~max_time:20.0
+             ~plan_choice:Online.First_enumerated ())
+          q reg
       in
       let hw = out.final.half_width in
       Alcotest.(check bool)
@@ -563,7 +568,9 @@ let test_online_converges_and_stops () =
   let q = chain_query () in
   let reg = Registry.build_for_query q in
   let out =
-    Online.run ~seed:4 ~max_time:20.0 ~target:(Wj_stats.Target.relative 0.05) q reg
+    Online.run_session
+      (Run_config.make ~seed:4 ~max_time:20.0 ~target:(Wj_stats.Target.relative 0.05) ())
+      q reg
   in
   Alcotest.(check bool) "stopped on target" true (out.stopped_because = Online.Target_reached);
   let truth = chain_true_sum () in
@@ -573,11 +580,13 @@ let test_online_converges_and_stops () =
 let test_online_stop_reasons () =
   let q = chain_query () in
   let reg = Registry.build_for_query q in
-  let out = Online.run ~seed:4 ~max_walks:100 ~max_time:30.0 q reg in
+  let out =
+    Online.run_session (Run_config.make ~seed:4 ~max_walks:100 ~max_time:30.0 ()) q reg
+  in
   Alcotest.(check bool) "walk budget" true
     (out.stopped_because = Online.Walk_budget_exhausted);
   Alcotest.(check bool) "walks close to budget" true (out.final.walks >= 100);
-  let out2 = Online.run ~seed:4 ~max_time:0.05 q reg in
+  let out2 = Online.run_session (Run_config.make ~seed:4 ~max_time:0.05 ()) q reg in
   Alcotest.(check bool) "time up" true (out2.stopped_because = Online.Time_up)
 
 let test_online_reports () =
@@ -585,10 +594,11 @@ let test_online_reports () =
   let reg = Registry.build_for_query q in
   let count = ref 0 in
   let out =
-    Online.run ~seed:4 ~max_time:0.35 ~report_every:0.1
+    Online.run_session
       ~on_report:(fun r ->
         incr count;
         Alcotest.(check bool) "monotone walks" true (r.walks > 0))
+      (Run_config.make ~seed:4 ~max_time:0.35 ~report_every:0.1 ())
       q reg
   in
   Alcotest.(check bool) "several reports" true (!count >= 2);
@@ -597,7 +607,9 @@ let test_online_reports () =
 let test_online_count_agg () =
   let q = chain_query ~agg:Estimator.Count () in
   let reg = Registry.build_for_query q in
-  let out = Online.run ~seed:6 ~max_walks:40_000 ~max_time:20.0 q reg in
+  let out =
+    Online.run_session (Run_config.make ~seed:6 ~max_walks:40_000 ~max_time:20.0 ()) q reg
+  in
   let truth = float_of_int (chain_true_count ()) in
   Alcotest.(check bool)
     (Printf.sprintf "count %.2f ~ %.0f" out.final.estimate truth)
@@ -608,11 +620,19 @@ let test_online_fixed_vs_first () =
   let q = chain_query () in
   let reg = Registry.build_for_query q in
   let plan = Option.get (Walk_plan.of_order q reg [| 2; 1; 0 |]) in
-  let out = Online.run ~seed:6 ~max_walks:5_000 ~max_time:20.0 ~plan_choice:(Online.Fixed plan) q reg in
+  let out =
+    Online.run_session
+      (Run_config.make ~seed:6 ~max_walks:5_000 ~max_time:20.0
+         ~plan_choice:(Online.Fixed plan) ())
+      q reg
+  in
   Alcotest.(check string) "fixed plan used" "r3 -> r2 -> r1" out.plan_description;
   Alcotest.(check (float 0.0)) "no optimizer time" 0.0 out.optimizer_time;
   let out2 =
-    Online.run ~seed:6 ~max_walks:5_000 ~max_time:20.0 ~plan_choice:Online.First_enumerated q reg
+    Online.run_session
+      (Run_config.make ~seed:6 ~max_walks:5_000 ~max_time:20.0
+         ~plan_choice:Online.First_enumerated ())
+      q reg
   in
   Alcotest.(check string) "first enumerated" "r1 -> r2 -> r3" out2.plan_description
 
@@ -622,7 +642,11 @@ let test_online_group_by () =
   let q = { q with group_by = Some (0, 1) } in
   let reg = Registry.build_for_query q in
   let exact = Exact.group_aggregate q reg in
-  let out = Online.run_group_by ~seed:3 ~max_walks:80_000 ~max_time:30.0 q reg in
+  let out =
+    Online.run_group_by_session
+      (Run_config.make ~seed:3 ~max_walks:80_000 ~max_time:30.0 ())
+      q reg
+  in
   Alcotest.(check bool) "groups found" true (List.length out.groups >= 3);
   List.iter
     (fun (key, (r : Online.report)) ->
@@ -642,7 +666,7 @@ let test_online_group_by_requires_clause () =
   let reg = Registry.build_for_query q in
   Alcotest.check_raises "no group by"
     (Invalid_argument "Online.run_group_by: query has no GROUP BY") (fun () ->
-      ignore (Online.run_group_by ~max_time:0.01 q reg))
+      ignore (Online.run_group_by_session (Run_config.make ~max_time:0.01 ()) q reg))
 
 let test_online_group_by_should_stop () =
   let q = { (chain_query ()) with group_by = Some (0, 1) } in
@@ -651,10 +675,12 @@ let test_online_group_by_should_stop () =
      [should_stop] aborts at zero walks. *)
   let polled = ref 0 in
   let out =
-    Online.run_group_by ~seed:1 ~max_time:60.0 ~plan_choice:Online.First_enumerated
-      ~should_stop:(fun () ->
-        incr polled;
-        true)
+    Online.run_group_by_session
+      (Run_config.make ~seed:1 ~max_time:60.0 ~plan_choice:Online.First_enumerated
+         ~should_stop:(fun () ->
+           incr polled;
+           true)
+         ())
       q reg
   in
   Alcotest.(check int) "cancelled before any walk" 0 out.total_walks;
@@ -662,9 +688,11 @@ let test_online_group_by_should_stop () =
   (* A never-true [should_stop] leaves the walk budget in charge (also
      exercises the batched engine under GROUP BY). *)
   let out2 =
-    Online.run_group_by ~seed:1 ~max_walks:500 ~max_time:60.0 ~batch:8
-      ~plan_choice:Online.First_enumerated
-      ~should_stop:(fun () -> false)
+    Online.run_group_by_session
+      (Run_config.make ~seed:1 ~max_walks:500 ~max_time:60.0 ~batch:8
+         ~plan_choice:Online.First_enumerated
+         ~should_stop:(fun () -> false)
+         ())
       q reg
   in
   Alcotest.(check int) "budget respected" 500 out2.total_walks
@@ -739,8 +767,10 @@ let test_engine_batched_online_agrees () =
   let reg = Registry.build_for_query q in
   let truth = chain_true_sum () in
   let out =
-    Online.run ~seed:5 ~batch:64 ~max_walks:40_000 ~max_time:60.0
-      ~plan_choice:Online.First_enumerated q reg
+    Online.run_session
+      (Run_config.make ~seed:5 ~batch:64 ~max_walks:40_000 ~max_time:60.0
+         ~plan_choice:Online.First_enumerated ())
+      q reg
   in
   Alcotest.(check bool) "walk budget" true
     (out.stopped_because = Online.Walk_budget_exhausted);
@@ -912,7 +942,7 @@ let test_hybrid_two_components () =
   Registry.add partial ~pos:2 ~column:1 (Wj_index.Index.build_hash d ~column:1);
   let full = Registry.build_for_query q in
   let exact = float_of_int (Exact.aggregate q full).join_size in
-  let out = Hybrid.run ~seed:10 ~max_time:3.0 q partial in
+  let out = Hybrid.run_session (Run_config.make ~seed:10 ~max_time:3.0 ()) q partial in
   Alcotest.(check int) "two components" 2 (List.length out.components);
   Alcotest.(check bool)
     (Printf.sprintf "hybrid %.0f ~ %.0f (hw %.0f)" out.estimate exact out.half_width)
@@ -922,7 +952,7 @@ let test_hybrid_two_components () =
 let test_hybrid_single_component_matches () =
   let q = chain_query () in
   let reg = Registry.build_for_query q in
-  let out = Hybrid.run ~seed:2 ~max_time:1.0 q reg in
+  let out = Hybrid.run_session (Run_config.make ~seed:2 ~max_time:1.0 ()) q reg in
   Alcotest.(check int) "one component" 1 (List.length out.components);
   let truth = chain_true_sum () in
   Alcotest.(check bool)

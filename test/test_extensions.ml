@@ -6,6 +6,7 @@
 module Query = Wj_core.Query
 module Registry = Wj_core.Registry
 module Online = Wj_core.Online
+module Run_config = Wj_core.Run_config
 module Stratified = Wj_core.Stratified
 module Cardinality = Wj_core.Cardinality
 module Parallel = Wj_core.Parallel
@@ -78,7 +79,11 @@ let test_stratified_boosts_small_groups () =
   Registry.add reg ~pos:0 ~column:0 (Wj_index.Index.build_ordered q.Query.tables.(0) ~column:0);
   let walks = 30_000 in
   let strat = Stratified.run ~seed:9 ~allocation:Stratified.Equal ~max_walks:walks ~max_time:30.0 q reg in
-  let plain = Online.run_group_by ~seed:9 ~max_walks:walks ~max_time:30.0 q reg in
+  let plain =
+    Online.run_group_by_session
+      (Run_config.make ~seed:9 ~max_walks:walks ~max_time:30.0 ())
+      q reg
+  in
   let rel (r : Online.report) = r.half_width /. Float.abs r.estimate in
   (* Group 5 is one of the rare ones. *)
   let key = Value.Int 5 in
@@ -188,7 +193,11 @@ let test_parallel_matches_exact () =
   let q = chain_query_3 11 in
   let reg = Registry.build_for_query q in
   let exact = (Exact.aggregate q reg).value in
-  let out = Parallel.run ~seed:3 ~domains:2 ~max_time:1.0 ~walks_per_domain:30_000 q reg in
+  let out =
+    Parallel.run_session ~domains:2 ~walks_per_domain:30_000
+      (Run_config.make ~seed:3 ~max_time:1.0 ())
+      q reg
+  in
   Alcotest.(check int) "two domains" 2 out.domains_used;
   Alcotest.(check int) "per-domain walks recorded" 2 (Array.length out.per_domain_walks);
   Array.iter
@@ -216,13 +225,17 @@ let parallel_online_equiv =
     QCheck.(pair (int_range 0 100_000) (int_range 50 400))
     (fun (pseed, walks) ->
       let par =
-        Parallel.run ~seed:pseed ~domains:1 ~batch:1 ~max_time:60.0
-          ~walks_per_domain:walks ~plan_choice:(Online.Fixed plan) q reg
+        Parallel.run_session ~domains:1 ~walks_per_domain:walks
+          (Run_config.make ~seed:pseed ~batch:1 ~max_time:60.0
+             ~plan_choice:(Online.Fixed plan) ())
+          q reg
       in
       let oseed = (pseed + 1_000_003) lxor 0x4F4E4C in
       let onl =
-        Online.run ~seed:oseed ~max_walks:walks ~max_time:60.0
-          ~plan_choice:(Online.Fixed plan) q reg
+        Online.run_session
+          (Run_config.make ~seed:oseed ~max_walks:walks ~max_time:60.0
+             ~plan_choice:(Online.Fixed plan) ())
+          q reg
       in
       let bits = Int64.bits_of_float in
       par.final.walks = onl.final.walks
@@ -234,7 +247,9 @@ let test_parallel_validation () =
   let q = chain_query_3 13 in
   let reg = Registry.build_for_query q in
   Alcotest.check_raises "domains >= 1" (Invalid_argument "Parallel.run: domains must be >= 1")
-    (fun () -> ignore (Parallel.run ~domains:0 ~max_time:0.01 q reg))
+    (fun () ->
+      ignore
+        (Parallel.run_session ~domains:0 (Run_config.make ~max_time:0.01 ()) q reg))
 
 (* ---- Complete (run to completion) ------------------------------------- *)
 
@@ -574,7 +589,9 @@ let test_hybrid_sum () =
      because c can still be its own component (any single vertex is). *)
   let full = Registry.build_for_query q in
   let exact = (Exact.aggregate q full).value in
-  let out = Wj_core.Hybrid.run ~seed:6 ~max_time:3.0 q partial in
+  let out =
+    Wj_core.Hybrid.run_session (Run_config.make ~seed:6 ~max_time:3.0 ()) q partial
+  in
   Alcotest.(check bool) "decomposed" true (List.length out.components >= 2);
   Alcotest.(check bool)
     (Printf.sprintf "hybrid sum %.0f ~ %.0f (hw %.0f)" out.estimate exact out.half_width)

@@ -9,6 +9,7 @@ module Schema = Wj_storage.Schema
 module Value = Wj_storage.Value
 module Query = Wj_core.Query
 module Online = Wj_core.Online
+module Run_config = Wj_core.Run_config
 module Registry = Wj_core.Registry
 module Exact = Wj_exec.Exact
 module Sim = Wj_iosim.Sim
@@ -317,8 +318,10 @@ let test_fault_oracle_join_run () =
   let clock = Timer.virtual_ () in
   let sim = Sim.create ~pool_pages ~clock () in
   let out_mem =
-    Online.run ~seed ~max_time:infinity ~max_walks:walks
-      ~plan_choice:Online.First_enumerated ~sink:(Sim.sink sim) q_mem reg_mem
+    Online.run_session
+      (Run_config.make ~seed ~max_time:infinity ~max_walks:walks
+         ~plan_choice:Online.First_enumerated ~sink:(Sim.sink sim) ())
+      q_mem reg_mem
   in
   let predicted = Buffer_pool.misses (Sim.pool sim) in
   (* Measured: the same run over the paged backend. *)
@@ -331,8 +334,10 @@ let test_fault_oracle_join_run () =
   (* Index builds scanned every page; start the measurement cold. *)
   Buffer_pool.clear pool;
   let out_paged =
-    Online.run ~seed ~max_time:infinity ~max_walks:walks
-      ~plan_choice:Online.First_enumerated q_paged reg_paged
+    Online.run_session
+      (Run_config.make ~seed ~max_time:infinity ~max_walks:walks
+         ~plan_choice:Online.First_enumerated ())
+      q_paged reg_paged
   in
   let measured = Buffer_pool.misses pool in
   Alcotest.(check string) "paged estimate bit-for-bit equal"
@@ -370,8 +375,10 @@ let paged_query spec =
   ({ q with Query.tables = Array.of_list tables }, Option.get pool)
 
 let run_first q reg =
-  Online.run ~seed:424242 ~max_time:infinity ~max_walks:20_000
-    ~plan_choice:Online.First_enumerated q reg
+  Online.run_session
+    (Run_config.make ~seed:424242 ~max_time:infinity ~max_walks:20_000
+       ~plan_choice:Online.First_enumerated ())
+    q reg
 
 let test_paged_golden spec () =
   let d = Lazy.force dataset in
@@ -395,12 +402,11 @@ let test_paged_golden spec () =
     Alcotest.(check string) "Q3 historical golden reproduced" q3_first_golden
       (hex out_paged.Online.final.estimate);
     (* The optimizer path and the exact executor read through pages too. *)
-    let opt_mem =
-      Online.run ~seed:424242 ~max_time:infinity ~max_walks:20_000 q_mem reg_mem
+    let opt_cfg =
+      Run_config.make ~seed:424242 ~max_time:infinity ~max_walks:20_000 ()
     in
-    let opt_paged =
-      Online.run ~seed:424242 ~max_time:infinity ~max_walks:20_000 q_paged reg_paged
-    in
+    let opt_mem = Online.run_session opt_cfg q_mem reg_mem in
+    let opt_paged = Online.run_session opt_cfg q_paged reg_paged in
     Alcotest.(check string) "Q3 optimized estimate equal"
       (hex opt_mem.Online.final.estimate)
       (hex opt_paged.Online.final.estimate);

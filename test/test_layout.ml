@@ -11,6 +11,7 @@
 module Queries = Wj_tpch.Queries
 module Generator = Wj_tpch.Generator
 module Online = Wj_core.Online
+module Run_config = Wj_core.Run_config
 module Exact = Wj_exec.Exact
 module Table = Wj_storage.Table
 module Schema = Wj_storage.Schema
@@ -79,13 +80,19 @@ let test_golden g () =
   let q = Queries.build ~variant:Standard g.spec d in
   let reg = Queries.registry q in
   let out =
-    Online.run ~seed:424242 ~max_time:infinity ~max_walks:20_000
-      ~plan_choice:Online.First_enumerated q reg
+    Online.run_session
+      (Run_config.make ~seed:424242 ~max_time:infinity ~max_walks:20_000
+         ~plan_choice:Online.First_enumerated ())
+      q reg
   in
   Alcotest.(check string) (name ^ " pg-plan estimate") g.first (hex out.final.estimate);
   Alcotest.(check int) (name ^ " pg-plan walks") g.first_walks out.final.walks;
   Alcotest.(check int) (name ^ " pg-plan successes") g.first_successes out.final.successes;
-  let out = Online.run ~seed:424242 ~max_time:infinity ~max_walks:20_000 q reg in
+  let out =
+    Online.run_session
+      (Run_config.make ~seed:424242 ~max_time:infinity ~max_walks:20_000 ())
+      q reg
+  in
   Alcotest.(check string) (name ^ " optimized estimate") g.opt (hex out.final.estimate);
   Alcotest.(check int) (name ^ " optimized walks") g.opt_walks out.final.walks;
   Alcotest.(check int) (name ^ " optimized successes") g.opt_successes out.final.successes;

@@ -169,8 +169,10 @@ let test_walk_reconciliation () =
   let reg = Registry.build_for_query q in
   let m = Metrics.create () in
   let out =
-    Online.run ~seed:4242 ~max_walks:5_000 ~max_time:60.0
-      ~plan_choice:Online.First_enumerated ~sink:(Sink.of_metrics m) q reg
+    Online.run_session
+      (Run_config.make ~seed:4242 ~max_walks:5_000 ~max_time:60.0
+         ~plan_choice:Online.First_enumerated ~sink:(Sink.of_metrics m) ())
+      q reg
   in
   let snap = Snapshot.of_metrics m in
   let walks = Snapshot.counter_value snap "walker.walks" in
@@ -193,8 +195,10 @@ let test_batch_reconciliation () =
   let reg = Registry.build_for_query q in
   let m = Metrics.create () in
   ignore
-    (Online.run ~seed:7 ~max_walks:3_000 ~max_time:60.0 ~batch:8
-       ~plan_choice:Online.First_enumerated ~sink:(Sink.of_metrics m) q reg);
+    (Online.run_session
+       (Run_config.make ~seed:7 ~max_walks:3_000 ~max_time:60.0 ~batch:8
+          ~plan_choice:Online.First_enumerated ~sink:(Sink.of_metrics m) ())
+       q reg);
   let snap = Snapshot.of_metrics m in
   let walks = Snapshot.counter_value snap "walker.walks" in
   Alcotest.(check bool) "walks counted" true (walks >= 3_000);
@@ -252,7 +256,9 @@ let test_sink_transparency () =
   let q = chain_query () in
   let reg = Registry.build_for_query q in
   let run sink =
-    Online.run ~seed:99 ~max_walks:4_000 ~max_time:60.0 ?sink q reg
+    Online.run_session
+      (Run_config.make ~seed:99 ~max_walks:4_000 ~max_time:60.0 ?sink ())
+      q reg
   in
   let plain = run None in
   let m = Metrics.create () in
@@ -282,7 +288,11 @@ let run_config_equiv =
       let confidence = [| 0.9; 0.95; 0.99 |].(conf_ix) in
       let q = chain_query () in
       let reg = Registry.build_for_query q in
-      let legacy = Online.run ~seed ~confidence ~max_walks ~batch ~max_time:60.0 q reg in
+      let legacy =
+        (* The equivalence under test is legacy shim vs Run_config path. *)
+        (Online.run [@alert "-deprecated"])
+          ~seed ~confidence ~max_walks ~batch ~max_time:60.0 q reg
+      in
       let cfg = Run_config.make ~seed ~confidence ~max_walks ~batch ~max_time:60.0 () in
       let session = Online.run_session cfg q reg in
       legacy.Online.final.walks = session.Online.final.walks

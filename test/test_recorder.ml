@@ -281,13 +281,13 @@ let test_scheduled_scopes_and_gauges () =
     Run_config.make ~seed ~max_walks:2_000 ~max_time:60.0
       ~plan_choice:Run_config.First_enumerated ~recorder ()
   in
-  let s0 = Scheduler.submit_query sched (cfg 1) q reg in
-  let s1 = Scheduler.submit_query sched (cfg 2) q reg in
+  let s0 = Scheduler.submit sched (cfg 1) q reg in
+  let s1 = Scheduler.submit sched (cfg 2) q reg in
   Scheduler.drain sched;
   let out s =
     match Scheduler.result s with
-    | Some o -> o
-    | None -> Alcotest.fail "no outcome"
+    | Some (Wj_core.Session.Scalar o) -> o
+    | _ -> Alcotest.fail "no scalar outcome"
   in
   let o0 = out s0 and o1 = out s1 in
   (* Each session recorded into its own scope, attempts exact per scope. *)

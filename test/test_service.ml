@@ -25,6 +25,10 @@ module Metrics = Wj_obs.Metrics
 module Snapshot = Wj_obs.Snapshot
 module Estimator = Wj_stats.Estimator
 
+(* Every admission below rides the unified [Scheduler.submit]; scalar
+   sessions unwrap their [Session.outcome] with this helper. *)
+let scalar = function Some (Wj_core.Session.Scalar o) -> Some o | _ -> None
+
 (* ---- data builders (chain join as in test_core/test_obs) --------------- *)
 
 let int_table name cols rows =
@@ -102,12 +106,12 @@ let run_fleet ?(quantum = 64) ?(max_live = 16) ?(policy = Scheduler.Round_robin)
   let sched =
     Scheduler.create ~quantum ~max_live ~policy ~sink ~clock:(Timer.virtual_ ()) ()
   in
-  let sessions = List.map (fun cfg -> Scheduler.submit_query sched cfg q reg) cfgs in
+  let sessions = List.map (fun cfg -> Scheduler.submit sched cfg q reg) cfgs in
   Scheduler.drain sched;
   List.map
     (fun s ->
       let out =
-        match Scheduler.result s with
+        match scalar (Scheduler.result s) with
         | Some o -> o
         | None -> Alcotest.fail "session produced no outcome"
       in
@@ -164,7 +168,7 @@ let test_deadline_running () =
   let sched = Scheduler.create ~quantum:64 ~clock () in
   (* Effectively unbounded walk budget; only the deadline can stop it. *)
   let s =
-    Scheduler.submit_query sched ~deadline:5.0
+    Scheduler.submit sched ~deadline:5.0
       (walk_cfg ~seed:3 ~max_walks:max_int ())
       q reg
   in
@@ -177,7 +181,7 @@ let test_deadline_running () =
   ignore (Scheduler.tick sched);
   Alcotest.(check bool) "deadline_exceeded after one tick" true
     (Scheduler.state s = Scheduler.Deadline_exceeded);
-  match Scheduler.result s with
+  match scalar (Scheduler.result s) with
   | None -> Alcotest.fail "partial outcome expected"
   | Some o ->
     Alcotest.(check bool) "did some walks before expiry" true (o.Online.final.walks > 0)
@@ -188,10 +192,10 @@ let test_deadline_queued () =
   let clock = Timer.virtual_ () in
   let sched = Scheduler.create ~quantum:64 ~max_live:1 ~clock () in
   let hog =
-    Scheduler.submit_query sched (walk_cfg ~seed:1 ~max_walks:max_int ()) q reg
+    Scheduler.submit sched (walk_cfg ~seed:1 ~max_walks:max_int ()) q reg
   in
   let starved =
-    Scheduler.submit_query sched ~deadline:2.0
+    Scheduler.submit sched ~deadline:2.0
       (walk_cfg ~seed:2 ~max_walks:100 ())
       q reg
   in
@@ -216,7 +220,7 @@ let test_cancel_mid_run () =
   let sched = Scheduler.create ~quantum:64 ~clock:(Timer.virtual_ ()) () in
   let tok = Token.create () in
   let s =
-    Scheduler.submit_query sched ~token:tok
+    Scheduler.submit sched ~token:tok
       (walk_cfg ~seed:11 ~max_walks:max_int ())
       q reg
   in
@@ -231,7 +235,7 @@ let test_cancel_mid_run () =
     (Scheduler.state s = Scheduler.Cancelled);
   (* Stop within one quantum means: the cancel tick granted no further
      steps, so the outcome's walks are exactly quanta * quantum. *)
-  (match Scheduler.result s with
+  (match scalar (Scheduler.result s) with
   | None -> Alcotest.fail "partial outcome expected"
   | Some o ->
     Alcotest.(check int) "no steps after cancel"
@@ -246,10 +250,10 @@ let test_cancel_while_queued () =
   let reg = Registry.build_for_query q in
   let sched = Scheduler.create ~quantum:64 ~max_live:1 ~clock:(Timer.virtual_ ()) () in
   let hog =
-    Scheduler.submit_query sched (walk_cfg ~seed:1 ~max_walks:max_int ()) q reg
+    Scheduler.submit sched (walk_cfg ~seed:1 ~max_walks:max_int ()) q reg
   in
   let queued =
-    Scheduler.submit_query sched (walk_cfg ~seed:2 ~max_walks:100 ()) q reg
+    Scheduler.submit sched (walk_cfg ~seed:2 ~max_walks:100 ()) q reg
   in
   ignore (Scheduler.tick sched);
   Scheduler.cancel queued;
@@ -280,7 +284,7 @@ let test_admission_fifo () =
   in
   let sessions =
     List.init 5 (fun i ->
-        Scheduler.submit_query sched (walk_cfg ~seed:i ~max_walks:(100 + (50 * i)) ()) q reg)
+        Scheduler.submit sched (walk_cfg ~seed:i ~max_walks:(100 + (50 * i)) ()) q reg)
   in
   ignore (Scheduler.tick sched);
   Alcotest.(check int) "cap respected" 2 (List.length !started);
@@ -302,20 +306,128 @@ let test_scoped_metrics () =
   let sched =
     Scheduler.create ~quantum:64 ~sink:(Sink.of_metrics m) ~clock:(Timer.virtual_ ()) ()
   in
-  let a = Scheduler.submit_query sched (walk_cfg ~seed:5 ~max_walks:300 ()) q reg in
-  let b = Scheduler.submit_query sched (walk_cfg ~seed:6 ~max_walks:700 ()) q reg in
+  let a = Scheduler.submit sched (walk_cfg ~seed:5 ~max_walks:300 ()) q reg in
+  let b = Scheduler.submit sched (walk_cfg ~seed:6 ~max_walks:700 ()) q reg in
   Scheduler.drain sched;
   let snap = Snapshot.of_metrics m in
   let walks_of s =
     Snapshot.counter_value snap
       (Printf.sprintf "session%d.walker.walks" (Scheduler.id s))
   in
-  let out s = Option.get (Scheduler.result s) in
+  let out s = Option.get (scalar (Scheduler.result s)) in
   Alcotest.(check int) "session a scoped walks" (out a).Online.final.walks (walks_of a);
   Alcotest.(check int) "session b scoped walks" (out b).Online.final.walks (walks_of b);
   Alcotest.(check int) "a stopped on budget" 1
     (Snapshot.counter_value snap
        (Printf.sprintf "session%d.driver.stop.walk_budget_exhausted" (Scheduler.id a)))
+
+(* ---- domain-sharded drain ------------------------------------------------ *)
+(* 16 pinned walk sessions over TPC-H joins: the four physical shapes of
+   [serve_statements], four seeds each, as raw query/registry pairs for
+   the scheduler-level sharding tests. *)
+let tpch_catalog_queries =
+  lazy
+    (let d = Wj_tpch.Generator.generate ~seed:13 ~sf:0.002 () in
+     List.concat_map
+       (fun spec ->
+         let q = Wj_tpch.Queries.build ~variant:Standard spec d in
+         let reg = Wj_tpch.Queries.registry q in
+         List.init 4 (fun _ -> (q, reg)))
+       [ Wj_tpch.Queries.Q3; Wj_tpch.Queries.Q7; Wj_tpch.Queries.Q10;
+         Wj_tpch.Queries.Q3 ])
+
+
+(* 16 concurrent TPC-H statements, pinned, on 1 vs N domains: per-session
+   estimates must be bit-for-bit identical, and the merged scheduler
+   registry must account every walk whatever the domain count. *)
+let test_sharded_drain_matches_single_domain () =
+  let catalog = Lazy.force tpch_catalog_queries in
+  let run ~domains =
+    let m = Metrics.create () in
+    let sched =
+      Scheduler.create ~quantum:128 ~max_live:16 ~domains
+        ~sink:(Sink.of_metrics m) ~clock:(Timer.virtual_ ()) ()
+    in
+    let sessions =
+      List.mapi
+        (fun i (q, reg) ->
+          let cfg =
+            Run_config.make ~seed:(100 + i) ~max_walks:(500 + (100 * (i mod 4)))
+              ~max_time:3600.0
+              ~plan_choice:Run_config.First_enumerated ()
+          in
+          Scheduler.submit sched ~pin:i cfg q reg)
+        catalog
+    in
+    Scheduler.drain sched;
+    let outs =
+      List.map
+        (fun s ->
+          match scalar (Scheduler.result s) with
+          | Some o -> o
+          | None -> Alcotest.fail "sharded session produced no outcome")
+        sessions
+    in
+    (outs, Snapshot.of_metrics m)
+  in
+  let single, snap1 = run ~domains:1 in
+  let sharded, snapn = run ~domains:3 in
+  List.iteri
+    (fun i ((a : Online.outcome), (b : Online.outcome)) ->
+      Alcotest.(check int)
+        (Printf.sprintf "session %d: same walks" i)
+        a.Online.final.walks b.Online.final.walks;
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d: bit-for-bit estimate" i)
+        true
+        (float_eq a.Online.final.estimate b.Online.final.estimate);
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d: bit-for-bit half-width" i)
+        true
+        (float_eq a.Online.final.half_width b.Online.final.half_width))
+    (List.combine single sharded);
+  (* The shard registries merged into the submitter-visible one: per-scope
+     walk counters agree with the single-domain registry. *)
+  List.iteri
+    (fun i (_ : Online.outcome) ->
+      let family = Printf.sprintf "session%d.walker.walks" i in
+      Alcotest.(check int)
+        (family ^ " merged")
+        (Snapshot.counter_value snap1 family)
+        (Snapshot.counter_value snapn family))
+    single
+
+(* Pinning is what makes the multi-domain run reproducible: two sessions
+   sharing a pin land on the same shard at any domain count. *)
+let test_sharded_pinning_groups () =
+  let catalog = Lazy.force tpch_catalog_queries in
+  let q, reg = List.hd catalog in
+  let events = ref [] in
+  let sink =
+    Sink.of_fn (function
+      | Event.Session_started { session } -> events := session :: !events
+      | _ -> ())
+  in
+  let sched =
+    Scheduler.create ~quantum:128 ~domains:2 ~sink ~clock:(Timer.virtual_ ()) ()
+  in
+  Alcotest.(check int) "domains recorded" 2 (Scheduler.domains sched);
+  let submit pin seed =
+    Scheduler.submit sched ~pin
+      (Run_config.make ~seed ~max_walks:200 ~max_time:3600.0
+         ~plan_choice:Run_config.First_enumerated ())
+      q reg
+  in
+  let a = submit 0 1 and b = submit 1 2 and c = submit 0 3 and d = submit 1 4 in
+  Scheduler.drain sched;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "done" true (Scheduler.state s = Scheduler.Done))
+    [ a; b; c; d ];
+  (* Events replay at the join barrier in shard order: shard 0's sessions
+     (ids 0 and 2) before shard 1's (ids 1 and 3). *)
+  Alcotest.(check (list int)) "shard-ordered event replay" [ 0; 2; 1; 3 ]
+    (List.rev !events)
 
 (* ---- serve: 16 concurrent TPC-H statements = sequential ------------------ *)
 
@@ -323,6 +435,7 @@ let tpch_catalog =
   lazy
     (let d = Wj_tpch.Generator.generate ~seed:13 ~sf:0.002 () in
      Wj_tpch.Generator.catalog d)
+
 
 let serve_statements =
   [
@@ -414,6 +527,13 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "per-session scoped families" `Quick test_scoped_metrics ]
       );
+      ( "sharding",
+        [
+          Alcotest.test_case "16 pinned TPC-H sessions: 1 domain = 3 domains"
+            `Quick test_sharded_drain_matches_single_domain;
+          Alcotest.test_case "pinning groups sessions per shard" `Quick
+            test_sharded_pinning_groups;
+        ] );
       ( "serve",
         [
           Alcotest.test_case "16 concurrent TPC-H sessions = sequential" `Quick

@@ -212,7 +212,11 @@ let test_queries_runnable () =
       let q = Queries.build ~variant:Standard spec d in
       let reg = Queries.registry q in
       let exact = Wj_exec.Exact.aggregate q reg in
-      let out = Wj_core.Online.run ~seed:5 ~max_time:1.5 q reg in
+      let out =
+        Wj_core.Online.run_session
+          (Wj_core.Run_config.make ~seed:5 ~max_time:1.5 ())
+          q reg
+      in
       if exact.join_size > 50 then
         Alcotest.(check bool)
           (Printf.sprintf "%s est %.4g ~ exact %.4g" (Queries.name_of spec)

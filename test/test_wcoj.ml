@@ -8,6 +8,7 @@ module Registry = Wj_core.Registry
 module Walk_plan = Wj_core.Walk_plan
 module Walker = Wj_core.Walker
 module Online = Wj_core.Online
+module Run_config = Wj_core.Run_config
 module Trie = Wj_index.Trie
 module Table = Wj_storage.Table
 module Schema = Wj_storage.Schema
@@ -342,7 +343,10 @@ let test_cyclic_walk_estimate_within_ci () =
   let reg = Registry.build_for_query q in
   let exact = float_of_int (Exact.join_size q reg) in
   let outcome =
-    Online.run ~seed:424242 ~confidence:0.99 ~max_time:60.0 ~max_walks:20_000 q reg
+    Online.run_session
+      (Run_config.make ~seed:424242 ~confidence:0.99 ~max_time:60.0
+         ~max_walks:20_000 ())
+      q reg
   in
   let err = Float.abs (outcome.final.estimate -. exact) in
   Alcotest.(check bool)
