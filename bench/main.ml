@@ -1467,6 +1467,180 @@ let extmem_bench () =
   Printf.printf "  [extmem] wrote BENCH_extmem.json\n%!"
 
 (* ======================================================================= *)
+(* Daemon: open-loop load against the HTTP front end. *)
+(* ======================================================================= *)
+
+(* Open-loop: each client has a *scheduled* arrival time and latency is
+   measured from that schedule, not from when the thread got around to
+   sending — the standard guard against coordinated omission.  Every
+   request asks for a ±1% relative CI (the session self-terminates on
+   target), so time-to-target IS the request latency for completed
+   queries.  Seeds differ per client, so each request is real work; a
+   separate pass measures the cache-hit fast path. *)
+
+let serve_load_bench () =
+  header "Daemon: open-loop HTTP load, time to ±1% CI (Q3 chain, loopback)";
+  let module Daemon = Wj_daemon.Daemon in
+  let module Http = Wj_daemon.Http in
+  let module Json = Wj_daemon.Json in
+  let d = Data.get (if !quick then 0.005 else 0.01) in
+  let catalog = Generator.catalog d in
+  let sql =
+    "SELECT ONLINE SUM(l_quantity) FROM orders, lineitem WHERE o_orderkey = \
+     l_orderkey"
+  in
+  let levels = if !quick then [ 5; 20 ] else [ 10; 100; 1000 ] in
+  let time_cap = if !quick then 10.0 else 60.0 in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+  in
+  let body ~seed' =
+    Json.to_string
+      (Json.Obj
+         [
+           ("sql", Json.Str sql);
+           ("seed", Json.Int seed');
+           ("target_pct", Json.Float 1.0);
+           ("time", Json.Float time_cap);
+         ])
+  in
+  (* One client: POST the query, watch the stream, record when the CI
+     first crosses ±1% and how the request ended. *)
+  let run_client url ~seed' =
+    let t_ci = ref None in
+    let status = ref "error" in
+    let partial = Buffer.create 256 in
+    let jstr name j = Option.bind (Json.member name j) Json.to_str in
+    let jfloat name j = Option.bind (Json.member name j) Json.to_float in
+    let on_line line =
+      match Json.parse line with
+      | j -> (
+        match jstr "type" j with
+        | Some "progress" when !t_ci = None -> (
+          match (jfloat "estimate" j, jfloat "half_width" j) with
+          | Some est, Some hw when est <> 0.0 && hw /. Float.abs est <= 0.01 ->
+            t_ci := Some (Unix.gettimeofday ())
+          | _ -> ())
+        | Some "final" ->
+          status := Option.value (jstr "status" j) ~default:"error"
+        | _ -> ())
+      | exception _ -> ()
+    in
+    let on_chunk data =
+      Buffer.add_string partial data;
+      let rec drain () =
+        let s = Buffer.contents partial in
+        match String.index_opt s '\n' with
+        | None -> ()
+        | Some i ->
+          Buffer.clear partial;
+          Buffer.add_string partial (String.sub s (i + 1) (String.length s - i - 1));
+          on_line (String.sub s 0 i);
+          drain ()
+      in
+      drain ()
+    in
+    match Http.fetch ~body:(body ~seed') ~on_chunk (url ^ "/query") with
+    | { Http.status = 200; _ } -> (!status, !t_ci)
+    | { Http.status = 429; _ } -> ("rejected", None)
+    | _ -> ("error", None)
+    | exception _ -> ("error", None)
+  in
+  let entries = ref [] in
+  Printf.printf "%8s %9s %9s %8s %9s %9s %9s\n" "clients" "completed" "rejected"
+    "no_ci" "p50_s" "p95_s" "p99_s";
+  List.iter
+    (fun n ->
+      (* A bounded queue so the 1000-client burst actually exercises load
+         shedding (429 + Retry-After) instead of queueing forever. *)
+      let daemon =
+        Daemon.create ~quantum:256 ~max_live:4 ~max_queued:256 ~port:0 catalog
+      in
+      Daemon.start daemon;
+      let url = Daemon.url daemon in
+      let mu = Mutex.create () in
+      let results = ref [] in
+      let t0 = Unix.gettimeofday () +. 0.05 in
+      (* Arrivals spread uniformly over one second: an n req/s open-loop
+         burst, whatever the server's pace. *)
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                let arrival = t0 +. (float_of_int i /. float_of_int n) in
+                let now = Unix.gettimeofday () in
+                if arrival > now then Thread.delay (arrival -. now);
+                let status, t_ci = run_client url ~seed':(seed + i) in
+                let lat =
+                  Option.map (fun t -> t -. arrival) t_ci
+                in
+                Mutex.protect mu (fun () -> results := (status, lat) :: !results))
+              ())
+      in
+      List.iter Thread.join threads;
+      Daemon.stop daemon;
+      let results = !results in
+      let completed =
+        List.length (List.filter (fun (s, _) -> s = "done") results)
+      in
+      let rejected =
+        List.length (List.filter (fun (s, _) -> s = "rejected") results)
+      in
+      let lats =
+        List.filter_map (fun ((_ : string), l) -> l) results |> Array.of_list
+      in
+      Array.sort compare lats;
+      (* Completed but never crossed ±1% inside the time cap. *)
+      let no_ci = List.length results - Array.length lats - rejected in
+      let p50 = percentile lats 50.0
+      and p95 = percentile lats 95.0
+      and p99 = percentile lats 99.0 in
+      Printf.printf "%8d %9d %9d %8d %9.3f %9.3f %9.3f\n%!" n completed rejected
+        no_ci p50 p95 p99;
+      entries := (n, completed, rejected, no_ci, p50, p95, p99) :: !entries)
+    levels;
+  (* Cache-hit fast path: the same statement+seed twice — first run pays
+     for the walks, every later one is a lookup. *)
+  let daemon = Daemon.create ~quantum:256 ~max_live:4 ~port:0 catalog in
+  Daemon.start daemon;
+  let url = Daemon.url daemon in
+  ignore (run_client url ~seed':seed);
+  let hit_lats =
+    Array.init 20 (fun _ ->
+        let t = Unix.gettimeofday () in
+        ignore (run_client url ~seed':seed);
+        Unix.gettimeofday () -. t)
+  in
+  Daemon.stop daemon;
+  Array.sort compare hit_lats;
+  let hit_p50 = percentile hit_lats 50.0 in
+  Printf.printf "  cache hit p50: %.1f us\n%!" (hit_p50 *. 1e6);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "{\n  \"experiment\": \"serve_load\",\n  \"unit\": \"seconds_to_1pct_ci\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_hit_p50_us\": %.1f,\n  \"levels\": {\n"
+       (hit_p50 *. 1e6));
+  let entries = List.rev !entries in
+  List.iteri
+    (fun i (n, completed, rejected, no_ci, p50, p95, p99) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"clients_%d\": { \"issued\": %d, \"completed\": %d, \
+            \"rejected\": %d, \"no_ci\": %d, \"p50_s\": %.4f, \"p95_s\": %.4f, \
+            \"p99_s\": %.4f }%s\n"
+           n n completed rejected no_ci p50 p95 p99
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_serve_load.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [serve_load] wrote BENCH_serve_load.json\n%!"
+
+(* ======================================================================= *)
 (* Bechamel micro-benchmarks. *)
 (* ======================================================================= *)
 
@@ -1549,6 +1723,7 @@ let experiments =
     ("trace", trace_bench);
     ("wcoj", wcoj_bench);
     ("extmem", extmem_bench);
+    ("serve_load", serve_load_bench);
     ("micro", micro);
   ]
 

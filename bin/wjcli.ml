@@ -776,6 +776,197 @@ let suggest_run sf seed tbl_dir spec =
 
 let suggest_term = Term.(const suggest_run $ sf_arg $ seed_arg $ tbl_dir_arg $ spec_arg)
 
+(* --- wjd (network daemon) ---------------------------------------------- *)
+
+module Json = Wj_daemon.Json
+
+let wjd_run sf seed tbl_dir port quantum max_live max_queued tenant_quota cache
+    time =
+  let d = load sf seed tbl_dir in
+  let catalog = Wj_tpch.Generator.catalog d in
+  let daemon =
+    Wj_daemon.Daemon.create ?quantum ?max_live ?max_queued ?tenant_quota
+      ?cache_capacity:cache ~default_seed:seed ~default_time:time ~port catalog
+  in
+  Wj_daemon.Daemon.start daemon;
+  Printf.printf "wjd listening on %s (POST /query, GET /stats; POST /shutdown to stop)\n%!"
+    (Wj_daemon.Daemon.url daemon);
+  Wj_daemon.Daemon.wait daemon;
+  Printf.printf "wjd stopped\n";
+  0
+
+let wjd_term =
+  let port_arg =
+    let doc = "TCP port to listen on (0 picks an ephemeral port)." in
+    Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let quantum_arg = Arg.(value & opt (some int) None & Flag.(info quantum)) in
+  let max_live_arg = Arg.(value & opt (some int) None & Flag.(info max_live)) in
+  let max_queued_arg =
+    let doc = "Admission queue bound: further submissions get 429 (default 64)." in
+    Arg.(value & opt (some int) None & info [ "max-queued" ] ~docv:"N" ~doc)
+  in
+  let tenant_quota_arg =
+    let doc = "Per-tenant in-flight session quota (default unbounded)." in
+    Arg.(value & opt (some int) None & info [ "tenant-quota" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Estimate cache capacity in entries (default 256)." in
+    Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let time_arg = Arg.(value & opt float 5.0 & Flag.(info (time 5.0))) in
+  Term.(
+    const wjd_run $ sf_arg $ seed_arg $ tbl_dir_arg $ port_arg $ quantum_arg
+    $ max_live_arg $ max_queued_arg $ tenant_quota_arg $ cache_arg $ time_arg)
+
+(* --- watch (daemon client) ---------------------------------------------- *)
+
+let print_final_item item =
+  let str name = Option.bind (Json.member name item) Json.to_str in
+  let flt name = Option.bind (Json.member name item) Json.to_float in
+  let int name = Option.bind (Json.member name item) Json.to_int in
+  let label = Option.value (str "label") ~default:"?" in
+  let print_groups () render =
+    List.iter
+      (fun g ->
+        let key = Option.value (Option.bind (Json.member "key" g) Json.to_str) ~default:"?" in
+        render g key)
+      (Option.value (Option.bind (Json.member "groups" item) Json.to_list) ~default:[])
+  in
+  match Option.value (str "kind") ~default:"online" with
+  | "exact" ->
+    Printf.printf "%s = %.6g  (exact)\n" label
+      (Option.value (flt "value") ~default:Float.nan)
+  | "exact_groups" ->
+    print_groups () (fun g key ->
+        Printf.printf "%s [%s] = %.6g  (exact)\n" label key
+          (Option.value (Option.bind (Json.member "value" g) Json.to_float)
+             ~default:Float.nan))
+  | "group_by" ->
+    print_groups () (fun g key ->
+        let gf name = Option.value (Option.bind (Json.member name g) Json.to_float) ~default:Float.nan in
+        Printf.printf "%s [%s] = %.6g +/- %.4g\n" label key (gf "estimate") (gf "half_width"))
+  | _ -> (
+    match flt "estimate" with
+    | Some est ->
+      Printf.printf "%s = %.6g +/- %.4g  (walks %d, state %s%s)\n" label est
+        (Option.value (flt "half_width") ~default:Float.nan)
+        (Option.value (int "walks") ~default:0)
+        (Option.value (str "state") ~default:"?")
+        (match str "reason" with Some r -> ", " ^ r | None -> "")
+    | None ->
+      Printf.printf "%s: %s before running\n" label
+        (Option.value (str "state") ~default:"?"))
+
+let print_stream_line line =
+  match Json.parse line with
+  | exception Json.Parse_error _ -> print_endline line
+  | j -> (
+    match Option.bind (Json.member "type" j) Json.to_str with
+    | Some "progress" ->
+      let flt name = Option.value (Option.bind (Json.member name j) Json.to_float) ~default:Float.nan in
+      let int name = Option.value (Option.bind (Json.member name j) Json.to_int) ~default:0 in
+      Printf.printf "[%6.2fs] item %d: %.6g +/- %.4g (walks %d, successes %d)%s\n%!"
+        (flt "elapsed") (int "item") (flt "estimate") (flt "half_width")
+        (int "walks") (int "successes")
+        (match Option.bind (Json.member "deadline_left" j) Json.to_float with
+        | Some d -> Printf.sprintf "  [deadline %.1fs]" d
+        | None -> "")
+    | Some "final" ->
+      Printf.printf "--- final (%s%s) ---\n"
+        (Option.value (Option.bind (Json.member "status" j) Json.to_str) ~default:"?")
+        (if Option.bind (Json.member "cached" j) Json.to_bool = Some true then
+           ", cached"
+         else "");
+      List.iter print_final_item
+        (Option.value (Option.bind (Json.member "items" j) Json.to_list) ~default:[])
+    | _ -> print_endline line)
+
+let watch_run url sql tenant deadline seed walks target no_cache =
+  let fields =
+    [ ("sql", Json.Str sql) ]
+    @ (match tenant with Some s -> [ ("tenant", Json.Str s) ] | None -> [])
+    @ (match deadline with Some f -> [ ("deadline", Json.Float f) ] | None -> [])
+    @ (match seed with Some n -> [ ("seed", Json.Int n) ] | None -> [])
+    @ (match walks with Some n -> [ ("max_walks", Json.Int n) ] | None -> [])
+    @ (match target with Some f -> [ ("target_pct", Json.Float f) ] | None -> [])
+    @ if no_cache then [ ("cache", Json.Bool false) ] else []
+  in
+  let body = Json.to_string (Json.Obj fields) in
+  (* Chunk boundaries are line boundaries on the daemon side, but stay
+     robust to re-framing: buffer and split on newlines. *)
+  let partial = Buffer.create 256 in
+  let on_chunk data =
+    Buffer.add_string partial data;
+    let rec drain () =
+      let s = Buffer.contents partial in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+        Buffer.clear partial;
+        Buffer.add_string partial (String.sub s (i + 1) (String.length s - i - 1));
+        print_stream_line (String.sub s 0 i);
+        drain ()
+    in
+    drain ()
+  in
+  match Wj_daemon.Http.fetch ~body ~on_chunk (url ^ "/query") with
+  | resp ->
+    if resp.Wj_daemon.Http.status = 200 then begin
+      (* Non-streamed responses (cache hits, all-exact statements) land
+         here without having passed through [on_chunk]. *)
+      if Buffer.length partial = 0 && resp.resp_body <> "" then
+        String.split_on_char '\n' (String.trim resp.resp_body)
+        |> List.iter (fun l -> if l <> "" then print_stream_line l);
+      0
+    end
+    else begin
+      Printf.eprintf "HTTP %d %s\n%s" resp.status
+        (Wj_daemon.Http.status_reason resp.status)
+        resp.resp_body;
+      (match List.assoc_opt "retry-after" resp.resp_headers with
+      | Some s -> Printf.eprintf "(retry after %ss)\n" s
+      | None -> ());
+      1
+    end
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "connection to %s failed: %s\n" url (Unix.error_message e);
+    1
+  | exception Wj_daemon.Http.Bad_request msg ->
+    Printf.eprintf "malformed response from %s: %s\n" url msg;
+    1
+
+let watch_term =
+  let url_arg =
+    let doc = "Daemon base URL, e.g. http://127.0.0.1:8080." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"URL" ~doc)
+  in
+  let sql_arg =
+    let doc = "The SQL statement to submit." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let tenant_arg =
+    let doc = "Tenant name for admission quotas." in
+    Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"NAME" ~doc)
+  in
+  let deadline_arg = Arg.(value & opt (some float) None & Flag.(info deadline)) in
+  let seed_opt_arg =
+    let doc = "Override the daemon's default sampling seed." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let walks_arg =
+    let doc = "Walk budget for the request's online aggregates." in
+    Arg.(value & opt (some int) None & info [ "walks" ] ~docv:"N" ~doc)
+  in
+  let target_arg = Arg.(value & opt (some float) None & Flag.(info target)) in
+  let no_cache_arg =
+    let doc = "Bypass the daemon's estimate cache for this request." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  Term.(
+    const watch_run $ url_arg $ sql_arg $ tenant_arg $ deadline_arg
+    $ seed_opt_arg $ walks_arg $ target_arg $ no_cache_arg)
+
 (* --- command table ----------------------------------------------------- *)
 
 (* One row per subcommand: name, one doc line, term.  `wjcli --help`'s
@@ -789,6 +980,8 @@ let commands =
     ("plans", "Enumerate walk plans and show the optimizer's evaluation.", plans_term);
     ("groupby", "Online GROUP BY c_mktsegment for a benchmark query.", groupby_term);
     ("suggest", "Suggest a full-join order from wander-join cardinality estimates.", suggest_term);
+    ("wjd", "Run the wander-join network daemon (HTTP/1.1 + JSON, see PROTOCOL.md).", wjd_term);
+    ("watch", "Submit SQL to a running wjd and watch the CI shrink live.", watch_term);
   ]
 
 let () =

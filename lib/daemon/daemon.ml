@@ -1,0 +1,616 @@
+module Scheduler = Wj_service.Scheduler
+module Token = Wj_service.Token
+module Metrics = Wj_obs.Metrics
+module Counter = Wj_obs.Counter
+module Snapshot = Wj_obs.Snapshot
+module Event = Wj_obs.Event
+module Engine = Wj_sql.Engine
+module Parser = Wj_sql.Parser
+module Lexer = Wj_sql.Lexer
+module Binder = Wj_sql.Binder
+module Normalize = Wj_sql.Normalize
+module Online = Wj_core.Online
+module Exact = Wj_exec.Exact
+module Value = Wj_storage.Value
+module Catalog = Wj_storage.Catalog
+
+(* Per-request progress stream: the scheduler sink (running on the
+   scheduler thread, under the daemon mutex) pushes one JSON line per
+   quantum; the handler thread pops and writes chunks.  [live] counts
+   the request's sessions that have not yet reached a terminal state —
+   the handler's completion condition. *)
+type stream = {
+  s_mu : Mutex.t;
+  s_cond : Condition.t;
+  chunks : Json.t Queue.t;
+  mutable live : int;
+}
+
+type t = {
+  catalog : Catalog.t;
+  metrics : Metrics.t;
+  sched : Scheduler.t;
+  cache : Estimate_cache.t;
+  (* one shared-index thread across every request, as in Engine.serve *)
+  shared : (Wj_core.Query.t * Wj_core.Registry.t) option ref;
+  routes : (int, stream * int) Hashtbl.t;  (* session id -> stream, item idx *)
+  mu : Mutex.t;
+  work : Condition.t;
+  mutable stopping : bool;
+  mutable started : bool;
+  mutable listen_fd : Unix.file_descr option;
+  mutable bound_port : int;
+  mutable threads : Thread.t list;
+  default_seed : int;
+  default_time : float;
+  retry_after : int;
+  requested_port : int;
+  requests : Counter.t;
+  rejected : Counter.t;
+  errors : Counter.t;
+}
+
+(* ---- construction ----------------------------------------------------- *)
+
+let create ?(quantum = 256) ?(max_live = 4) ?(max_queued = 64) ?tenant_quota
+    ?cache_capacity ?(default_seed = 11) ?(default_time = 5.0) ?(retry_after = 1)
+    ?(port = 0) catalog =
+  let metrics = Metrics.create () in
+  let routes = Hashtbl.create 64 in
+  let on_event = function
+    | Event.Session_report { session; progress; deadline_left } -> (
+      match Hashtbl.find_opt routes session with
+      | None -> ()
+      | Some (st, idx) ->
+        let fields =
+          [
+            ("type", Json.Str "progress");
+            ("item", Json.Int idx);
+            ("elapsed", Json.Float progress.Wj_obs.Progress.elapsed);
+            ("walks", Json.Int progress.walks);
+            ("successes", Json.Int progress.successes);
+            ("estimate", Json.Float progress.estimate);
+            ("half_width", Json.Float progress.half_width);
+          ]
+          @
+          match deadline_left with
+          | None -> []
+          | Some d -> [ ("deadline_left", Json.Float d) ]
+        in
+        Mutex.lock st.s_mu;
+        Queue.push (Json.Obj fields) st.chunks;
+        Condition.broadcast st.s_cond;
+        Mutex.unlock st.s_mu)
+    | Event.Session_finished { session; _ } -> (
+      match Hashtbl.find_opt routes session with
+      | None -> ()
+      | Some (st, _) ->
+        Hashtbl.remove routes session;
+        Mutex.lock st.s_mu;
+        st.live <- st.live - 1;
+        Condition.broadcast st.s_cond;
+        Mutex.unlock st.s_mu)
+    | _ -> ()
+  in
+  let sink = Wj_obs.Sink.make ~on_event ~metrics ~events:`Reports () in
+  let sched =
+    Scheduler.create ~quantum ~max_live ~max_queued ?tenant_quota ~sink ()
+  in
+  {
+    catalog;
+    metrics;
+    sched;
+    cache = Estimate_cache.create ?capacity:cache_capacity metrics;
+    shared = ref None;
+    routes;
+    mu = Mutex.create ();
+    work = Condition.create ();
+    stopping = false;
+    started = false;
+    listen_fd = None;
+    bound_port = port;
+    threads = [];
+    default_seed;
+    default_time;
+    retry_after;
+    requested_port = port;
+    requests = Metrics.counter metrics "http.requests";
+    rejected = Metrics.counter metrics "http.rejected";
+    errors = Metrics.counter metrics "http.errors";
+  }
+
+let port t = t.bound_port
+let url t = Printf.sprintf "http://127.0.0.1:%d" t.bound_port
+let metrics t = t.metrics
+
+(* ---- request decoding ------------------------------------------------- *)
+
+exception Bad_param of string
+
+type query_req = {
+  sql : string;
+  tenant : string option;
+  deadline : float option;
+  want_stream : bool;
+  use_cache : bool;
+  seed : int;
+  max_walks : int option;
+  time : float option;
+  target_pct : float option;
+}
+
+(* Accessors accepting both native JSON types and their string spellings,
+   so [GET /query?...] (where every value arrives as a string) and
+   [POST /query] share one decoding path. *)
+let req_str j name =
+  match Json.member name j with
+  | None -> None
+  | Some v -> (
+    match Json.to_str v with Some s -> Some s | None -> raise (Bad_param name))
+
+let req_int j name =
+  match Json.member name j with
+  | None -> None
+  | Some v -> (
+    match Json.to_int v with
+    | Some n -> Some n
+    | None -> (
+      match Option.bind (Json.to_str v) int_of_string_opt with
+      | Some n -> Some n
+      | None -> raise (Bad_param name)))
+
+let req_float j name =
+  match Json.member name j with
+  | None -> None
+  | Some v -> (
+    match Json.to_float v with
+    | Some f -> Some f
+    | None -> (
+      match Option.bind (Json.to_str v) float_of_string_opt with
+      | Some f -> Some f
+      | None -> raise (Bad_param name)))
+
+let req_bool j name =
+  match Json.member name j with
+  | None -> None
+  | Some v -> (
+    match Json.to_bool v with
+    | Some b -> Some b
+    | None -> (
+      match Option.bind (Json.to_str v) bool_of_string_opt with
+      | Some b -> Some b
+      | None -> raise (Bad_param name)))
+
+let decode_query_req t j =
+  let sql =
+    match req_str j "sql" with
+    | Some s when String.trim s <> "" -> s
+    | _ -> raise (Bad_param "sql")
+  in
+  {
+    sql;
+    tenant = req_str j "tenant";
+    deadline = req_float j "deadline";
+    want_stream = Option.value (req_bool j "stream") ~default:true;
+    use_cache = Option.value (req_bool j "cache") ~default:true;
+    seed = Option.value (req_int j "seed") ~default:t.default_seed;
+    max_walks = req_int j "max_walks";
+    time = req_float j "time";
+    target_pct = req_float j "target_pct";
+  }
+
+(* The cache key: normalized statement text extended with every
+   execution override that changes the experiment.  The catalog epoch is
+   deliberately NOT part of the key — entries carry the epoch they were
+   computed under and lookups at a newer epoch evict them (staleness,
+   not a different key). *)
+let cache_key t req statement =
+  Printf.sprintf "%s#seed=%d;walks=%s;time=%s;target=%s"
+    (Normalize.statement ~catalog:t.catalog statement)
+    req.seed
+    (match req.max_walks with Some n -> string_of_int n | None -> "-")
+    (match req.time with Some f -> Printf.sprintf "%.17g" f | None -> "-")
+    (match req.target_pct with Some f -> Printf.sprintf "%.17g" f | None -> "-")
+
+(* ---- result rendering ------------------------------------------------- *)
+
+type pending_item =
+  | D_session of Wj_core.Session.outcome Scheduler.session
+  | D_exact of Engine.item_outcome
+
+let progress_fields (p : Wj_obs.Progress.t) =
+  [
+    ("estimate", Json.Float p.estimate);
+    ("half_width", Json.Float p.half_width);
+    ("walks", Json.Int p.walks);
+    ("successes", Json.Int p.successes);
+    ("elapsed", Json.Float p.elapsed);
+  ]
+
+let item_json (item, pending) =
+  let label = ("label", Json.Str (Engine.item_label item)) in
+  match pending with
+  | D_exact (Engine.Exact_scalar e) ->
+    Json.Obj [ label; ("kind", Json.Str "exact"); ("value", Json.Float e.Exact.value) ]
+  | D_exact (Engine.Exact_groups gs) ->
+    Json.Obj
+      [
+        label;
+        ("kind", Json.Str "exact_groups");
+        ( "groups",
+          Json.List
+            (List.map
+               (fun (key, (e : Exact.result)) ->
+                 Json.Obj
+                   [
+                     ("key", Json.Str (Value.to_display key));
+                     ("value", Json.Float e.Exact.value);
+                   ])
+               gs) );
+      ]
+  | D_exact (Engine.Online_scalar _ | Engine.Online_groups _) ->
+    (* Online outcomes never arrive via D_exact. *)
+    Json.Obj [ label; ("kind", Json.Str "online") ]
+  | D_session s ->
+    let state = ("state", Json.Str (Scheduler.state_name (Scheduler.state s))) in
+    let reason =
+      ( "reason",
+        match Scheduler.stop_reason s with
+        | Some r -> Json.Str (Event.stop_reason_name r)
+        | None -> Json.Null )
+    in
+    (match Scheduler.result s with
+    | Some (Wj_core.Session.Scalar o) ->
+      Json.Obj
+        ([ label; ("kind", Json.Str "online"); state; reason ]
+        @ progress_fields o.Online.final
+        @ [ ("plan", Json.Str o.Online.plan_description) ])
+    | Some (Wj_core.Session.Groups g) ->
+      Json.Obj
+        [
+          label;
+          ("kind", Json.Str "group_by");
+          state;
+          reason;
+          ( "groups",
+            Json.List
+              (List.map
+                 (fun (key, (r : Online.report)) ->
+                   Json.Obj
+                     (("key", Json.Str (Value.to_display key))
+                     :: progress_fields r))
+                 g.Online.groups) );
+        ]
+    | Some _ | None ->
+      (* Retired before ever running (cancelled/expired while queued). *)
+      Json.Obj [ label; ("kind", Json.Str "online"); state; reason ])
+
+let overall_status pendings =
+  let states =
+    List.filter_map
+      (fun (_, p) -> match p with D_session s -> Some (Scheduler.state s) | D_exact _ -> None)
+      pendings
+  in
+  if List.exists (fun s -> s = Scheduler.Cancelled) states then "cancelled"
+  else if List.exists (fun s -> s = Scheduler.Deadline_exceeded) states then
+    "deadline_exceeded"
+  else "done"
+
+let final_json ~status ~cached items =
+  Json.Obj
+    [
+      ("type", Json.Str "final");
+      ("status", Json.Str status);
+      ("cached", Json.Bool cached);
+      ("items", items);
+    ]
+
+let error_body code msg =
+  Json.to_string
+    (Json.Obj
+       [ ("type", Json.Str "error"); ("code", Json.Str code); ("message", Json.Str msg) ])
+
+(* ---- /query ----------------------------------------------------------- *)
+
+let build_registries t queries =
+  List.map
+    (fun (_, q) ->
+      let r = Wj_core.Registry.build_for_query ?share:!(t.shared) q in
+      (match !(t.shared) with None -> t.shared := Some (q, r) | Some _ -> ());
+      r)
+    queries
+
+let submit_fresh t req statement key epoch =
+  let bound = Binder.bind t.catalog statement in
+  let cfg =
+    Wj_core.Run_config.make ~seed:req.seed
+      ~max_time:(Option.value req.time ~default:t.default_time)
+      ?max_walks:req.max_walks
+      ?target:
+        (Option.map (fun pct -> Wj_stats.Target.relative (pct /. 100.)) req.target_pct)
+      ()
+  in
+  let cfg = Engine.apply_clauses cfg statement bound in
+  let registries = build_registries t bound.Binder.queries in
+  let token = Token.create () in
+  let stream =
+    { s_mu = Mutex.create (); s_cond = Condition.create (); chunks = Queue.create (); live = 0 }
+  in
+  let submitted = ref [] in
+  let pendings =
+    try
+      List.mapi
+        (fun idx ((item, q), registry) ->
+          let p =
+            if bound.Binder.online then begin
+              let spec =
+                match q.Wj_core.Query.group_by with
+                | Some _ -> Wj_core.Session_spec.group_by ()
+                | None -> Wj_core.Session_spec.online ()
+              in
+              let s =
+                Scheduler.submit t.sched
+                  ~label:(Engine.item_label item)
+                  ?deadline:req.deadline ~token ?tenant:req.tenant ~spec cfg q
+                  registry
+              in
+              submitted := s :: !submitted;
+              stream.live <- stream.live + 1;
+              Hashtbl.replace t.routes (Scheduler.id s) (stream, idx);
+              D_session s
+            end
+            else
+              D_exact
+                (match q.Wj_core.Query.group_by with
+                | Some _ -> Engine.Exact_groups (Exact.group_aggregate q registry)
+                | None -> Engine.Exact_scalar (Exact.aggregate q registry))
+          in
+          (item, p))
+        (List.combine bound.Binder.queries registries)
+    with Scheduler.Rejected _ as e ->
+      (* A multi-aggregate statement admits one session per aggregate;
+         roll the already-admitted ones back before reporting 429. *)
+      List.iter
+        (fun s ->
+          Hashtbl.remove t.routes (Scheduler.id s);
+          Scheduler.cancel s)
+        !submitted;
+      raise e
+  in
+  Condition.broadcast t.work;
+  `Submitted (key, epoch, token, stream, pendings)
+
+let submit_statement t req =
+  let statement = Parser.parse req.sql in
+  let key = cache_key t req statement in
+  let epoch = Catalog.epoch t.catalog in
+  let cached =
+    if req.use_cache then Estimate_cache.find t.cache ~key ~epoch else None
+  in
+  match cached with
+  | Some entry -> `Cached entry.Estimate_cache.results
+  | None -> submit_fresh t req statement key epoch
+
+(* Wait for every session of the request, writing progress chunks as
+   they arrive (when [writer] is given).  Returns true when the client
+   disconnected mid-stream. *)
+let pump_stream stream token ~writer =
+  let disconnected = ref false in
+  let rec loop () =
+    Mutex.lock stream.s_mu;
+    while Queue.is_empty stream.chunks && stream.live > 0 do
+      Condition.wait stream.s_cond stream.s_mu
+    done;
+    let next = if Queue.is_empty stream.chunks then None else Some (Queue.pop stream.chunks) in
+    Mutex.unlock stream.s_mu;
+    match next with
+    | Some line ->
+      (if not !disconnected then
+         match writer with
+         | None -> ()
+         | Some write -> (
+           try write (Json.to_string line ^ "\n")
+           with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+             (* Client went away: cancel the whole request.  The
+                scheduler retires its sessions before their next
+                quantum. *)
+             disconnected := true;
+             Token.cancel token));
+      loop ()
+    | None ->
+      let done_ =
+        Mutex.lock stream.s_mu;
+        let d = stream.live = 0 && Queue.is_empty stream.chunks in
+        Mutex.unlock stream.s_mu;
+        d
+      in
+      if done_ then !disconnected else loop ()
+  in
+  loop ()
+
+let handle_query t fd req =
+  match Mutex.protect t.mu (fun () -> submit_statement t req) with
+  | `Cached results ->
+    Http.respond fd ~status:200
+      (Json.to_string (final_json ~status:"done" ~cached:true results) ^ "\n")
+  | `Submitted (key, epoch, token, stream, pendings) ->
+    let streaming = req.want_stream && stream.live > 0 in
+    if streaming then Http.start_chunked fd ~status:200 ();
+    let disconnected =
+      pump_stream stream token
+        ~writer:(if streaming then Some (Http.write_chunk fd) else None)
+    in
+    let final =
+      Mutex.protect t.mu (fun () ->
+          let status = overall_status pendings in
+          let items = Json.List (List.map item_json pendings) in
+          (* Record the verdict for repeat queries — only a fully
+             completed run, and under the epoch read at submission so a
+             concurrent data change invalidates it. *)
+          if req.use_cache && status = "done" && stream.live = 0
+             && List.exists (fun (_, p) -> match p with D_session _ -> true | _ -> false) pendings
+          then
+            Estimate_cache.store t.cache ~key
+              { Estimate_cache.results = items; epoch };
+          final_json ~status ~cached:false items)
+    in
+    if not disconnected then
+      if streaming then begin
+        (try
+           Http.write_chunk fd (Json.to_string final ^ "\n");
+           Http.finish_chunked fd
+         with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ())
+      end
+      else Http.respond fd ~status:200 (Json.to_string final ^ "\n")
+
+(* ---- other endpoints -------------------------------------------------- *)
+
+let handle_health t fd =
+  Http.respond fd ~status:200
+    (Json.to_string
+       (Json.Obj [ ("status", Json.Str "ok"); ("port", Json.Int t.bound_port) ])
+    ^ "\n")
+
+let handle_stats t fd =
+  let body =
+    Mutex.protect t.mu (fun () ->
+        Printf.sprintf
+          {|{"in_flight":%d,"cache_entries":%d,"epoch":%d,"metrics":%s}|}
+          (Scheduler.in_flight t.sched ())
+          (Estimate_cache.length t.cache)
+          (Catalog.epoch t.catalog)
+          (Snapshot.to_json (Snapshot.of_metrics t.metrics)))
+  in
+  Http.respond fd ~status:200 (body ^ "\n")
+
+let signal_stop t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mu;
+  match t.listen_fd with
+  | Some fd ->
+    t.listen_fd <- None;
+    (* [shutdown] (unlike [close]) wakes a thread blocked in [accept]
+       on this socket, so the accept loop exits promptly. *)
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+(* ---- dispatch --------------------------------------------------------- *)
+
+let handle t fd =
+  Counter.incr t.requests;
+  match Http.read_request fd with
+  | None -> ()
+  | Some req -> (
+    let body_json () =
+      match req.Http.meth with
+      | "GET" -> Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) req.Http.query)
+      | _ -> if req.Http.body = "" then Json.Obj [] else Json.parse req.Http.body
+    in
+    match (req.Http.meth, req.Http.path) with
+    | ("GET" | "POST"), "/query" -> (
+      match decode_query_req t (body_json ()) with
+      | qreq -> (
+        try handle_query t fd qreq with
+        | Scheduler.Rejected r ->
+          Counter.incr t.rejected;
+          Http.respond fd ~status:429
+            ~headers:[ ("retry-after", string_of_int t.retry_after) ]
+            (error_body "rejected" (Scheduler.reject_description r) ^ "\n")
+        | Lexer.Lex_error (msg, off) ->
+          Counter.incr t.errors;
+          Http.respond fd ~status:400
+            (error_body "lex" (Printf.sprintf "%s (offset %d)" msg off) ^ "\n")
+        | Parser.Parse_error msg ->
+          Counter.incr t.errors;
+          Http.respond fd ~status:400 (error_body "parse" msg ^ "\n")
+        | Binder.Bind_error msg ->
+          Counter.incr t.errors;
+          Http.respond fd ~status:400 (error_body "bind" msg ^ "\n"))
+      | exception Bad_param name ->
+        Counter.incr t.errors;
+        Http.respond fd ~status:400
+          (error_body "bad_request" ("missing or malformed parameter: " ^ name) ^ "\n")
+      | exception Json.Parse_error msg ->
+        Counter.incr t.errors;
+        Http.respond fd ~status:400 (error_body "bad_request" ("malformed JSON body: " ^ msg) ^ "\n"))
+    | "GET", "/health" -> handle_health t fd
+    | "GET", "/stats" -> handle_stats t fd
+    | "POST", "/shutdown" ->
+      Http.respond fd ~status:200
+        (Json.to_string (Json.Obj [ ("status", Json.Str "stopping") ]) ^ "\n");
+      signal_stop t
+    | _, ("/query" | "/health" | "/stats" | "/shutdown") ->
+      Http.respond fd ~status:405 (error_body "method_not_allowed" req.Http.meth ^ "\n")
+    | _ ->
+      Http.respond fd ~status:404 (error_body "not_found" req.Http.path ^ "\n"))
+  | exception Http.Bad_request msg ->
+    Counter.incr t.errors;
+    (try Http.respond fd ~status:400 (error_body "bad_request" msg ^ "\n")
+     with Unix.Unix_error _ -> ())
+
+let handler_thread t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try handle t fd with Unix.Unix_error _ -> ())
+
+(* ---- threads ---------------------------------------------------------- *)
+
+let scheduler_loop t =
+  Mutex.lock t.mu;
+  let ticks = ref 0 in
+  while not t.stopping do
+    if Scheduler.tick t.sched then begin
+      incr ticks;
+      (* Terminal sessions accumulate in the introspection list; a
+         long-running daemon trims them periodically. *)
+      if !ticks land 1023 = 0 then Scheduler.prune t.sched;
+      (* Release the mutex between quanta so handlers can submit. *)
+      Mutex.unlock t.mu;
+      Thread.yield ();
+      Mutex.lock t.mu
+    end
+    else Condition.wait t.work t.mu
+  done;
+  Mutex.unlock t.mu
+
+let accept_loop t fd =
+  let rec go () =
+    if not t.stopping then
+      match Unix.accept fd with
+      | client, _ ->
+        ignore (Thread.create (fun () -> handler_thread t client) ());
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()  (* listening socket closed: stopping *)
+  in
+  go ()
+
+let start t =
+  if t.started then invalid_arg "Daemon.start: already started";
+  t.started <- true;
+  (* A streamed response outliving its client is routine; without this
+     the first EPIPE kills the process instead of raising. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.requested_port));
+  Unix.listen fd 128;
+  (match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> t.bound_port <- p
+  | _ -> ());
+  t.listen_fd <- Some fd;
+  t.threads <-
+    [
+      Thread.create (fun () -> scheduler_loop t) ();
+      Thread.create (fun () -> accept_loop t fd) ();
+    ]
+
+let wait t = List.iter Thread.join t.threads
+
+let stop t =
+  signal_stop t;
+  List.iter Thread.join t.threads;
+  t.threads <- []

@@ -35,6 +35,19 @@ type policy = Round_robin | Widest_ci
 
 let policy_name = function Round_robin -> "round_robin" | Widest_ci -> "widest_ci"
 
+type reject =
+  | Queue_full of { queued : int; max_queued : int }
+  | Tenant_quota of { tenant : string; in_flight : int; quota : int }
+
+exception Rejected of reject
+
+let reject_description = function
+  | Queue_full { queued; max_queued } ->
+    Printf.sprintf "admission queue full (%d queued, cap %d)" queued max_queued
+  | Tenant_quota { tenant; in_flight; quota } ->
+    Printf.sprintf "tenant %s over quota (%d in flight, quota %d)" tenant
+      in_flight quota
+
 (* The scheduler's uniform view of a driver session: every driver's
    [Session] module erases to these three closures. *)
 type job = {
@@ -47,6 +60,7 @@ type entry = {
   id : int;
   label : string;
   token : Token.t;
+  tenant : string option;  (* admission-quota accounting bucket *)
   deadline : float option;  (* absolute seconds on the scheduler clock *)
   pin : int option;  (* fixed shard under a multi-domain drain *)
   start : t -> job;
@@ -66,8 +80,14 @@ and t = {
   max_live : int;
   policy : policy;
   domains : int;
+  max_queued : int option;  (* admission queue cap; None = unbounded *)
+  tenant_quota : int option;  (* per-tenant in-flight cap; None = unbounded *)
   sink : Sink.t;
   clock : Timer.t;
+  is_shard : bool;
+      (* per-domain sub-schedulers skip tenant accounting: the table
+         belongs to the submitting scheduler and is not domain-safe *)
+  tenant_counts : (string, int) Hashtbl.t;  (* non-terminal sessions per tenant *)
   mutable next_id : int;
   queue : entry Queue.t;  (* admission FIFO *)
   mutable live : entry list;  (* Running entries; head = next round-robin grant *)
@@ -85,18 +105,28 @@ type 'a session = {
 }
 
 let create ?(quantum = 256) ?(max_live = 4) ?(policy = Round_robin)
-    ?(domains = 1) ?(sink = Sink.noop) ?clock () =
+    ?(domains = 1) ?max_queued ?tenant_quota ?(sink = Sink.noop) ?clock () =
   if quantum < 1 then invalid_arg "Scheduler.create: quantum < 1";
   if max_live < 1 then invalid_arg "Scheduler.create: max_live < 1";
   if domains < 1 then invalid_arg "Scheduler.create: domains < 1";
+  (match max_queued with
+  | Some n when n < 0 -> invalid_arg "Scheduler.create: max_queued < 0"
+  | _ -> ());
+  (match tenant_quota with
+  | Some n when n < 1 -> invalid_arg "Scheduler.create: tenant_quota < 1"
+  | _ -> ());
   let clock = match clock with Some c -> c | None -> Timer.wall () in
   {
     quantum;
     max_live;
     policy;
     domains;
+    max_queued;
+    tenant_quota;
     sink;
     clock;
+    is_shard = false;
+    tenant_counts = Hashtbl.create 8;
     next_id = 0;
     queue = Queue.create ();
     live = [];
@@ -105,6 +135,74 @@ let create ?(quantum = 256) ?(max_live = 4) ?(policy = Round_robin)
 
 let quantum t = t.quantum
 let domains t = t.domains
+
+(* ---- Tenant accounting ------------------------------------------------ *)
+
+(* [tenant_counts] tracks non-terminal sessions per tenant on the
+   submitting scheduler only: shard sub-schedulers never touch it (the
+   Hashtbl is not domain-safe), so after a sharded drain the counts are
+   recomputed at the join barrier instead. *)
+
+let in_flight t ?tenant () =
+  match tenant with
+  | Some name -> ( match Hashtbl.find_opt t.tenant_counts name with Some n -> n | None -> 0)
+  | None -> Queue.length t.queue + List.length t.live
+
+let tenant_counter t name suffix =
+  Option.map
+    (fun m -> Metrics.counter (Metrics.scoped m ("tenant." ^ name)) suffix)
+    (Sink.metrics t.sink)
+
+let bump_tenant_counter t name suffix =
+  match tenant_counter t name suffix with
+  | Some c -> Wj_obs.Counter.incr c
+  | None -> ()
+
+let account_submit t e =
+  match e.tenant with
+  | None -> ()
+  | Some name ->
+    Hashtbl.replace t.tenant_counts name (1 + in_flight t ~tenant:name ());
+    bump_tenant_counter t name "submitted"
+
+let account_finish t e =
+  if not t.is_shard then
+    match e.tenant with
+    | None -> ()
+    | Some name ->
+      Hashtbl.replace t.tenant_counts name (max 0 (in_flight t ~tenant:name () - 1));
+      bump_tenant_counter t name "finished"
+
+(* Recompute tenant counts from entry states — the post-sharded-drain
+   repair (everything terminal at that point, so counts drop to what the
+   live/queued sets say, normally zero). *)
+let recount_tenants t =
+  Hashtbl.reset t.tenant_counts;
+  let count e =
+    if not (is_terminal e.state) then
+      match e.tenant with
+      | None -> ()
+      | Some name ->
+        Hashtbl.replace t.tenant_counts name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.tenant_counts name))
+  in
+  List.iter count t.all
+
+let admission t ?tenant () =
+  let queued = Queue.length t.queue in
+  (* Total in-flight capacity is [max_live + max_queued]: queued
+     sessions not yet promoted into free live slots still count against
+     it (the promotion only happens at the next tick). *)
+  match t.max_queued with
+  | Some cap when queued + List.length t.live >= t.max_live + cap ->
+    Some (Queue_full { queued; max_queued = cap })
+  | _ -> (
+    match (tenant, t.tenant_quota) with
+    | Some name, Some quota ->
+      let n = in_flight t ~tenant:name () in
+      if n >= quota then Some (Tenant_quota { tenant = name; in_flight = n; quota })
+      else None
+    | _ -> None)
 
 (* The scheduler only produces milestone events (session lifecycle,
    policy picks), so a reports-only subscriber — the flight recorder —
@@ -149,6 +247,7 @@ let terminal_of_reason : Driver.stop_reason -> state = function
    report to emit and no result to fill. *)
 let finalize_unstarted t e term =
   e.state <- term;
+  account_finish t e;
   emit t
     (Event.Session_finished { session = e.id; outcome = state_name term; reason = None })
 
@@ -172,6 +271,7 @@ let finalize_started t e term ~reason =
     | None -> ())
   | None -> ());
   e.state <- term;
+  account_finish t e;
   emit t
     (Event.Session_finished
        {
@@ -320,7 +420,16 @@ let make_shard t =
   let sink = Sink.make ?on_event ?metrics:sh_metrics () in
   {
     sh_sched =
-      { t with sink; queue = Queue.create (); live = []; all = []; next_id = 0 };
+      {
+        t with
+        sink;
+        is_shard = true;
+        tenant_counts = Hashtbl.create 1;
+        queue = Queue.create ();
+        live = [];
+        all = [];
+        next_id = 0;
+      };
     sh_events;
     sh_metrics;
   }
@@ -348,7 +457,10 @@ let drain_sharded t =
       match (sh.sh_metrics, Sink.metrics t.sink) with
       | Some src, Some dst -> Metrics.merge ~into:dst src
       | _ -> ())
-    shards
+    shards;
+  (* Shards finalized entries without touching this scheduler's tenant
+     table; repair it from the (now terminal) entry states. *)
+  recount_tenants t
 
 let drain t =
   if t.domains > 1 && not (Queue.is_empty t.queue) then drain_sharded t;
@@ -358,7 +470,14 @@ let drain t =
 
 (* ---- Submission ------------------------------------------------------ *)
 
-let submit_entry t ~label ~deadline ~token ~pin ~start ~finish cell view =
+let submit_entry t ~label ~deadline ~token ~tenant ~pin ~start ~finish cell view =
+  (match admission t ?tenant () with
+  | Some r ->
+    (match tenant with
+    | Some name -> bump_tenant_counter t name "rejected"
+    | None -> ());
+    raise (Rejected r)
+  | None -> ());
   let id = t.next_id in
   t.next_id <- id + 1;
   let label = if label = "" then "session" ^ string_of_int id else label in
@@ -369,6 +488,7 @@ let submit_entry t ~label ~deadline ~token ~pin ~start ~finish cell view =
       id;
       label;
       token;
+      tenant;
       deadline;
       pin;
       start = start id;
@@ -381,6 +501,7 @@ let submit_entry t ~label ~deadline ~token ~pin ~start ~finish cell view =
   in
   Queue.push e t.queue;
   t.all <- e :: t.all;
+  account_submit t e;
   emit t (Event.Session_admitted { session = id; label });
   { entry = e; cell; view; sched = t }
 
@@ -388,8 +509,8 @@ let submit_entry t ~label ~deadline ~token ~pin ~start ~finish cell view =
    picks the driver; the erased {!Wj_core.Session.handle} is the job.
    The session's metrics land under "session<id>." of whichever
    (sub-)scheduler hosts the entry. *)
-let submit t ?(label = "") ?deadline ?token ?pin ?spec (cfg : Run_config.t) q
-    registry =
+let submit t ?(label = "") ?deadline ?token ?tenant ?pin ?spec
+    (cfg : Run_config.t) q registry =
   let cell = ref None in
   let sess = ref None in
   let start id exec =
@@ -414,7 +535,8 @@ let submit t ?(label = "") ?deadline ?token ?pin ?spec (cfg : Run_config.t) q
       | o -> cell := Some o
       | exception Invalid_argument _ -> ())
   in
-  submit_entry t ~label ~deadline ~token ~pin ~start ~finish cell Option.some
+  submit_entry t ~label ~deadline ~token ~tenant ~pin ~start ~finish cell
+    Option.some
 
 (* Legacy per-algorithm entry points: thin shims over {!submit} that
    build the spec and project the unified outcome back to the
@@ -479,6 +601,7 @@ let submit_parallel t ?label ?deadline ?token ?domains ?walks_per_domain
 let state s = s.entry.state
 let id s = s.entry.id
 let label s = s.entry.label
+let tenant s = s.entry.tenant
 let quanta s = s.entry.quanta
 let stop_reason s = s.entry.reason
 let cancel s = Token.cancel s.entry.token
@@ -491,6 +614,11 @@ let await s =
       ()
     done;
   result s
+
+(* Long-running hosts (the wjd daemon) submit an unbounded stream of
+   sessions; without pruning, [all] — kept only for {!sessions}
+   introspection — would grow forever. *)
+let prune t = t.all <- List.filter (fun e -> not (is_terminal e.state)) t.all
 
 type info = { info_id : int; info_label : string; info_state : state; info_quanta : int }
 

@@ -66,6 +66,37 @@ val policy_name : policy -> string
 (** ["round_robin"] / ["widest_ci"] — the [policy] string of
     [Policy_pick] events. *)
 
+(** {2 Admission control}
+
+    Admission is bounded on two axes, both opt-in and both enforced at
+    {!submit} time (the only moment admission state can change from the
+    submitter's side):
+
+    - a {e queue limit} ([max_queued]): once [max_live] sessions run and
+      [max_queued] more wait, further submissions are rejected — the
+      backpressure signal a network front end turns into HTTP 429;
+    - a {e per-tenant quota} ([tenant_quota]): a tenant (any string
+      bucket — API key, user, service) may have at most that many
+      sessions in flight (queued + running), so one aggressive client
+      cannot fill the whole queue.
+
+    Rejections raise {!Rejected}; {!admission} is the non-raising
+    pre-flight check.  When the scheduler sink carries a metrics
+    registry, per-tenant counters land under ["tenant.<name>."]:
+    [submitted], [finished], [rejected]. *)
+
+type reject =
+  | Queue_full of { queued : int; max_queued : int }
+      (** every live slot and every queue slot is taken *)
+  | Tenant_quota of { tenant : string; in_flight : int; quota : int }
+      (** this tenant alone is over its in-flight cap *)
+
+exception Rejected of reject
+(** Raised by {!submit} instead of queueing when a limit is hit. *)
+
+val reject_description : reject -> string
+(** One-line human rendering ("admission queue full (8 queued, cap 8)"). *)
+
 type t
 
 val create :
@@ -73,6 +104,8 @@ val create :
   ?max_live:int ->
   ?policy:policy ->
   ?domains:int ->
+  ?max_queued:int ->
+  ?tenant_quota:int ->
   ?sink:Wj_obs.Sink.t ->
   ?clock:Wj_util.Timer.t ->
   unit ->
@@ -80,6 +113,13 @@ val create :
 (** [quantum] (default 256) is the number of engine steps per grant;
     [max_live] (default 4) caps concurrently Running sessions — further
     submissions queue FIFO.  [clock] (default wall) times deadlines.
+
+    [max_queued] (default unbounded) caps the admission FIFO: a
+    submission finding [max_live] sessions running {e and} [max_queued]
+    queued raises {!Rejected}[ (Queue_full _)] — total in-flight capacity
+    is [max_live + max_queued].  [tenant_quota] (default unbounded) caps
+    any single tenant's in-flight sessions; it only applies to
+    submissions that carry a [~tenant].
 
     [domains] (default 1) shards {!drain} across that many OCaml domains:
     queued sessions are pinned to per-domain workers (shard
@@ -117,6 +157,18 @@ val quantum : t -> int
 val domains : t -> int
 (** The configured drain-time shard count (1 = single-domain). *)
 
+val admission : t -> ?tenant:string -> unit -> reject option
+(** Would a {!submit} with this [tenant] be rejected right now?  [None]
+    means it would be admitted.  Inherently racy against concurrent
+    submitters — the authoritative check is the {!Rejected} exception —
+    but exact for a host that serializes submissions (the daemon). *)
+
+val in_flight : t -> ?tenant:string -> unit -> int
+(** Non-terminal (queued + running) sessions; with [tenant], only that
+    tenant's.  Tenant accounting is maintained by the submitting
+    scheduler — during a multi-domain {!drain} it is repaired at the join
+    barrier rather than updated live. *)
+
 type 'a session
 (** Handle returned at submission; ['a] is the driver outcome type. *)
 
@@ -125,6 +177,7 @@ val submit :
   ?label:string ->
   ?deadline:float ->
   ?token:Token.t ->
+  ?tenant:string ->
   ?pin:int ->
   ?spec:Wj_core.Session_spec.t ->
   Wj_core.Run_config.t ->
@@ -143,6 +196,11 @@ val submit :
     multi-domain {!drain} (default: its id); sessions sharing a pin value
     always land on the same domain, which is what makes a fixed-seed
     multi-domain run reproducible.
+
+    [tenant] assigns the session to an admission-quota bucket (see
+    {e Admission control} above).  Raises {!Rejected} when the queue
+    limit or the tenant's quota is hit — nothing is queued and no id is
+    consumed.
 
     The legacy [submit_query]/[submit_group_by]/[submit_hybrid]/
     [submit_parallel] entry points below are deprecated shims over this
@@ -234,6 +292,9 @@ val id : _ session -> int
 val label : _ session -> string
 (** The submission label (default ["session<id>"]). *)
 
+val tenant : _ session -> string option
+(** The admission-quota bucket the session was submitted under, if any. *)
+
 val quanta : _ session -> int
 (** Quanta granted to this session so far (the fairness measure). *)
 
@@ -263,4 +324,11 @@ type info = {
 }
 
 val sessions : t -> info list
-(** Every submission, in admission order. *)
+(** Every submission since the last {!prune}, in admission order. *)
+
+val prune : t -> unit
+(** Forget terminal sessions from the {!sessions} introspection list.
+    Long-running hosts (the [wjd] daemon) call this periodically so an
+    unbounded submission stream does not grow scheduler memory without
+    bound.  Existing session handles stay valid — only the [info]
+    listing shrinks. *)

@@ -109,3 +109,20 @@ val serve :
 val render_served : served list -> string
 (** Human-readable rendering of a served batch, one header per statement;
     each online item's stop reason is appended as [[reason]]. *)
+
+(** {2 Building blocks}
+
+    Exposed for hosts that drive {!Wj_service.Scheduler.submit}
+    themselves (the [wjd] daemon) yet must stay bit-for-bit consistent
+    with {!serve}'s clause handling and labelling. *)
+
+val item_label : Ast.select_item -> string
+(** ["count(*)"], ["sum(S.b)"], ... — the label used in scheduler session
+    names and result renderings. *)
+
+val apply_clauses :
+  Wj_core.Run_config.t -> Ast.statement -> Binder.bound -> Wj_core.Run_config.t
+(** Fold a statement's clauses over a session config: WITHINTIME beats
+    [max_time], CONFIDENCE beats [confidence], REPORTINTERVAL beats
+    [report_every] — exactly the override rule {!execute_session} and
+    {!serve} apply. *)

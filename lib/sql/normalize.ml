@@ -1,0 +1,182 @@
+(* Canonical statement rendering for cache keys.  See the mli for what
+   is folded away (aliases, condition order, case/whitespace) and what is
+   deliberately kept (CONFIDENCE) or dropped (WITHINTIME,
+   REPORTINTERVAL). *)
+
+open Ast
+
+(* Alias resolution: FROM "orders o" makes "o" mean "orders" everywhere.
+   Case-sensitive like the binder.  A column qualified by an unknown name
+   is kept verbatim (it is the binder's job to reject it). *)
+let alias_map (from : (string * string option) list) =
+  List.filter_map
+    (fun (table, alias) -> Option.map (fun a -> (a, table)) alias)
+    from
+
+let resolve aliases (c : column_ref) =
+  match c.table with
+  | None -> c
+  | Some t -> (
+    match List.assoc_opt t aliases with
+    | Some table -> { c with table = Some table }
+    | None -> c)
+
+(* Qualify a bare column with its table when the catalog can resolve it
+   to exactly one FROM table ("l_quantity" -> "lineitem.l_quantity"), so
+   qualified and unqualified spellings of the same reference share a
+   key.  Ambiguous or unknown columns stay bare — the binder rejects
+   them anyway. *)
+let qualify catalog from (c : column_ref) =
+  match (c.table, catalog) with
+  | Some _, _ | _, None -> c
+  | None, Some cat -> (
+    let owners =
+      List.filter
+        (fun (table, _alias) ->
+          match Wj_storage.Catalog.table cat table with
+          | Some t -> Wj_storage.Schema.find (Wj_storage.Table.schema t) c.column <> None
+          | None -> false)
+        from
+    in
+    match owners with
+    | [ (table, _) ] -> { c with table = Some table }
+    | _ -> c)
+
+let col buf canon c =
+  let c = canon c in
+  (match c.table with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '.'
+  | None -> ());
+  Buffer.add_string buf c.column
+
+let lit buf = function
+  | L_int n -> Buffer.add_string buf (string_of_int n)
+  | L_float f -> Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | L_string s ->
+    Buffer.add_char buf '\'';
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\''
+  | L_date d ->
+    Buffer.add_string buf "DATE '";
+    Buffer.add_string buf (Wj_storage.Date_codec.to_string d);
+    Buffer.add_char buf '\''
+
+let rec expr buf canon = function
+  | E_col c -> col buf canon c
+  | E_lit l -> lit buf l
+  | E_neg e ->
+    Buffer.add_string buf "(-";
+    expr buf canon e;
+    Buffer.add_char buf ')'
+  | E_add (a, b) -> binop buf canon "+" a b
+  | E_sub (a, b) -> binop buf canon "-" a b
+  | E_mul (a, b) -> binop buf canon "*" a b
+  | E_div (a, b) -> binop buf canon "/" a b
+
+and binop buf canon op a b =
+  Buffer.add_char buf '(';
+  expr buf canon a;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf op;
+  Buffer.add_char buf ' ';
+  expr buf canon b;
+  Buffer.add_char buf ')'
+
+let cmp = function
+  | Op_eq -> "="
+  | Op_ne -> "<>"
+  | Op_lt -> "<"
+  | Op_le -> "<="
+  | Op_gt -> ">"
+  | Op_ge -> ">="
+
+(* A join's two sides commute; print the lexicographically smaller side
+   first so "a.x = b.y" and "b.y = a.x" share a key. *)
+let condition canon c =
+  let buf = Buffer.create 32 in
+  (match c with
+  | C_join (a, b) ->
+    let side c =
+      let b = Buffer.create 16 in
+      col b canon c;
+      Buffer.contents b
+    in
+    let sa = side a and sb = side b in
+    let lo, hi = if sa <= sb then (sa, sb) else (sb, sa) in
+    Buffer.add_string buf lo;
+    Buffer.add_string buf " = ";
+    Buffer.add_string buf hi
+  | C_cmp (c, op, l) ->
+    col buf canon c;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (cmp op);
+    Buffer.add_char buf ' ';
+    lit buf l
+  | C_between (c, lo, hi) ->
+    col buf canon c;
+    Buffer.add_string buf " BETWEEN ";
+    lit buf lo;
+    Buffer.add_string buf " AND ";
+    lit buf hi
+  | C_band (a, b, lo, hi) ->
+    let off buf o =
+      if o >= 0 then Buffer.add_string buf (Printf.sprintf " + %d" o)
+      else Buffer.add_string buf (Printf.sprintf " - %d" (-o))
+    in
+    col buf canon a;
+    Buffer.add_string buf " BETWEEN ";
+    col buf canon b;
+    off buf lo;
+    Buffer.add_string buf " AND ";
+    col buf canon b;
+    off buf hi
+  | C_in (c, ls) ->
+    col buf canon c;
+    Buffer.add_string buf " IN (";
+    List.iteri
+      (fun i l ->
+        if i > 0 then Buffer.add_string buf ", ";
+        lit buf l)
+      ls;
+    Buffer.add_char buf ')');
+  Buffer.contents buf
+
+let statement ?catalog (s : statement) =
+  let aliases = alias_map s.from in
+  let canon c = qualify catalog s.from (resolve aliases c) in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (if s.online then "SELECT ONLINE " else "SELECT ");
+  List.iteri
+    (fun i { agg; arg } ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (agg_name agg);
+      Buffer.add_char buf '(';
+      (match arg with
+      | None -> Buffer.add_char buf '*'
+      | Some e -> expr buf canon e);
+      Buffer.add_char buf ')')
+    s.items;
+  Buffer.add_string buf " FROM ";
+  (* Aliases erased: the alias is surface syntax once references are
+     resolved.  FROM order is kept — it seeds plan enumeration. *)
+  List.iteri
+    (fun i (table, _alias) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf table)
+    s.from;
+  (match List.sort compare (List.map (condition canon) s.where) with
+  | [] -> ()
+  | conds ->
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (String.concat " AND " conds));
+  (match s.group_by with
+  | Some c ->
+    Buffer.add_string buf " GROUP BY ";
+    col buf canon c
+  | None -> ());
+  (match s.confidence with
+  | Some conf -> Buffer.add_string buf (Printf.sprintf " CONFIDENCE %.17g" conf)
+  | None -> ());
+  Buffer.contents buf

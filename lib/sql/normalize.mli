@@ -1,0 +1,34 @@
+(** Canonical statement rendering — the cache key of the daemon's
+    estimate cache.
+
+    Two statements that differ only in surface syntax (keyword case,
+    whitespace, table aliases, the order of AND-ed WHERE conditions) but
+    compute the same aggregate should share one cache entry.  [statement]
+    maps a parsed {!Ast.statement} to a canonical string with exactly
+    those equivalences folded away:
+
+    - aliases are resolved: every qualified column reference is printed
+      with the underlying table's name, never the alias — and with a
+      [catalog], bare columns that resolve to exactly one FROM table are
+      qualified too, so ["l_quantity"] and ["li.l_quantity"] share a key
+      (without a catalog, or when the column is ambiguous or unknown,
+      bare references are kept as written; two spellings that differ
+      only there miss the cache, which is always safe);
+    - WHERE conditions are sorted by their canonical rendering (AND is
+      commutative and the engine evaluates all conjuncts);
+    - keywords and spacing come from one printer, so case and whitespace
+      cannot differ.
+
+    Execution-budget clauses are {e deliberately} excluded from the key:
+    [WITHINTIME] and [REPORTINTERVAL] change how long the session runs
+    and how often it reports, not what quantity it estimates — a cached
+    answer is served at its {e recorded} CI, whatever budget produced it.
+    [CONFIDENCE] {e is} included: the half-width of an estimate is only
+    meaningful at its confidence level, so queries at different levels
+    must not share an entry.  The daemon further extends the key with any
+    per-request execution overrides that change the sampled result
+    (seed, walk budget) and with the catalog {!Wj_storage.Catalog.epoch}. *)
+
+val statement : ?catalog:Wj_storage.Catalog.t -> Ast.statement -> string
+(** The canonical rendering described above.  Total: never raises on a
+    parser-produced statement, even one that would fail to bind. *)

@@ -3,9 +3,14 @@ type index_kind = Hash | Ordered
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   indexes : (string * string, index_kind list ref) Hashtbl.t;
+  mutable epoch : int;
 }
 
-let create () = { tables = Hashtbl.create 16; indexes = Hashtbl.create 64 }
+let create () =
+  { tables = Hashtbl.create 16; indexes = Hashtbl.create 64; epoch = 0 }
+
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let add_table t table =
   let name = Table.name table in
@@ -28,6 +33,7 @@ let map_tables t f =
   Hashtbl.iter
     (fun key kinds -> Hashtbl.replace mapped.indexes key (ref !kinds))
     t.indexes;
+  mapped.epoch <- t.epoch;
   mapped
 
 let register_index t ~table ~column kind =

@@ -1,0 +1,496 @@
+(* Tests for wj_daemon: the HTTP network front end.
+
+   Every test here drives a real in-process listener over a loopback
+   socket — no mocks.  The heart of the suite mirrors test_service's
+   determinism property, one layer out: a query streamed over HTTP
+   produces bit-for-bit the same per-quantum trajectory and final
+   estimate as the same statement served in-process through
+   Engine.serve.  Around it: admission control over the wire (429 +
+   Retry-After), request deadlines, the estimate cache (hit, bypass,
+   epoch staleness), and disconnect-cancels-the-session. *)
+
+module Daemon = Wj_daemon.Daemon
+module Http = Wj_daemon.Http
+module Json = Wj_daemon.Json
+module Estimate_cache = Wj_daemon.Estimate_cache
+module Normalize = Wj_sql.Normalize
+module Parser = Wj_sql.Parser
+module Engine = Wj_sql.Engine
+module Scheduler = Wj_service.Scheduler
+module Run_config = Wj_core.Run_config
+module Online = Wj_core.Online
+module Sink = Wj_obs.Sink
+module Event = Wj_obs.Event
+module Progress = Wj_obs.Progress
+module Metrics = Wj_obs.Metrics
+module Snapshot = Wj_obs.Snapshot
+module Catalog = Wj_storage.Catalog
+
+let dataset = lazy (Wj_tpch.Generator.generate ~sf:0.005 ())
+let catalog () = Wj_tpch.Generator.catalog (Lazy.force dataset)
+
+let bits = Int64.bits_of_float
+
+(* Start a daemon on an ephemeral port, run [f], always stop it. *)
+let with_daemon ?quantum ?max_live ?max_queued ?tenant_quota ?default_time
+    catalog f =
+  let d =
+    Daemon.create ?quantum ?max_live ?max_queued ?tenant_quota ?default_time
+      ~port:0 catalog
+  in
+  Daemon.start d;
+  Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f d)
+
+(* Fire one /query request, decoding the chunked stream into JSON lines. *)
+let query ?(extra = []) d sql =
+  let lines = ref [] in
+  let partial = Buffer.create 256 in
+  let on_chunk data =
+    Buffer.add_string partial data;
+    let rec drain () =
+      let s = Buffer.contents partial in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+        Buffer.clear partial;
+        Buffer.add_string partial (String.sub s (i + 1) (String.length s - i - 1));
+        lines := Json.parse (String.sub s 0 i) :: !lines;
+        drain ()
+    in
+    drain ()
+  in
+  let body = Json.to_string (Json.Obj (("sql", Json.Str sql) :: extra)) in
+  let resp = Http.fetch ~body ~on_chunk (Daemon.url d ^ "/query") in
+  let lines =
+    if !lines = [] && resp.Http.resp_body <> "" then
+      (* Non-chunked response (cache hit / error): one JSON body. *)
+      String.split_on_char '\n' (String.trim resp.Http.resp_body)
+      |> List.filter (fun l -> l <> "")
+      |> List.map Json.parse
+    else List.rev !lines
+  in
+  (resp, lines)
+
+let jstr name j = Option.bind (Json.member name j) Json.to_str
+let jint name j = Option.bind (Json.member name j) Json.to_int
+let jflt name j = Option.bind (Json.member name j) Json.to_float
+let jbool name j = Option.bind (Json.member name j) Json.to_bool
+
+let is_type ty j = jstr "type" j = Some ty
+let final_of lines =
+  match List.filter (is_type "final") lines with
+  | [ f ] -> f
+  | fs -> Alcotest.failf "expected exactly one final line, got %d" (List.length fs)
+
+(* ---- determinism: HTTP stream = in-process serve ----------------------- *)
+
+(* One trajectory point per scheduler report, elapsed excluded (wall
+   time differs between runs; everything else is PRNG-pure). *)
+type point = { p_walks : int; p_succ : int; p_est : int64; p_hw : int64 }
+
+let show_point p =
+  Printf.sprintf "{walks=%d succ=%d est=%Lx hw=%Lx}" p.p_walks p.p_succ p.p_est p.p_hw
+
+let test_stream_bit_for_bit () =
+  let sql =
+    "SELECT ONLINE COUNT(*), SUM(l_quantity) FROM orders, lineitem \
+     WHERE o_orderkey = l_orderkey"
+  in
+  let seed = 424242 and max_walks = 6000 in
+  (* In-process reference: same statement, same seed and budgets, same
+     scheduler geometry, driven by Engine.serve. *)
+  let traj : (int, point list ref) Hashtbl.t = Hashtbl.create 4 in
+  let sink =
+    Sink.of_fn (function
+      | Event.Session_report { session; progress = p; _ } ->
+        let r =
+          match Hashtbl.find_opt traj session with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add traj session r;
+            r
+        in
+        r :=
+          {
+            p_walks = p.Progress.walks;
+            p_succ = p.Progress.successes;
+            p_est = bits p.Progress.estimate;
+            p_hw = bits p.Progress.half_width;
+          }
+          :: !r
+      | _ -> ())
+  in
+  let cfg = Run_config.make ~seed ~max_time:3600.0 ~max_walks () in
+  let served =
+    Engine.serve ~quantum:256 ~max_live:4 ~sink cfg (catalog ()) [ sql ]
+  in
+  let expected_finals =
+    match served with
+    | [ s ] ->
+      List.map
+        (fun (si : Engine.served_item) ->
+          match si.Engine.outcome with
+          | Some (Engine.Online_scalar o) ->
+            (bits o.Online.final.estimate, bits o.Online.final.half_width)
+          | _ -> Alcotest.fail "expected online scalar outcomes")
+        s.Engine.served_items
+    | _ -> Alcotest.fail "expected one served statement"
+  in
+  (* The scheduler ids of the reference run are 0 and 1 in submission
+     order, which is statement item order. *)
+  let expected_traj =
+    List.map
+      (fun id ->
+        match Hashtbl.find_opt traj id with
+        | Some r -> List.rev !r
+        | None -> Alcotest.failf "no reference trajectory for session %d" id)
+      [ 0; 1 ]
+  in
+  (* Now the same statement over the wire. *)
+  with_daemon ~quantum:256 ~max_live:4 (catalog ()) (fun d ->
+      let resp, lines =
+        query d sql
+          ~extra:
+            [
+              ("seed", Json.Int seed);
+              ("max_walks", Json.Int max_walks);
+              ("time", Json.Float 3600.0);
+            ]
+      in
+      Alcotest.(check int) "status 200" 200 resp.Http.status;
+      let progress = List.filter (is_type "progress") lines in
+      let got_traj =
+        List.map
+          (fun item ->
+            List.filter_map
+              (fun j ->
+                if jint "item" j = Some item then
+                  Some
+                    {
+                      p_walks = Option.get (jint "walks" j);
+                      p_succ = Option.get (jint "successes" j);
+                      p_est = bits (Option.get (jflt "estimate" j));
+                      p_hw = bits (Option.get (jflt "half_width" j));
+                    }
+                else None)
+              progress)
+          [ 0; 1 ]
+      in
+      List.iteri
+        (fun i (exp, got) ->
+          Alcotest.(check int)
+            (Printf.sprintf "item %d: report count" i)
+            (List.length exp) (List.length got);
+          List.iteri
+            (fun k (e, g) ->
+              if e <> g then
+                Alcotest.failf "item %d report %d: expected %s, got %s" i k
+                  (show_point e) (show_point g))
+            (List.combine exp got))
+        (List.combine expected_traj got_traj);
+      let final = final_of lines in
+      Alcotest.(check string)
+        "status done" "done"
+        (Option.get (jstr "status" final));
+      let items = Option.get (Option.bind (Json.member "items" final) Json.to_list) in
+      List.iteri
+        (fun i ((e_est, e_hw), item) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "item %d: final estimate bits" i)
+            true
+            (Int64.equal e_est (bits (Option.get (jflt "estimate" item))));
+          Alcotest.(check bool)
+            (Printf.sprintf "item %d: final half-width bits" i)
+            true
+            (Int64.equal e_hw (bits (Option.get (jflt "half_width" item)))))
+        (List.combine expected_finals items))
+
+(* ---- admission control over the wire ----------------------------------- *)
+
+let slow_extra =
+  (* A walk budget far beyond what a test slice completes: the session
+     stays running until cancelled or its deadline expires. *)
+  [ ("max_walks", Json.Int 500_000_000); ("time", Json.Float 3600.0) ]
+
+let test_quota_rejection () =
+  with_daemon ~max_live:1 ~max_queued:0 (catalog ()) (fun d ->
+      let sql = "SELECT ONLINE COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey" in
+      (* Occupy the only slot from a helper thread; deadline bounds the
+         squatter so the daemon drains even if assertions fail. *)
+      let first_done = ref None in
+      let t =
+        Thread.create
+          (fun () ->
+            first_done :=
+              Some (query d sql ~extra:(("deadline", Json.Float 2.0) :: slow_extra)))
+          ()
+      in
+      (* Wait until the squatter is actually in flight. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_busy () =
+        let resp = Http.fetch (Daemon.url d ^ "/stats") in
+        let j = Json.parse (String.trim resp.Http.resp_body) in
+        if jint "in_flight" j = Some 0 then
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "first query never became live"
+          else (Thread.yield (); wait_busy ())
+      in
+      wait_busy ();
+      let resp, lines = query d sql ~extra:[ ("seed", Json.Int 3) ] in
+      Alcotest.(check int) "queue-full second query" 429 resp.Http.status;
+      Alcotest.(check bool)
+        "has Retry-After" true
+        (List.mem_assoc "retry-after" resp.Http.resp_headers);
+      (match lines with
+      | [ err ] ->
+        Alcotest.(check (option string)) "error code" (Some "rejected") (jstr "code" err)
+      | _ -> Alcotest.fail "expected one error body");
+      Thread.join t;
+      (* ... and the squatter's deadline mapped onto the scheduler. *)
+      match !first_done with
+      | Some (resp1, lines1) ->
+        Alcotest.(check int) "first query still streamed" 200 resp1.Http.status;
+        Alcotest.(check (option string))
+          "deadline crossed the wire" (Some "deadline_exceeded")
+          (jstr "status" (final_of lines1))
+      | None -> Alcotest.fail "first query never completed")
+
+let test_tenant_quota () =
+  with_daemon ~max_live:4 ~tenant_quota:1 (catalog ()) (fun d ->
+      let sql = "SELECT ONLINE COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey" in
+      let first_done = ref None in
+      let t =
+        Thread.create
+          (fun () ->
+            first_done :=
+              Some
+                (query d sql
+                   ~extra:
+                     (("tenant", Json.Str "alice")
+                     :: ("deadline", Json.Float 2.0)
+                     :: slow_extra)))
+          ()
+      in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_busy () =
+        let resp = Http.fetch (Daemon.url d ^ "/stats") in
+        let j = Json.parse (String.trim resp.Http.resp_body) in
+        if jint "in_flight" j = Some 0 then
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "alice's query never became live"
+          else (Thread.yield (); wait_busy ())
+      in
+      wait_busy ();
+      (* Same tenant: quota hit.  Different tenant: admitted. *)
+      let resp_alice, _ =
+        query d sql ~extra:[ ("tenant", Json.Str "alice"); ("seed", Json.Int 3) ]
+      in
+      Alcotest.(check int) "alice over quota" 429 resp_alice.Http.status;
+      let resp_bob, lines_bob =
+        query d sql
+          ~extra:[ ("tenant", Json.Str "bob"); ("max_walks", Json.Int 2000) ]
+      in
+      Alcotest.(check int) "bob admitted" 200 resp_bob.Http.status;
+      Alcotest.(check (option string))
+        "bob ran to completion" (Some "done")
+        (jstr "status" (final_of lines_bob));
+      Thread.join t;
+      ignore !first_done)
+
+(* ---- estimate cache ----------------------------------------------------- *)
+
+let test_cache_hit_and_staleness () =
+  (* A private catalog: this test bumps its epoch. *)
+  let cat = Wj_tpch.Generator.catalog (Wj_tpch.Generator.generate ~sf:0.005 ()) in
+  with_daemon cat (fun d ->
+      let extra = [ ("seed", Json.Int 7); ("max_walks", Json.Int 2000) ] in
+      let sql =
+        "SELECT ONLINE SUM(l_quantity) FROM orders o, lineitem l \
+         WHERE o.o_orderkey = l.l_orderkey"
+      in
+      (* Same statement modulo aliasing and conjunct spelling. *)
+      let sql' =
+        "select online sum(li.l_quantity) from orders ord, lineitem li \
+         where li.l_orderkey = ord.o_orderkey"
+      in
+      let _, lines1 = query d sql ~extra in
+      let f1 = final_of lines1 in
+      Alcotest.(check (option bool)) "first run computes" (Some false) (jbool "cached" f1);
+      let _, lines2 = query d sql' ~extra in
+      let f2 = final_of lines2 in
+      Alcotest.(check (option bool)) "normalized repeat hits" (Some true) (jbool "cached" f2);
+      Alcotest.(check bool)
+        "pinned estimate is bit-for-bit the recorded one" true
+        (Json.to_string (Option.get (Json.member "items" f1))
+        = Json.to_string (Option.get (Json.member "items" f2)));
+      Alcotest.(check int)
+        "cache hit streams no progress" 0
+        (List.length (List.filter (is_type "progress") lines2));
+      (* A different seed is a different experiment. *)
+      let _, lines3 = query d sql ~extra:[ ("seed", Json.Int 8); ("max_walks", Json.Int 2000) ] in
+      Alcotest.(check (option bool))
+        "seed override misses" (Some false)
+        (jbool "cached" (final_of lines3));
+      (* cache:false bypasses even a hot entry. *)
+      let _, lines4 = query d sql ~extra:(("cache", Json.Bool false) :: extra) in
+      Alcotest.(check (option bool))
+        "cache:false bypasses" (Some false)
+        (jbool "cached" (final_of lines4));
+      (* Data changed: the entry is stale, the query recomputes. *)
+      Catalog.bump_epoch cat;
+      let _, lines5 = query d sql ~extra in
+      Alcotest.(check (option bool))
+        "bumped epoch invalidates" (Some false)
+        (jbool "cached" (final_of lines5));
+      let stats = Http.fetch (Daemon.url d ^ "/stats") in
+      let snap =
+        match Json.member "metrics" (Json.parse (String.trim stats.Http.resp_body)) with
+        | Some m -> Snapshot.of_json (Json.to_string m)
+        | None -> Alcotest.fail "no metrics in /stats"
+      in
+      Alcotest.(check int) "one hit counted" 1 (Snapshot.counter_value snap "cache.hits");
+      Alcotest.(check int) "one stale eviction counted" 1 (Snapshot.counter_value snap "cache.stale"))
+
+let test_cache_lru_unit () =
+  let m = Metrics.create () in
+  let c = Estimate_cache.create ~capacity:2 m in
+  let e epoch = { Estimate_cache.results = Json.Null; epoch } in
+  Estimate_cache.store c ~key:"a" (e 0);
+  Estimate_cache.store c ~key:"b" (e 0);
+  ignore (Estimate_cache.find c ~key:"a" ~epoch:0);
+  (* "b" is now least recently used; inserting "c" evicts it. *)
+  Estimate_cache.store c ~key:"c" (e 0);
+  Alcotest.(check int) "capacity held" 2 (Estimate_cache.length c);
+  Alcotest.(check bool) "a survived" true (Estimate_cache.find c ~key:"a" ~epoch:0 <> None);
+  Alcotest.(check bool) "b evicted" true (Estimate_cache.find c ~key:"b" ~epoch:0 = None);
+  (* Stale entries are evicted and counted separately from misses. *)
+  Alcotest.(check bool) "c stale at epoch 1" true (Estimate_cache.find c ~key:"c" ~epoch:1 = None);
+  let snap = Snapshot.of_metrics m in
+  Alcotest.(check int) "evictions" 1 (Snapshot.counter_value snap "cache.evictions");
+  Alcotest.(check int) "stale" 1 (Snapshot.counter_value snap "cache.stale")
+
+(* ---- disconnect cancels ------------------------------------------------- *)
+
+let test_disconnect_cancels () =
+  with_daemon ~max_live:2 (catalog ()) (fun d ->
+      let sql = "SELECT ONLINE COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey" in
+      (* Raw socket: send the request, read a few bytes of stream, then
+         vanish without closing the exchange properly. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Daemon.port d));
+      let body =
+        Json.to_string
+          (Json.Obj (("sql", Json.Str sql) :: slow_extra))
+      in
+      let req =
+        Printf.sprintf
+          "POST /query HTTP/1.1\r\nhost: x\r\ncontent-length: %d\r\n\r\n%s"
+          (String.length body) body
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Bytes.create 1024 in
+      let n = Unix.read fd buf 0 1024 in
+      Alcotest.(check bool) "stream started" true (n > 0);
+      Unix.close fd;
+      (* The daemon notices at the next chunk write and cancels; the
+         session must leave the scheduler promptly. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_drained () =
+        let resp = Http.fetch (Daemon.url d ^ "/stats") in
+        let j = Json.parse (String.trim resp.Http.resp_body) in
+        if jint "in_flight" j <> Some 0 then
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "session still in flight 10s after disconnect"
+          else (Thread.yield (); wait_drained ())
+      in
+      wait_drained ())
+
+(* ---- errors over the wire ----------------------------------------------- *)
+
+let test_wire_errors () =
+  with_daemon (catalog ()) (fun d ->
+      let status_of ?extra sql = (fst (query ?extra d sql)).Http.status in
+      Alcotest.(check int) "parse error is 400" 400 (status_of "SELECT FROM");
+      Alcotest.(check int)
+        "bind error is 400" 400
+        (status_of "SELECT ONLINE COUNT(*) FROM nosuch");
+      let resp = Http.fetch ~body:"{not json" (Daemon.url d ^ "/query") in
+      Alcotest.(check int) "malformed body is 400" 400 resp.Http.status;
+      let resp = Http.fetch ~body:"{}" (Daemon.url d ^ "/query") in
+      Alcotest.(check int) "missing sql is 400" 400 resp.Http.status;
+      let resp = Http.fetch (Daemon.url d ^ "/nosuch") in
+      Alcotest.(check int) "unknown path is 404" 404 resp.Http.status;
+      let resp = Http.fetch ~meth:"PUT" ~body:"{}" (Daemon.url d ^ "/query") in
+      Alcotest.(check int) "bad method is 405" 405 resp.Http.status;
+      (* Exact statements answer synchronously, unchunked. *)
+      let resp, lines =
+        query d "SELECT COUNT(*) FROM region"
+      in
+      Alcotest.(check int) "exact query is 200" 200 resp.Http.status;
+      let final = final_of lines in
+      let items = Option.get (Option.bind (Json.member "items" final) Json.to_list) in
+      (match items with
+      | [ item ] ->
+        Alcotest.(check (option string)) "exact kind" (Some "exact") (jstr "kind" item);
+        Alcotest.(check (option (float 0.0))) "five regions" (Some 5.0) (jflt "value" item)
+      | _ -> Alcotest.fail "expected one exact item"))
+
+(* ---- statement normalization -------------------------------------------- *)
+
+let norm ?catalog sql = Normalize.statement ?catalog (Parser.parse sql)
+
+let test_normalization () =
+  let same ?catalog a b =
+    Alcotest.(check string) ("≡ " ^ b) (norm ?catalog a) (norm ?catalog b)
+  in
+  let diff a b = Alcotest.(check bool) ("≢ " ^ b) true (norm a <> norm b) in
+  (* Aliases are resolved away; with a catalog, bare columns qualify. *)
+  same ~catalog:(catalog ())
+    "SELECT ONLINE COUNT(*) FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey"
+    "select online count(*) from orders, lineitem where o_orderkey = l_orderkey";
+  (* Commutative AND reorders; join sides flip. *)
+  same "SELECT SUM(a) FROM t1, t2 WHERE t1.x = t2.y AND a > 3"
+       "SELECT SUM(a) FROM t1, t2 WHERE a > 3 AND t2.y = t1.x";
+  (* WITHINTIME and REPORTINTERVAL do not change the estimate: excluded. *)
+  same "SELECT ONLINE COUNT(*) FROM t1, t2 WHERE t1.x = t2.y WITHINTIME 5"
+       "SELECT ONLINE COUNT(*) FROM t1, t2 WHERE t1.x = t2.y WITHINTIME 60 REPORTINTERVAL 1";
+  (* CONFIDENCE changes the half-width: included. *)
+  diff "SELECT ONLINE COUNT(*) FROM t1, t2 WHERE t1.x = t2.y CONFIDENCE 95"
+       "SELECT ONLINE COUNT(*) FROM t1, t2 WHERE t1.x = t2.y CONFIDENCE 99";
+  (* Different predicates stay different. *)
+  diff "SELECT SUM(a) FROM t1, t2 WHERE t1.x = t2.y AND a > 3"
+       "SELECT SUM(a) FROM t1, t2 WHERE t1.x = t2.y AND a > 4";
+  (* FROM order is preserved (it is the walk-order search space). *)
+  diff "SELECT COUNT(*) FROM t1, t2 WHERE t1.x = t2.y"
+       "SELECT COUNT(*) FROM t2, t1 WHERE t1.x = t2.y"
+
+let () =
+  Alcotest.run "wj_daemon"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "HTTP stream = in-process serve, bit for bit" `Quick
+            test_stream_bit_for_bit;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "queue-full answers 429 + Retry-After; deadline crosses the wire"
+            `Quick test_quota_rejection;
+          Alcotest.test_case "tenant quota isolates tenants" `Quick test_tenant_quota;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit, seed miss, bypass, epoch staleness" `Quick
+            test_cache_hit_and_staleness;
+          Alcotest.test_case "LRU eviction and counters" `Quick test_cache_lru_unit;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "client disconnect cancels the session" `Quick
+            test_disconnect_cancels;
+          Alcotest.test_case "errors map to HTTP statuses" `Quick test_wire_errors;
+        ] );
+      ( "normalization",
+        [ Alcotest.test_case "statement normal form" `Quick test_normalization ] );
+    ]

@@ -297,6 +297,100 @@ let test_admission_fifo () =
       Alcotest.(check bool) "all done" true (Scheduler.state s = Scheduler.Done))
     sessions
 
+(* ---- admission control: queue bound and tenant quotas ------------------- *)
+
+let test_queue_bound () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let sched =
+    Scheduler.create ~quantum:64 ~max_live:1 ~max_queued:1
+      ~clock:(Timer.virtual_ ()) ()
+  in
+  let submit seed = Scheduler.submit sched (walk_cfg ~seed ~max_walks:200 ()) q reg in
+  (* Capacity is max_live + max_queued = 2. *)
+  let s1 = submit 1 and s2 = submit 2 in
+  Alcotest.(check bool) "third submission rejected" true
+    (match submit 3 with
+    | exception Scheduler.Rejected (Scheduler.Queue_full { queued = 2; max_queued = 1 }) ->
+      true
+    | exception Scheduler.Rejected _ | _ -> false);
+  Alcotest.(check bool) "admission probe agrees" true
+    (Scheduler.admission sched () <> None);
+  Alcotest.(check int) "in_flight counts queued + live" 2
+    (Scheduler.in_flight sched ());
+  Scheduler.drain sched;
+  (* Slots freed: submissions are welcome again, and the rejected one
+     never consumed an id. *)
+  Alcotest.(check int) "in_flight drains to zero" 0 (Scheduler.in_flight sched ());
+  let s4 = submit 4 in
+  Alcotest.(check int) "no id burned on rejection" (Scheduler.id s2 + 1) (Scheduler.id s4);
+  Scheduler.drain sched;
+  List.iter
+    (fun s -> Alcotest.(check bool) "admitted sessions finish" true
+        (Scheduler.state s = Scheduler.Done))
+    [ s1; s2; s4 ]
+
+let test_tenant_quota_accounting () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let m = Metrics.create () in
+  let sched =
+    Scheduler.create ~quantum:64 ~max_live:4 ~tenant_quota:2
+      ~sink:(Sink.of_metrics m) ~clock:(Timer.virtual_ ()) ()
+  in
+  let submit ?tenant seed =
+    Scheduler.submit sched ?tenant (walk_cfg ~seed ~max_walks:200 ()) q reg
+  in
+  let a1 = submit ~tenant:"alice" 1 in
+  let _a2 = submit ~tenant:"alice" 2 in
+  Alcotest.(check bool) "alice over quota" true
+    (match submit ~tenant:"alice" 3 with
+    | exception
+        Scheduler.Rejected (Scheduler.Tenant_quota { tenant = "alice"; in_flight = 2; quota = 2 })
+      -> true
+    | exception Scheduler.Rejected _ | _ -> false);
+  Alcotest.(check int) "alice's in_flight" 2
+    (Scheduler.in_flight sched ~tenant:"alice" ());
+  (* Quotas are per tenant; other tenants and anonymous submissions pass. *)
+  let b1 = submit ~tenant:"bob" 4 in
+  let anon = submit 5 in
+  Alcotest.(check (option string)) "tenant recorded" (Some "bob") (Scheduler.tenant b1);
+  Alcotest.(check (option string)) "anonymous session" None (Scheduler.tenant anon);
+  Scheduler.drain sched;
+  Alcotest.(check int) "alice drains" 0 (Scheduler.in_flight sched ~tenant:"alice" ());
+  Alcotest.(check bool) "alice can submit again" true
+    (Scheduler.state (submit ~tenant:"alice" 6) = Scheduler.Queued);
+  Scheduler.drain sched;
+  Alcotest.(check bool) "first session done" true (Scheduler.state a1 = Scheduler.Done);
+  (* Per-tenant counters accumulate in the scheduler sink's registry. *)
+  let snap = Snapshot.of_metrics m in
+  Alcotest.(check int) "alice submissions counted" 3
+    (Snapshot.counter_value snap "tenant.alice.submitted");
+  Alcotest.(check int) "alice rejection counted" 1
+    (Snapshot.counter_value snap "tenant.alice.rejected");
+  Alcotest.(check int) "alice finishes counted" 3
+    (Snapshot.counter_value snap "tenant.alice.finished")
+
+let test_prune () =
+  let q = chain_query () in
+  let reg = Registry.build_for_query q in
+  let sched = Scheduler.create ~quantum:64 ~clock:(Timer.virtual_ ()) () in
+  let s1 = Scheduler.submit sched (walk_cfg ~seed:1 ~max_walks:200 ()) q reg in
+  Scheduler.drain sched;
+  let live = Scheduler.submit sched (walk_cfg ~seed:2 ~max_walks:200 ()) q reg in
+  Alcotest.(check int) "two sessions listed" 2 (List.length (Scheduler.sessions sched));
+  Scheduler.prune sched;
+  (* Terminal sessions are forgotten; in-flight ones and existing
+     handles survive. *)
+  Alcotest.(check (list int)) "only the live session remains"
+    [ Scheduler.id live ]
+    (List.map (fun i -> i.Scheduler.info_id) (Scheduler.sessions sched));
+  Alcotest.(check bool) "pruned handle still readable" true
+    (scalar (Scheduler.result s1) <> None);
+  Scheduler.drain sched;
+  Alcotest.(check bool) "live session unharmed" true
+    (Scheduler.state live = Scheduler.Done)
+
 (* ---- per-session scoped metrics ----------------------------------------- *)
 
 let test_scoped_metrics () =
@@ -522,8 +616,13 @@ let () =
           Alcotest.test_case "queued cancel never runs" `Quick test_cancel_while_queued;
         ] );
       ( "admission",
-        [ Alcotest.test_case "FIFO order under max_live cap" `Quick test_admission_fifo ]
-      );
+        [
+          Alcotest.test_case "FIFO order under max_live cap" `Quick test_admission_fifo;
+          Alcotest.test_case "queue bound rejects at capacity" `Quick test_queue_bound;
+          Alcotest.test_case "tenant quotas and accounting" `Quick
+            test_tenant_quota_accounting;
+          Alcotest.test_case "prune forgets terminal sessions" `Quick test_prune;
+        ] );
       ( "metrics",
         [ Alcotest.test_case "per-session scoped families" `Quick test_scoped_metrics ]
       );
