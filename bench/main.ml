@@ -822,14 +822,37 @@ let obs_bench () =
         in
         float_of_int out.final.walks /. out.final.elapsed
       in
-      let baseline = rate () in
-      let noop = rate ~sink:Wj_obs.Sink.noop () in
-      let metrics_rate = rate ~sink:(Wj_obs.Sink.of_metrics (Wj_obs.Metrics.create ())) () in
-      let events_rate =
-        let m = Wj_obs.Metrics.create () in
-        let seen = ref 0 in
-        rate ~sink:(Wj_obs.Sink.make ~on_event:(fun _ -> incr seen) ~metrics:m ()) ()
+      (* Best of 3 per configuration, reps interleaved round-robin after a
+         shared warm-up: a single sequential pass is noisy enough that the
+         no-op sink used to show a −14% "overhead" on Q10 — heap growth and
+         cache warming favour whichever configuration runs last.  Round-robin
+         spreads that drift evenly; the max of three is what the machine can
+         actually do in each mode. *)
+      ignore (rate ());
+      let configs =
+        [|
+          (fun () -> rate ());
+          (fun () -> rate ~sink:Wj_obs.Sink.noop ());
+          (fun () ->
+            rate ~sink:(Wj_obs.Sink.of_metrics (Wj_obs.Metrics.create ())) ());
+          (fun () ->
+            let m = Wj_obs.Metrics.create () in
+            let seen = ref 0 in
+            rate
+              ~sink:(Wj_obs.Sink.make ~on_event:(fun _ -> incr seen) ~metrics:m ())
+              ());
+        |]
       in
+      let best = Array.make (Array.length configs) 0.0 in
+      for _ = 1 to 5 do
+        Array.iteri
+          (fun i f -> best.(i) <- Float.max best.(i) (f ()))
+          configs
+      done;
+      let baseline = best.(0) in
+      let noop = best.(1) in
+      let metrics_rate = best.(2) in
+      let events_rate = best.(3) in
       let overhead r = 100.0 *. (1.0 -. (r /. baseline)) in
       Printf.printf "%-4s  %12.0f %12.0f %12.0f %12.0f   (noop %+.1f%%, metrics %+.1f%%, events %+.1f%%)\n%!"
         (Queries.name_of spec) baseline noop metrics_rate events_rate (overhead noop)
@@ -837,6 +860,79 @@ let obs_bench () =
       entries :=
         (Queries.name_of spec, baseline, noop, metrics_rate, events_rate) :: !entries)
     specs;
+  (* Tiny-scale daemon run: does scraping /metrics in a tight loop while a
+     query streams slow the query down?  Fixed walk budget, wall time to
+     the final chunk, best of 3 each way. *)
+  let scrape_walks = if !quick then 20_000 else 100_000 in
+  let scrape_plain, scrape_loaded, scrape_count =
+    let module Daemon = Wj_daemon.Daemon in
+    let module Http = Wj_daemon.Http in
+    let module Json = Wj_daemon.Json in
+    let catalog = Generator.catalog (Data.get 0.005) in
+    let body =
+      Json.to_string
+        (Json.Obj
+           [
+             ( "sql",
+               Json.Str
+                 "SELECT ONLINE COUNT(*) FROM orders, lineitem WHERE \
+                  o_orderkey = l_orderkey" );
+             ("seed", Json.Int 99);
+             ("max_walks", Json.Int scrape_walks);
+             ("time", Json.Float 600.0);
+           ])
+    in
+    let run ~scrape =
+      let daemon = Daemon.create ~quantum:256 ~max_live:4 ~port:0 catalog in
+      Daemon.start daemon;
+      let url = Daemon.url daemon in
+      let stop = Atomic.make false in
+      let scrapes = ref 0 in
+      let scraper =
+        if scrape then
+          Some
+            (Thread.create
+               (fun () ->
+                 (* 200 scrapes/s — orders of magnitude past any real
+                    Prometheus cadence, but paced: a zero-delay loop
+                    measures connection DoS, not scrape cost. *)
+                 while not (Atomic.get stop) do
+                   ignore (Http.fetch (url ^ "/metrics"));
+                   incr scrapes;
+                   Thread.delay 0.005
+                 done)
+               ())
+        else None
+      in
+      let t0 = Unix.gettimeofday () in
+      ignore (Http.fetch ~body (url ^ "/query"));
+      let dt = Unix.gettimeofday () -. t0 in
+      Atomic.set stop true;
+      Option.iter Thread.join scraper;
+      Daemon.stop daemon;
+      (dt, !scrapes)
+    in
+    (* Warm-up (page in the catalog, JIT the first daemon through its
+       cold path), then alternate plain/scraped so drift hits both. *)
+    ignore (run ~scrape:false);
+    let plain = ref infinity and loaded = ref infinity and scrapes = ref 0 in
+    for _ = 1 to 3 do
+      let d, _ = run ~scrape:false in
+      if d < !plain then plain := d;
+      let d, s = run ~scrape:true in
+      if d < !loaded then (
+        loaded := d;
+        scrapes := s)
+    done;
+    (!plain, !loaded, !scrapes)
+  in
+  let scrape_overhead =
+    100.0 *. ((scrape_loaded /. scrape_plain) -. 1.0)
+  in
+  Printf.printf
+    "scrape-under-load: %d walks in %.3fs plain, %.3fs with %d /metrics \
+     scrapes (%+.1f%%)\n%!"
+    scrape_walks scrape_plain scrape_loaded scrape_count scrape_overhead;
   (* Machine-readable drop for regression tracking. *)
   let buf = Buffer.create 256 in
   Buffer.add_string buf
@@ -852,7 +948,13 @@ let obs_bench () =
            (100.0 *. (1.0 -. (noop /. baseline)))
            (if i = List.length entries - 1 then "" else ",")))
     entries;
-  Buffer.add_string buf "  }\n}\n";
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scrape_under_load\": { \"walks\": %d, \"plain_s\": %.4f, \
+        \"scraped_s\": %.4f, \"scrapes\": %d, \"overhead_pct\": %.2f }\n"
+       scrape_walks scrape_plain scrape_loaded scrape_count scrape_overhead);
+  Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_obs.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -781,15 +781,18 @@ let suggest_term = Term.(const suggest_run $ sf_arg $ seed_arg $ tbl_dir_arg $ s
 module Json = Wj_daemon.Json
 
 let wjd_run sf seed tbl_dir port quantum max_live max_queued tenant_quota cache
-    time =
+    access_log slow_query_ms trace_cap time =
   let d = load sf seed tbl_dir in
   let catalog = Wj_tpch.Generator.catalog d in
   let daemon =
     Wj_daemon.Daemon.create ?quantum ?max_live ?max_queued ?tenant_quota
-      ?cache_capacity:cache ~default_seed:seed ~default_time:time ~port catalog
+      ?cache_capacity:cache ?access_log ?slow_query_ms
+      ?trace_capacity:trace_cap ~default_seed:seed ~default_time:time ~port
+      catalog
   in
   Wj_daemon.Daemon.start daemon;
-  Printf.printf "wjd listening on %s (POST /query, GET /stats; POST /shutdown to stop)\n%!"
+  Printf.printf
+    "wjd listening on %s (POST /query, GET /stats, GET /metrics; POST /shutdown to stop)\n%!"
     (Wj_daemon.Daemon.url daemon);
   Wj_daemon.Daemon.wait daemon;
   Printf.printf "wjd stopped\n";
@@ -814,10 +817,30 @@ let wjd_term =
     let doc = "Estimate cache capacity in entries (default 256)." in
     Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N" ~doc)
   in
+  let access_log_arg =
+    let doc =
+      "Write one JSON line per request to $(docv) ('-' for stderr): trace id, \
+       tenant, statement hash, outcome, queue wait, quanta, walks, final CI, \
+       cache disposition."
+    in
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let slow_query_ms_arg =
+    let doc =
+      "Slow-query threshold in milliseconds: requests at or above it log \
+       slow:true plus their convergence fit (default off)."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-query-ms" ] ~docv:"MS" ~doc)
+  in
+  let trace_cap_arg =
+    let doc = "Retained request traces for GET /trace/<id> (default 64)." in
+    Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc)
+  in
   let time_arg = Arg.(value & opt float 5.0 & Flag.(info (time 5.0))) in
   Term.(
     const wjd_run $ sf_arg $ seed_arg $ tbl_dir_arg $ port_arg $ quantum_arg
-    $ max_live_arg $ max_queued_arg $ tenant_quota_arg $ cache_arg $ time_arg)
+    $ max_live_arg $ max_queued_arg $ tenant_quota_arg $ cache_arg
+    $ access_log_arg $ slow_query_ms_arg $ trace_cap_arg $ time_arg)
 
 (* --- watch (daemon client) ---------------------------------------------- *)
 
@@ -967,6 +990,170 @@ let watch_term =
     const watch_run $ url_arg $ sql_arg $ tenant_arg $ deadline_arg
     $ seed_opt_arg $ walks_arg $ target_arg $ no_cache_arg)
 
+(* --- wjd-top (remote live view) ----------------------------------------- *)
+
+(* A remote [top]: poll a running daemon's [/stats] (whose metrics
+   snapshot carries the per-session progress gauges) and [/metrics] (the
+   same Prometheus text any scraper sees) and redraw an ANSI table — no
+   local catalog, just the wire. *)
+
+(* First label-less sample of a family in Prometheus text exposition. *)
+let prom_value body name =
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         if String.length line = 0 || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | Some i when String.sub line 0 i = name ->
+             float_of_string_opt
+               (String.sub line (i + 1) (String.length line - i - 1))
+           | _ -> None)
+
+(* "session<N>.progress.<field>" gauges out of a /stats response, grouped
+   per session id. *)
+let session_rows stats_json =
+  let rows : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  (match
+     Option.bind (Json.member "metrics" stats_json) (Json.member "gauges")
+   with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, v) ->
+        match Json.to_float v with
+        | None -> ()
+        | Some value ->
+          if String.starts_with ~prefix:"session" name then (
+            match String.index_opt name '.' with
+            | Some dot -> (
+              match int_of_string_opt (String.sub name 7 (dot - 7)) with
+              | Some id ->
+                let cell =
+                  match Hashtbl.find_opt rows id with
+                  | Some r -> r
+                  | None ->
+                    let r = ref [] in
+                    Hashtbl.add rows id r;
+                    r
+                in
+                cell :=
+                  (String.sub name (dot + 1) (String.length name - dot - 1), value)
+                  :: !cell
+              | None -> ())
+            | None -> ()))
+      fields
+  | _ -> ());
+  Hashtbl.fold (fun id cell acc -> (id, !cell) :: acc) rows []
+  |> List.sort compare
+
+let wjd_top_run url interval iterations =
+  let url =
+    if String.length url > 0 && url.[String.length url - 1] = '/' then
+      String.sub url 0 (String.length url - 1)
+    else url
+  in
+  let tty = Unix.isatty Unix.stdout in
+  let drawn = ref 0 in
+  let prev = ref None in
+  (* (poll time, cumulative walks) for the walks/s rate *)
+  let rec poll n =
+    match
+      ( Wj_daemon.Http.fetch (url ^ "/stats"),
+        Wj_daemon.Http.fetch (url ^ "/metrics") )
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      if n = 0 then begin
+        Printf.eprintf "connection to %s failed: %s\n" url (Unix.error_message e);
+        1
+      end
+      else begin
+        Printf.printf "daemon at %s went away\n" url;
+        0
+      end
+    | exception Wj_daemon.Http.Bad_request msg ->
+      Printf.eprintf "malformed response from %s: %s\n" url msg;
+      1
+    | stats, metrics ->
+      if stats.Wj_daemon.Http.status <> 200 || metrics.Wj_daemon.Http.status <> 200
+      then begin
+        Printf.eprintf "HTTP %d from %s\n"
+          (max stats.Wj_daemon.Http.status metrics.Wj_daemon.Http.status)
+          url;
+        1
+      end
+      else begin
+        let j =
+          try Json.parse (String.trim stats.Wj_daemon.Http.resp_body)
+          with Json.Parse_error _ -> Json.Null
+        in
+        let jint name =
+          Option.value (Option.bind (Json.member name j) Json.to_int) ~default:0
+        in
+        let body = metrics.Wj_daemon.Http.resp_body in
+        let pv name = Option.value (prom_value body name) ~default:0.0 in
+        let now = Unix.gettimeofday () in
+        let walks = pv "wj_walker_walks" in
+        let rate =
+          match !prev with
+          | Some (t0, w0) when now > t0 && walks >= w0 ->
+            (walks -. w0) /. (now -. t0)
+          | _ -> Float.nan
+        in
+        prev := Some (now, walks);
+        let lines =
+          Printf.sprintf "wjd %s  live %d  queued %d  in-flight %d  epoch %d" url
+            (jint "live") (jint "queued") (jint "in_flight") (jint "epoch")
+          :: Printf.sprintf
+               "requests %.0f (%.0f rejected, %.0f errors)  walks/s %s  cache %d \
+                entries (%.0f hits, %.0f misses)  traces %d  heap %.1f Mw"
+               (pv "wj_http_requests") (pv "wj_http_rejected") (pv "wj_http_errors")
+               (if Float.is_nan rate then "-" else Printf.sprintf "%.0f" rate)
+               (jint "cache_entries") (pv "wj_cache_hits") (pv "wj_cache_misses")
+               (jint "traces")
+               (pv "wj_gc_heap_words" /. 1e6)
+          :: Printf.sprintf "%-12s %12s %15s %13s" "SESSION" "WALKS" "ESTIMATE"
+               "CI+/-"
+          :: List.map
+               (fun (id, cells) ->
+                 let fmt key spec =
+                   match List.assoc_opt key cells with
+                   | Some v -> Printf.sprintf spec v
+                   | None -> "-"
+                 in
+                 Printf.sprintf "%-12s %12s %15s %13s"
+                   (Printf.sprintf "session%d" id)
+                   (fmt "progress.walks" "%.0f")
+                   (fmt "progress.estimate" "%.6g")
+                   (fmt "progress.half_width" "%.4g"))
+               (session_rows j)
+        in
+        if tty then begin
+          if !drawn > 0 then Printf.printf "\027[%dA" !drawn;
+          List.iter (fun l -> Printf.printf "\027[2K%s\n" l) lines;
+          drawn := List.length lines
+        end
+        else List.iter print_endline lines;
+        flush stdout;
+        if iterations > 0 && n + 1 >= iterations then 0
+        else begin
+          Unix.sleepf interval;
+          poll (n + 1)
+        end
+      end
+  in
+  poll 0
+
+let wjd_top_term =
+  let url_arg =
+    let doc = "Daemon base URL, e.g. http://127.0.0.1:8080." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"URL" ~doc)
+  in
+  let interval_arg = Arg.(value & opt float 1.0 & Flag.(info interval)) in
+  let iterations_arg =
+    let doc = "Stop after $(docv) polls (0 = run until the daemon goes away)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  Term.(const wjd_top_run $ url_arg $ interval_arg $ iterations_arg)
+
 (* --- command table ----------------------------------------------------- *)
 
 (* One row per subcommand: name, one doc line, term.  `wjcli --help`'s
@@ -982,6 +1169,7 @@ let commands =
     ("suggest", "Suggest a full-join order from wander-join cardinality estimates.", suggest_term);
     ("wjd", "Run the wander-join network daemon (HTTP/1.1 + JSON, see PROTOCOL.md).", wjd_term);
     ("watch", "Submit SQL to a running wjd and watch the CI shrink live.", watch_term);
+    ("wjd-top", "Live remote view of a running wjd: poll /stats + /metrics.", wjd_top_term);
   ]
 
 let () =

@@ -24,6 +24,13 @@ type stream = {
   s_cond : Condition.t;
   chunks : Json.t Queue.t;
   mutable live : int;
+  s_submit : float;  (* Unix.gettimeofday at submission *)
+  s_target : float;  (* relative CI target fraction, for the latency histogram *)
+  mutable s_first_report : float;  (* seconds to first report; < 0 = none yet *)
+  mutable s_target_pending : int;  (* sessions not yet at the CI target *)
+  mutable s_target_at : float;  (* seconds to ±target CI; < 0 = not reached *)
+  mutable s_queue_wait : float;  (* max seconds any session spent queued *)
+  mutable s_reports : int;  (* progress chunks pushed = quanta observed *)
 }
 
 type t = {
@@ -31,9 +38,18 @@ type t = {
   metrics : Metrics.t;
   sched : Scheduler.t;
   cache : Estimate_cache.t;
+  cache_min_cost : float;  (* mirror of the cache's floor, for log lines *)
+  trace_store : Trace_store.t;
+  access_log : out_channel option;
+  close_log : bool;  (* the channel was opened here, close it on stop *)
+  log_mu : Mutex.t;
+  slow_query_ms : float;
   (* one shared-index thread across every request, as in Engine.serve *)
   shared : (Wj_core.Query.t * Wj_core.Registry.t) option ref;
-  routes : (int, stream * int) Hashtbl.t;  (* session id -> stream, item idx *)
+  (* session id -> stream, item idx, the request recorder's sink (session
+     lifecycle events are forwarded into it so the per-request recorder
+     sees the same milestones the scheduler's own sink does) *)
+  routes : (int, stream * int * Wj_obs.Sink.t) Hashtbl.t;
   mu : Mutex.t;
   work : Condition.t;
   mutable stopping : bool;
@@ -50,18 +66,60 @@ type t = {
   errors : Counter.t;
 }
 
+(* Latency histograms use log₂-millisecond buckets: bucket 0 is < 1 ms,
+   bucket i covers [2^(i-1), 2^i) ms.  24 buckets reach past two hours,
+   far beyond any request the daemon would keep alive. *)
+let latency_buckets = 24
+
+let ms_bucket ms =
+  if ms < 1.0 then 0
+  else
+    let b = 1 + int_of_float (Float.log2 ms) in
+    if b < 0 then 0 else b
+
 (* ---- construction ----------------------------------------------------- *)
 
 let create ?(quantum = 256) ?(max_live = 4) ?(max_queued = 64) ?tenant_quota
-    ?cache_capacity ?(default_seed = 11) ?(default_time = 5.0) ?(retry_after = 1)
-    ?(port = 0) catalog =
+    ?cache_capacity ?(cache_min_cost = 0.001) ?trace_capacity ?access_log
+    ?(slow_query_ms = 0.0) ?(default_seed = 11) ?(default_time = 5.0)
+    ?(retry_after = 1) ?(port = 0) catalog =
   let metrics = Metrics.create () in
   let routes = Hashtbl.create 64 in
+  (* Request-latency instruments, fed from scheduler lifecycle events:
+     admission → start is queue wait; submission → first/target-CI report
+     are the user-visible latencies the serve benchmarks track. *)
+  let h_queue_wait =
+    Metrics.histogram metrics ~buckets:latency_buckets "http.queue_wait_ms"
+  in
+  let h_first_report =
+    Metrics.histogram metrics ~buckets:latency_buckets "http.first_report_ms"
+  in
+  let h_target_ci =
+    Metrics.histogram metrics ~buckets:latency_buckets "http.target_ci_ms"
+  in
+  let admitted = Hashtbl.create 64 in  (* session id -> admission time *)
+  let at_target = Hashtbl.create 64 in  (* session ids at their CI target *)
   let on_event = function
-    | Event.Session_report { session; progress; deadline_left } -> (
+    | Event.Session_admitted { session; _ } ->
+      Hashtbl.replace admitted session (Unix.gettimeofday ())
+    | Event.Session_started { session } -> (
+      match Hashtbl.find_opt admitted session with
+      | None -> ()
+      | Some t0 ->
+        Hashtbl.remove admitted session;
+        let wait = Unix.gettimeofday () -. t0 in
+        Wj_obs.Histogram.observe h_queue_wait (ms_bucket (wait *. 1000.));
+        (match Hashtbl.find_opt routes session with
+        | Some (st, _, _) -> if wait > st.s_queue_wait then st.s_queue_wait <- wait
+        | None -> ()))
+    | Event.Session_report { session; progress; deadline_left } as ev -> (
       match Hashtbl.find_opt routes session with
       | None -> ()
-      | Some (st, idx) ->
+      | Some (st, idx, rsink) ->
+        (* The request's recorder subscribes to its own sessions'
+           milestones: this is what feeds each session's CI trajectory
+           (and so the slow-query convergence fit). *)
+        Wj_obs.Sink.emit rsink ev;
         let fields =
           [
             ("type", Json.Str "progress");
@@ -77,14 +135,36 @@ let create ?(quantum = 256) ?(max_live = 4) ?(max_queued = 64) ?tenant_quota
           | None -> []
           | Some d -> [ ("deadline_left", Json.Float d) ]
         in
+        let since = Unix.gettimeofday () -. st.s_submit in
+        st.s_reports <- st.s_reports + 1;
+        if st.s_first_report < 0.0 then begin
+          st.s_first_report <- since;
+          Wj_obs.Histogram.observe h_first_report (ms_bucket (since *. 1000.))
+        end;
+        if
+          st.s_target_at < 0.0
+          && (not (Hashtbl.mem at_target session))
+          && progress.half_width
+             <= st.s_target *. Float.abs progress.estimate
+        then begin
+          Hashtbl.replace at_target session ();
+          st.s_target_pending <- st.s_target_pending - 1;
+          if st.s_target_pending <= 0 then begin
+            st.s_target_at <- since;
+            Wj_obs.Histogram.observe h_target_ci (ms_bucket (since *. 1000.))
+          end
+        end;
         Mutex.lock st.s_mu;
         Queue.push (Json.Obj fields) st.chunks;
         Condition.broadcast st.s_cond;
         Mutex.unlock st.s_mu)
-    | Event.Session_finished { session; _ } -> (
+    | Event.Session_finished { session; _ } as ev -> (
+      Hashtbl.remove admitted session;
+      Hashtbl.remove at_target session;
       match Hashtbl.find_opt routes session with
       | None -> ()
-      | Some (st, _) ->
+      | Some (st, _, rsink) ->
+        Wj_obs.Sink.emit rsink ev;
         Hashtbl.remove routes session;
         Mutex.lock st.s_mu;
         st.live <- st.live - 1;
@@ -96,11 +176,24 @@ let create ?(quantum = 256) ?(max_live = 4) ?(max_queued = 64) ?tenant_quota
   let sched =
     Scheduler.create ~quantum ~max_live ~max_queued ?tenant_quota ~sink ()
   in
+  let access_log_chan, close_log =
+    match access_log with
+    | None -> (None, false)
+    | Some "-" -> (Some stderr, false)
+    | Some path ->
+      (Some (open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path), true)
+  in
   {
     catalog;
     metrics;
     sched;
-    cache = Estimate_cache.create ?capacity:cache_capacity metrics;
+    cache = Estimate_cache.create ?capacity:cache_capacity ~min_cost:cache_min_cost metrics;
+    cache_min_cost;
+    trace_store = Trace_store.create ?capacity:trace_capacity ();
+    access_log = access_log_chan;
+    close_log;
+    log_mu = Mutex.create ();
+    slow_query_ms;
     shared = ref None;
     routes;
     mu = Mutex.create ();
@@ -204,10 +297,8 @@ let decode_query_req t j =
    deliberately NOT part of the key — entries carry the epoch they were
    computed under and lookups at a newer epoch evict them (staleness,
    not a different key). *)
-let cache_key t req statement =
-  Printf.sprintf "%s#seed=%d;walks=%s;time=%s;target=%s"
-    (Normalize.statement ~catalog:t.catalog statement)
-    req.seed
+let cache_key req norm =
+  Printf.sprintf "%s#seed=%d;walks=%s;time=%s;target=%s" norm req.seed
     (match req.max_walks with Some n -> string_of_int n | None -> "-")
     (match req.time with Some f -> Printf.sprintf "%.17g" f | None -> "-")
     (match req.target_pct with Some f -> Printf.sprintf "%.17g" f | None -> "-")
@@ -310,6 +401,62 @@ let error_body code msg =
     (Json.Obj
        [ ("type", Json.Str "error"); ("code", Json.Str code); ("message", Json.Str msg) ])
 
+(* ---- structured access log -------------------------------------------- *)
+
+let log_request t fields =
+  match t.access_log with
+  | None -> ()
+  | Some oc ->
+    let line = Json.to_string (Json.Obj fields) in
+    Mutex.lock t.log_mu;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock t.log_mu
+
+(* Failed requests log a short line: no statement was executed, so the
+   execution fields would all be vacuous. *)
+let log_failure t ~trace_id ~outcome code =
+  log_request t
+    [
+      ("ts", Json.Float (Unix.gettimeofday ()));
+      ("trace", Json.Str trace_id);
+      ("outcome", Json.Str outcome);
+      ("code", Json.Str code);
+    ]
+
+let stmt_hash norm = Digest.to_hex (Digest.string norm)
+
+(* The request recorder files CI samples per session scope
+   ("session<id>."); a multi-aggregate statement has several.  The
+   slow-query line reports the best-evidenced fit — the scope with the
+   most CI samples behind it. *)
+let fit_json recorder =
+  let best =
+    List.fold_left
+      (fun acc scope ->
+        match
+          Wj_obs.Convergence.fit (Wj_obs.Recorder.convergence recorder ~scope)
+        with
+        | Some f
+          when (match acc with
+               | None -> true
+               | Some prev -> f.Wj_obs.Convergence.points > prev.Wj_obs.Convergence.points)
+          -> Some f
+        | _ -> acc)
+      None
+      (Wj_obs.Recorder.convergence_scopes recorder)
+  in
+  match best with
+  | None -> Json.Null
+  | Some f ->
+    Json.Obj
+      [
+        ("c", Json.Float f.Wj_obs.Convergence.c);
+        ("exponent", Json.Float f.exponent);
+        ("points", Json.Int f.points);
+      ]
+
 (* ---- /query ----------------------------------------------------------- *)
 
 let build_registries t queries =
@@ -320,7 +467,7 @@ let build_registries t queries =
       r)
     queries
 
-let submit_fresh t req statement key epoch =
+let submit_fresh t req ~traced statement key epoch =
   let bound = Binder.bind t.catalog statement in
   let cfg =
     Wj_core.Run_config.make ~seed:req.seed
@@ -331,10 +478,30 @@ let submit_fresh t req statement key epoch =
       ()
   in
   let cfg = Engine.apply_clauses cfg statement bound in
+  (* Every request carries a flight recorder: reports-only convergence
+     tracking is cheap and powers the slow-query log.  Span tracing —
+     which does touch walker fast paths — is opt-in per request, keyed
+     on the client sending an [X-WJ-Trace] header.  The recorder is a
+     pure observer either way: it never touches a PRNG stream, so the
+     estimates stay bit-for-bit those of an unobserved run. *)
+  let recorder = Wj_obs.Recorder.create ~tracing:traced () in
+  let cfg = Wj_core.Run_config.with_recorder cfg recorder in
   let registries = build_registries t bound.Binder.queries in
   let token = Token.create () in
   let stream =
-    { s_mu = Mutex.create (); s_cond = Condition.create (); chunks = Queue.create (); live = 0 }
+    {
+      s_mu = Mutex.create ();
+      s_cond = Condition.create ();
+      chunks = Queue.create ();
+      live = 0;
+      s_submit = Unix.gettimeofday ();
+      s_target = (match req.target_pct with Some p -> p /. 100. | None -> 0.01);
+      s_first_report = -1.0;
+      s_target_pending = 0;
+      s_target_at = -1.0;
+      s_queue_wait = 0.0;
+      s_reports = 0;
+    }
   in
   let submitted = ref [] in
   let pendings =
@@ -356,7 +523,9 @@ let submit_fresh t req statement key epoch =
               in
               submitted := s :: !submitted;
               stream.live <- stream.live + 1;
-              Hashtbl.replace t.routes (Scheduler.id s) (stream, idx);
+              stream.s_target_pending <- stream.s_target_pending + 1;
+              Hashtbl.replace t.routes (Scheduler.id s)
+                (stream, idx, Wj_obs.Recorder.sink recorder);
               D_session s
             end
             else
@@ -378,18 +547,22 @@ let submit_fresh t req statement key epoch =
       raise e
   in
   Condition.broadcast t.work;
-  `Submitted (key, epoch, token, stream, pendings)
+  `Submitted (key, epoch, token, stream, pendings, recorder)
 
-let submit_statement t req =
+let submit_statement t req ~traced =
   let statement = Parser.parse req.sql in
-  let key = cache_key t req statement in
+  let norm = Normalize.statement ~catalog:t.catalog statement in
+  let key = cache_key req norm in
   let epoch = Catalog.epoch t.catalog in
   let cached =
     if req.use_cache then Estimate_cache.find t.cache ~key ~epoch else None
   in
   match cached with
-  | Some entry -> `Cached entry.Estimate_cache.results
-  | None -> submit_fresh t req statement key epoch
+  | Some entry -> `Cached (norm, entry.Estimate_cache.results)
+  | None -> (
+    match submit_fresh t req ~traced statement key epoch with
+    | `Submitted (key, epoch, token, stream, pendings, recorder) ->
+      `Submitted (norm, key, epoch, token, stream, pendings, recorder))
 
 (* Wait for every session of the request, writing progress chunks as
    they arrive (when [writer] is given).  Returns true when the client
@@ -428,40 +601,125 @@ let pump_stream stream token ~writer =
   in
   loop ()
 
-let handle_query t fd req =
-  match Mutex.protect t.mu (fun () -> submit_statement t req) with
-  | `Cached results ->
-    Http.respond fd ~status:200
-      (Json.to_string (final_json ~status:"done" ~cached:true results) ^ "\n")
-  | `Submitted (key, epoch, token, stream, pendings) ->
+(* Walks performed and the worst final CI half-width across the
+   request's online items — the execution summary of an access-log
+   line. *)
+let pendings_totals pendings =
+  let walks = ref 0 and hw = ref None in
+  let note (p : Wj_obs.Progress.t) =
+    walks := !walks + p.walks;
+    hw :=
+      Some
+        (match !hw with
+        | None -> p.half_width
+        | Some h -> Float.max h p.half_width)
+  in
+  List.iter
+    (fun (_, p) ->
+      match p with
+      | D_session s -> (
+        match Scheduler.result s with
+        | Some (Wj_core.Session.Scalar o) -> note o.Online.final
+        | Some (Wj_core.Session.Groups g) ->
+          List.iter (fun (_, r) -> note r) g.Online.groups
+        | _ -> ())
+      | D_exact _ -> ())
+    pendings;
+  (!walks, !hw)
+
+let handle_query t fd ~trace_id ~traced req =
+  let t0 = Unix.gettimeofday () in
+  let trace_hdr = [ (Http.trace_header, trace_id) ] in
+  (* One structured line per completed request: who, what (by normalized
+     statement hash), how it went, and what it cost. *)
+  let log ~outcome ~cache ?norm ?(queue_wait = 0.0) ?(quanta = 0) ?(walks = 0)
+      ?half_width ?recorder () =
+    if t.access_log <> None then begin
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let slow = t.slow_query_ms > 0.0 && elapsed *. 1000. >= t.slow_query_ms in
+      log_request t
+        ([
+           ("ts", Json.Float t0);
+           ("trace", Json.Str trace_id);
+           ( "tenant",
+             match req.tenant with Some s -> Json.Str s | None -> Json.Null );
+           ( "stmt",
+             match norm with Some n -> Json.Str (stmt_hash n) | None -> Json.Null );
+           ("outcome", Json.Str outcome);
+           ("cache", Json.Str cache);
+           ("elapsed_ms", Json.Float (elapsed *. 1000.));
+           ("queue_wait_ms", Json.Float (queue_wait *. 1000.));
+           ("quanta", Json.Int quanta);
+           ("walks", Json.Int walks);
+           ( "half_width",
+             match half_width with Some h -> Json.Float h | None -> Json.Null );
+         ]
+        @
+        if slow then
+          (* A straggler dumps its convergence fit: is the CI shrinking
+             like 1/√k at all, and with what constant? *)
+          [
+            ("slow", Json.Bool true);
+            ("fit", match recorder with Some r -> fit_json r | None -> Json.Null);
+          ]
+        else [])
+    end
+  in
+  match Mutex.protect t.mu (fun () -> submit_statement t req ~traced) with
+  | `Cached (norm, results) ->
+    Http.respond fd ~status:200 ~headers:trace_hdr
+      (Json.to_string (final_json ~status:"done" ~cached:true results) ^ "\n");
+    log ~outcome:"done" ~cache:"hit" ~norm ()
+  | `Submitted (norm, key, epoch, token, stream, pendings, recorder) ->
     let streaming = req.want_stream && stream.live > 0 in
-    if streaming then Http.start_chunked fd ~status:200 ();
+    if streaming then Http.start_chunked fd ~status:200 ~headers:trace_hdr ();
     let disconnected =
       pump_stream stream token
         ~writer:(if streaming then Some (Http.write_chunk fd) else None)
     in
-    let final =
+    let has_session =
+      List.exists
+        (fun (_, p) -> match p with D_session _ -> true | _ -> false)
+        pendings
+    in
+    let compute_cost = Unix.gettimeofday () -. t0 in
+    let final, status, disposition =
       Mutex.protect t.mu (fun () ->
           let status = overall_status pendings in
           let items = Json.List (List.map item_json pendings) in
+          let disposition = ref (if req.use_cache then "miss" else "bypass") in
           (* Record the verdict for repeat queries — only a fully
              completed run, and under the epoch read at submission so a
-             concurrent data change invalidates it. *)
-          if req.use_cache && status = "done" && stream.live = 0
-             && List.exists (fun (_, p) -> match p with D_session _ -> true | _ -> false) pendings
-          then
-            Estimate_cache.store t.cache ~key
+             concurrent data change invalidates it.  Exact-only answers
+             carry their compute cost so the cache's admission policy
+             can skip ones cheaper to recompute than to cache. *)
+          if req.use_cache && status = "done" && stream.live = 0 then begin
+            let cost = if has_session then None else Some compute_cost in
+            Estimate_cache.store t.cache ~key ?cost
               { Estimate_cache.results = items; epoch };
-          final_json ~status ~cached:false items)
+            disposition :=
+              (match cost with
+              | Some c when c < t.cache_min_cost -> "skipped_cheap"
+              | _ -> "stored")
+          end;
+          if traced then
+            Trace_store.put t.trace_store ~id:trace_id
+              (Wj_obs.Recorder.to_json recorder);
+          (final_json ~status ~cached:false items, status, !disposition))
     in
-    if not disconnected then
-      if streaming then begin
-        (try
+    (if not disconnected then
+       if streaming then begin
+         try
            Http.write_chunk fd (Json.to_string final ^ "\n");
            Http.finish_chunked fd
-         with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ())
-      end
-      else Http.respond fd ~status:200 (Json.to_string final ^ "\n")
+         with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+       end
+       else Http.respond fd ~status:200 ~headers:trace_hdr (Json.to_string final ^ "\n"));
+    let walks, half_width = pendings_totals pendings in
+    log
+      ~outcome:(if disconnected then "disconnected" else status)
+      ~cache:disposition ~norm ~queue_wait:stream.s_queue_wait
+      ~quanta:stream.s_reports ~walks ?half_width ~recorder ()
 
 (* ---- other endpoints -------------------------------------------------- *)
 
@@ -471,17 +729,56 @@ let handle_health t fd =
        (Json.Obj [ ("status", Json.Str "ok"); ("port", Json.Int t.bound_port) ])
     ^ "\n")
 
+(* Point-in-time runtime gauges, refreshed when a scrape asks for them
+   ([GET /metrics] and [GET /stats]) rather than maintained continuously
+   — the scrape is the only reader, and gauge writes on every scheduler
+   transition would be pure overhead between scrapes. *)
+let refresh_runtime_gauges t =
+  let g name v = Wj_obs.Gauge.set (Metrics.gauge t.metrics name) v in
+  let st = Gc.quick_stat () in
+  g "gc.heap_words" (float_of_int st.Gc.heap_words);
+  g "gc.minor_collections" (float_of_int st.Gc.minor_collections);
+  g "gc.major_collections" (float_of_int st.Gc.major_collections);
+  g "gc.compactions" (float_of_int st.Gc.compactions);
+  g "sched.live" (float_of_int (Scheduler.live_count t.sched));
+  g "sched.queued" (float_of_int (Scheduler.queued_count t.sched));
+  g "cache.entries" (float_of_int (Estimate_cache.length t.cache));
+  g "trace.retained" (float_of_int (Trace_store.length t.trace_store));
+  List.iter
+    (fun (name, n) ->
+      g (Printf.sprintf "tenant.%s.in_flight" name) (float_of_int n))
+    (Scheduler.tenant_in_flight t.sched)
+
 let handle_stats t fd =
   let body =
     Mutex.protect t.mu (fun () ->
+        refresh_runtime_gauges t;
         Printf.sprintf
-          {|{"in_flight":%d,"cache_entries":%d,"epoch":%d,"metrics":%s}|}
+          {|{"in_flight":%d,"live":%d,"queued":%d,"cache_entries":%d,"traces":%d,"epoch":%d,"metrics":%s}|}
           (Scheduler.in_flight t.sched ())
+          (Scheduler.live_count t.sched)
+          (Scheduler.queued_count t.sched)
           (Estimate_cache.length t.cache)
+          (Trace_store.length t.trace_store)
           (Catalog.epoch t.catalog)
           (Snapshot.to_json (Snapshot.of_metrics t.metrics)))
   in
   Http.respond fd ~status:200 (body ^ "\n")
+
+let handle_metrics t fd =
+  let body =
+    Mutex.protect t.mu (fun () ->
+        refresh_runtime_gauges t;
+        Wj_obs.Prom.render t.metrics)
+  in
+  Http.respond fd ~status:200 ~content_type:Wj_obs.Prom.content_type body
+
+let handle_trace t fd id =
+  match Mutex.protect t.mu (fun () -> Trace_store.find t.trace_store id) with
+  | Some doc -> Http.respond fd ~status:200 doc
+  | None ->
+    Http.respond fd ~status:404
+      (error_body "not_found" ("no retained trace: " ^ id) ^ "\n")
 
 let signal_stop t =
   Mutex.lock t.mu;
@@ -511,38 +808,55 @@ let handle t fd =
     in
     match (req.Http.meth, req.Http.path) with
     | ("GET" | "POST"), "/query" -> (
+      let trace_id = Http.request_trace_id req in
+      let traced = Http.header req Http.trace_header <> None in
+      let trace_hdr = (Http.trace_header, trace_id) in
       match decode_query_req t (body_json ()) with
       | qreq -> (
-        try handle_query t fd qreq with
+        try handle_query t fd ~trace_id ~traced qreq with
         | Scheduler.Rejected r ->
           Counter.incr t.rejected;
           Http.respond fd ~status:429
-            ~headers:[ ("retry-after", string_of_int t.retry_after) ]
-            (error_body "rejected" (Scheduler.reject_description r) ^ "\n")
+            ~headers:[ ("retry-after", string_of_int t.retry_after); trace_hdr ]
+            (error_body "rejected" (Scheduler.reject_description r) ^ "\n");
+          log_failure t ~trace_id ~outcome:"rejected" "rejected"
         | Lexer.Lex_error (msg, off) ->
           Counter.incr t.errors;
-          Http.respond fd ~status:400
-            (error_body "lex" (Printf.sprintf "%s (offset %d)" msg off) ^ "\n")
+          Http.respond fd ~status:400 ~headers:[ trace_hdr ]
+            (error_body "lex" (Printf.sprintf "%s (offset %d)" msg off) ^ "\n");
+          log_failure t ~trace_id ~outcome:"error" "lex"
         | Parser.Parse_error msg ->
           Counter.incr t.errors;
-          Http.respond fd ~status:400 (error_body "parse" msg ^ "\n")
+          Http.respond fd ~status:400 ~headers:[ trace_hdr ]
+            (error_body "parse" msg ^ "\n");
+          log_failure t ~trace_id ~outcome:"error" "parse"
         | Binder.Bind_error msg ->
           Counter.incr t.errors;
-          Http.respond fd ~status:400 (error_body "bind" msg ^ "\n"))
+          Http.respond fd ~status:400 ~headers:[ trace_hdr ]
+            (error_body "bind" msg ^ "\n");
+          log_failure t ~trace_id ~outcome:"error" "bind")
       | exception Bad_param name ->
         Counter.incr t.errors;
-        Http.respond fd ~status:400
-          (error_body "bad_request" ("missing or malformed parameter: " ^ name) ^ "\n")
+        Http.respond fd ~status:400 ~headers:[ trace_hdr ]
+          (error_body "bad_request" ("missing or malformed parameter: " ^ name) ^ "\n");
+        log_failure t ~trace_id ~outcome:"error" "bad_request"
       | exception Json.Parse_error msg ->
         Counter.incr t.errors;
-        Http.respond fd ~status:400 (error_body "bad_request" ("malformed JSON body: " ^ msg) ^ "\n"))
+        Http.respond fd ~status:400 ~headers:[ trace_hdr ]
+          (error_body "bad_request" ("malformed JSON body: " ^ msg) ^ "\n");
+        log_failure t ~trace_id ~outcome:"error" "bad_request")
     | "GET", "/health" -> handle_health t fd
     | "GET", "/stats" -> handle_stats t fd
+    | "GET", "/metrics" -> handle_metrics t fd
+    | "GET", path when String.starts_with ~prefix:"/trace/" path ->
+      handle_trace t fd (String.sub path 7 (String.length path - 7))
     | "POST", "/shutdown" ->
       Http.respond fd ~status:200
         (Json.to_string (Json.Obj [ ("status", Json.Str "stopping") ]) ^ "\n");
       signal_stop t
-    | _, ("/query" | "/health" | "/stats" | "/shutdown") ->
+    | _, ("/query" | "/health" | "/stats" | "/metrics" | "/shutdown") ->
+      Http.respond fd ~status:405 (error_body "method_not_allowed" req.Http.meth ^ "\n")
+    | _, path when String.starts_with ~prefix:"/trace/" path ->
       Http.respond fd ~status:405 (error_body "method_not_allowed" req.Http.meth ^ "\n")
     | _ ->
       Http.respond fd ~status:404 (error_body "not_found" req.Http.path ^ "\n"))
@@ -613,4 +927,7 @@ let wait t = List.iter Thread.join t.threads
 let stop t =
   signal_stop t;
   List.iter Thread.join t.threads;
-  t.threads <- []
+  t.threads <- [];
+  match t.access_log with
+  | Some oc -> if t.close_log then close_out_noerr oc else (try flush oc with Sys_error _ -> ())
+  | None -> ()

@@ -23,6 +23,21 @@
     - [GET /health], [GET /stats] (cache hit/miss/staleness counters,
       per-tenant accounting, every scheduler metric) and
       [POST /shutdown] round out the surface.
+    - Observability over the wire: [GET /metrics] renders the whole
+      registry in Prometheus text exposition ({!Wj_obs.Prom}), with
+      runtime gauges ([gc.*], [sched.*], [cache.entries],
+      [tenant.<name>.in_flight]) refreshed at scrape time and
+      request-latency histograms ([http.queue_wait_ms],
+      [http.first_report_ms], [http.target_ci_ms]; log₂-millisecond
+      buckets).  A request carrying an [X-WJ-Trace] header runs with
+      span tracing on; its Chrome-trace document is retained (bounded
+      LRU, {!Trace_store}) and served at [GET /trace/<id>].  Every
+      [/query] response echoes the request's trace id — generated when
+      the client sent none.  An optional JSON-lines access log records
+      one structured line per request (trace id, tenant,
+      normalized-statement hash, outcome, queue wait, quanta, walks,
+      final CI half-width, cache disposition), and requests slower than
+      [slow_query_ms] additionally dump their convergence fit.
 
     Threading: one scheduler thread owns the (single-threaded)
     scheduler and ticks it under the daemon mutex; one accept thread
@@ -39,6 +54,10 @@ val create :
   ?max_queued:int ->
   ?tenant_quota:int ->
   ?cache_capacity:int ->
+  ?cache_min_cost:float ->
+  ?trace_capacity:int ->
+  ?access_log:string ->
+  ?slow_query_ms:float ->
   ?default_seed:int ->
   ?default_time:float ->
   ?retry_after:int ->
@@ -51,12 +70,19 @@ val create :
     {!Wj_service.Scheduler.create}; [max_queued] (default 64) bounds the
     admission FIFO and [tenant_quota] (default unbounded) each tenant's
     in-flight sessions — both are the levers behind [429].
-    [cache_capacity] (default 256) bounds the estimate cache.
-    [default_seed] (default 11) and [default_time] (default 5 s) apply
-    to requests that don't override them.  [retry_after] (default 1) is
-    the [Retry-After] value, in seconds, sent with [429].  [port]
-    (default 0 = kernel-assigned ephemeral) is the TCP port; the daemon
-    binds loopback only. *)
+    [cache_capacity] (default 256) bounds the estimate cache and
+    [cache_min_cost] (seconds, default 1 ms) is its admission floor for
+    exact-only answers — [0.0] caches everything (see
+    {!Estimate_cache.store}).  [trace_capacity] (default 64) bounds the
+    retained-trace ring behind [GET /trace/<id>].  [access_log] enables
+    the JSON-lines access log: a file path (appended to) or ["-"] for
+    stderr.  [slow_query_ms] (default 0 = off) is the slow-query
+    threshold: requests at or above it log [slow:true] plus their
+    convergence fit.  [default_seed] (default 11) and [default_time]
+    (default 5 s) apply to requests that don't override them.
+    [retry_after] (default 1) is the [Retry-After] value, in seconds,
+    sent with [429].  [port] (default 0 = kernel-assigned ephemeral) is
+    the TCP port; the daemon binds loopback only. *)
 
 val start : t -> unit
 (** Bind, listen, and spin up the scheduler and accept threads.

@@ -11,23 +11,27 @@ type slot = { value : entry; mutable last_used : int }
 type t = {
   table : (string, slot) Hashtbl.t;
   capacity : int;
+  min_cost : float;
   mutable clock : int;
   hits : Counter.t;
   misses : Counter.t;
   stale : Counter.t;
   evictions : Counter.t;
+  skipped_cheap : Counter.t;
 }
 
-let create ?(capacity = 256) metrics =
+let create ?(capacity = 256) ?(min_cost = 0.001) metrics =
   if capacity <= 0 then invalid_arg "Estimate_cache.create: capacity must be positive";
   {
     table = Hashtbl.create 64;
     capacity;
+    min_cost;
     clock = 0;
     hits = Metrics.counter metrics "cache.hits";
     misses = Metrics.counter metrics "cache.misses";
     stale = Metrics.counter metrics "cache.stale";
     evictions = Metrics.counter metrics "cache.evictions";
+    skipped_cheap = Metrics.counter metrics "cache.skipped_cheap";
   }
 
 let tick t =
@@ -63,10 +67,18 @@ let evict_lru t =
     Counter.incr t.evictions
   | None -> ()
 
-let store t ~key entry =
-  (if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
-     evict_lru t);
-  Hashtbl.replace t.table key { value = entry; last_used = tick t }
+(* Admission policy: an answer that costs less to recompute than a
+   cache probe costs to manage is not worth a slot — [cost] (seconds,
+   passed for exact answers) below [min_cost] skips the store and
+   counts [cache.skipped_cheap].  Costless stores (online estimates,
+   whose walks are always worth saving) are unconditional. *)
+let store t ~key ?cost entry =
+  match cost with
+  | Some c when c < t.min_cost -> Counter.incr t.skipped_cheap
+  | _ ->
+    (if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
+       evict_lru t);
+    Hashtbl.replace t.table key { value = entry; last_used = tick t }
 
 let length t = Hashtbl.length t.table
 let clear t = Hashtbl.reset t.table

@@ -186,6 +186,31 @@ let read_request fd =
 
 let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
 
+(* ---- trace context ----------------------------------------------------- *)
+
+let trace_header = "x-wj-trace"
+
+let trace_counter = Atomic.make 0
+
+let gen_trace_id () =
+  Printf.sprintf "wj-%d-%06x" (Unix.getpid ()) (Atomic.fetch_and_add trace_counter 1)
+
+(* Accepted ids are path- and log-safe or they are replaced: the id is
+   echoed in a response header, becomes a [/trace/<id>] path segment and
+   an access-log field, so anything outside [A-Za-z0-9._-] (or overlong)
+   falls back to a generated one rather than escaping into those
+   contexts. *)
+let request_trace_id req =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '-' || c = '_' || c = '.'
+  in
+  match header req trace_header with
+  | Some id when id <> "" && String.length id <= 128 && String.for_all ok id -> id
+  | _ -> gen_trace_id ()
+
 (* ---- responses -------------------------------------------------------- *)
 
 let status_reason = function

@@ -38,6 +38,19 @@ val read_request : Unix.file_descr -> request option
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
 
+val trace_header : string
+(** ["x-wj-trace"] — the request-id header.  A client sets it to name
+    its request; the daemon echoes it on every [/query] response and
+    keys the retained trace ([GET /trace/<id>]) under it. *)
+
+val request_trace_id : request -> string
+(** The request's trace id: the {!trace_header} value when present and
+    safe (1–128 chars drawn from [A-Za-z0-9._-]), otherwise a generated
+    ["wj-<pid>-<n>"] id, unique within the process. *)
+
+val gen_trace_id : unit -> string
+(** A fresh ["wj-<pid>-<n>"] id (atomic counter; thread-safe). *)
+
 val status_reason : int -> string
 (** ["OK"], ["Too Many Requests"], ... (["Unknown"] for unlisted codes). *)
 

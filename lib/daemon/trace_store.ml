@@ -1,0 +1,45 @@
+(* Same logical-clock LRU as Estimate_cache: stamps refresh on put and
+   find, eviction scans for the oldest stamp — O(n) at n ≤ capacity,
+   which stays small (a trace document is tens of KB, so retention is
+   deliberately shallow). *)
+
+type slot = { doc : string; mutable last_used : int }
+
+type t = {
+  table : (string, slot) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Trace_store.create: capacity must be positive";
+  { table = Hashtbl.create 64; capacity; clock = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun id slot acc ->
+        match acc with
+        | Some (_, best) when best <= slot.last_used -> acc
+        | _ -> Some (id, slot.last_used))
+      t.table None
+  in
+  match victim with Some (id, _) -> Hashtbl.remove t.table id | None -> ()
+
+let put t ~id doc =
+  (if not (Hashtbl.mem t.table id) && Hashtbl.length t.table >= t.capacity then
+     evict_lru t);
+  Hashtbl.replace t.table id { doc; last_used = tick t }
+
+let find t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some slot ->
+    slot.last_used <- tick t;
+    Some slot.doc
+
+let length t = Hashtbl.length t.table

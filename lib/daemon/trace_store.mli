@@ -1,0 +1,27 @@
+(** Bounded retention ring for completed request traces.
+
+    The daemon records one Chrome-trace JSON document per traced
+    request, keyed by the request's [X-WJ-Trace] id, and serves it back
+    at [GET /trace/<id>].  Retention is bounded: at [capacity] the
+    least-recently-touched document (stores and lookups both refresh
+    recency) is evicted, so an unattended daemon holds the last N traced
+    requests and nothing more.  Not thread-safe — the daemon serializes
+    access under its mutex. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 64) is the maximum number of retained traces;
+    raises [Invalid_argument] if it is not positive. *)
+
+val put : t -> id:string -> string -> unit
+(** Retain a completed request's trace document, evicting the
+    least-recently-used one when at capacity.  Re-using an id
+    overwrites. *)
+
+val find : t -> string -> string option
+(** The retained document, refreshing its recency; [None] when the id
+    was never traced or has been evicted. *)
+
+val length : t -> int
+(** Retained documents. *)

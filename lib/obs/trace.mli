@@ -61,9 +61,27 @@ val totals : t -> (string * (float * int)) list
 
 val clear : t -> unit
 
+val merge : into:t -> t -> unit
+(** Append the source's buffered events (keeping their timestamps — the
+    domain-sharded scheduler gives every shard trace the parent's clock,
+    so merged events share one timeline) and fold its totals and drop
+    count into [into].  [into]'s own open-span stack is untouched; the
+    source should be balanced, as a completed drain guarantees.  Called
+    at the sharded-drain join barrier, in shard order, so trace output
+    is deterministic for a fixed seed and pinning. *)
+
 val write_events : t -> Buffer.t -> unit
 (** Append the JSON array of trace events (the value of the
     ["traceEvents"] key) to [buf]. *)
 
 val to_json : t -> string
 (** The complete Chrome-loadable object: [{"traceEvents":[...]}]. *)
+
+val events_of_json : string -> (string * string * string * float) list
+(** Read a Chrome trace document back: [(name, cat, ph, ts_seconds)]
+    per event, in array order.  Accepts anything {!to_json} or
+    {!Recorder.to_json} produced — extra members beside [traceEvents]
+    are skipped.  Raises [Failure] on malformed input.  This is the
+    verification half of the exporter: [events_of_json (to_json t)]
+    returns one tuple per buffered event, with timestamps equal up to
+    the microsecond formatting of the writer. *)

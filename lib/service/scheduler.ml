@@ -69,6 +69,11 @@ type entry = {
          or the per-domain shard it was pinned to — whose sink scopes the
          session's metrics. *)
   finish : unit -> unit;  (* fill the submitter's result cell once stopped *)
+  trace : Wj_obs.Trace.t option;
+      (* the session's own span buffer (a request-scoped recorder's,
+         under the daemon) — quantum spans land here as well as in the
+         scheduler sink's trace, so each request's trace carries its own
+         scheduling *)
   mutable state : state;
   mutable job : job option;
   mutable quanta : int;  (* quanta actually granted *)
@@ -366,12 +371,20 @@ let tick t =
     end
     else begin
       e.quanta <- e.quanta + 1;
+      (* Quantum spans go to the scheduler sink's trace and, when the
+         session brought its own span buffer (a request-scoped recorder),
+         to that too — the request's trace then shows its own grants. *)
       let trace = Sink.trace t.sink in
-      (match trace with
-      | Some tr -> Wj_obs.Trace.span_begin tr ~cat:"sched" ("quantum:" ^ e.label)
-      | None -> ());
+      let span f =
+        (match trace with Some tr -> f tr | None -> ());
+        match (e.trace, trace) with
+        | Some tr, Some tr' when tr == tr' -> ()
+        | Some tr, _ -> f tr
+        | None, _ -> ()
+      in
+      span (fun tr -> Wj_obs.Trace.span_begin tr ~cat:"sched" ("quantum:" ^ e.label));
       let stopped = j.advance ~max_steps:t.quantum in
-      (match trace with Some tr -> Wj_obs.Trace.span_end tr ~cat:"sched" () | None -> ());
+      span (fun tr -> Wj_obs.Trace.span_end tr ~cat:"sched" ());
       match stopped with
       | Some r -> finalize_started t e (terminal_of_reason r) ~reason:(Some r)
       | None ->
@@ -397,14 +410,17 @@ let drain_local t = while tick t do () done
    concurrent drain loops is shared.  Sessions keep their own PRNG
    streams and budgets, so which domain hosts a session never changes its
    trajectory.  At the join barrier the buffered milestone events replay
-   and the shard registries merge into the main sink, in shard order:
-   for a fixed seed and pinning, scheduler output is reproducible
-   whatever the domain count.  (Quantum trace spans are dropped on
-   shards: a span buffer is not domain-safe.) *)
+   and the shard registries and span buffers merge into the main sink,
+   in shard order: for a fixed seed and pinning, scheduler output is
+   reproducible whatever the domain count.  (A span buffer is not
+   domain-safe, so each shard records quantum spans into a private
+   trace — same clock as the main one — replayed at the barrier, just
+   like the metrics.) *)
 type shard = {
   sh_sched : t;
   sh_events : Event.t list ref;  (* reverse emission order *)
   sh_metrics : Metrics.t option;
+  sh_trace : Wj_obs.Trace.t option;
 }
 
 let make_shard t =
@@ -412,12 +428,20 @@ let make_shard t =
   let sh_metrics =
     Option.map (fun _ -> Metrics.create ()) (Sink.metrics t.sink)
   in
+  let sh_trace =
+    Option.map
+      (fun tr ->
+        Wj_obs.Trace.create
+          ~capacity:(Wj_obs.Trace.capacity tr)
+          ~clock:(Wj_obs.Trace.clock tr) ())
+      (Sink.trace t.sink)
+  in
   let on_event =
     if Sink.wants_reports t.sink then
       Some (fun ev -> sh_events := ev :: !sh_events)
     else None
   in
-  let sink = Sink.make ?on_event ?metrics:sh_metrics () in
+  let sink = Sink.make ?on_event ?metrics:sh_metrics ?trace:sh_trace () in
   {
     sh_sched =
       {
@@ -432,6 +456,7 @@ let make_shard t =
       };
     sh_events;
     sh_metrics;
+    sh_trace;
   }
 
 let shard_of t e = (match e.pin with Some p -> p | None -> e.id) mod t.domains
@@ -454,8 +479,11 @@ let drain_sharded t =
   Array.iter
     (fun sh ->
       List.iter (fun ev -> emit t ev) (List.rev !(sh.sh_events));
-      match (sh.sh_metrics, Sink.metrics t.sink) with
+      (match (sh.sh_metrics, Sink.metrics t.sink) with
       | Some src, Some dst -> Metrics.merge ~into:dst src
+      | _ -> ());
+      match (sh.sh_trace, Sink.trace t.sink) with
+      | Some src, Some dst -> Wj_obs.Trace.merge ~into:dst src
       | _ -> ())
     shards;
   (* Shards finalized entries without touching this scheduler's tenant
@@ -470,7 +498,8 @@ let drain t =
 
 (* ---- Submission ------------------------------------------------------ *)
 
-let submit_entry t ~label ~deadline ~token ~tenant ~pin ~start ~finish cell view =
+let submit_entry t ~label ~deadline ~token ~tenant ~pin ~trace ~start ~finish cell
+    view =
   (match admission t ?tenant () with
   | Some r ->
     (match tenant with
@@ -493,6 +522,7 @@ let submit_entry t ~label ~deadline ~token ~tenant ~pin ~start ~finish cell view
       pin;
       start = start id;
       finish;
+      trace;
       state = Queued;
       job = None;
       quanta = 0;
@@ -535,7 +565,10 @@ let submit t ?(label = "") ?deadline ?token ?tenant ?pin ?spec
       | o -> cell := Some o
       | exception Invalid_argument _ -> ())
   in
-  submit_entry t ~label ~deadline ~token ~tenant ~pin ~start ~finish cell
+  (* A request-scoped recorder's span buffer rides along so [tick] can
+     bracket this session's quanta in the request's own trace. *)
+  let trace = Sink.trace (Run_config.resolved_sink cfg) in
+  submit_entry t ~label ~deadline ~token ~tenant ~pin ~trace ~start ~finish cell
     Option.some
 
 (* Legacy per-algorithm entry points: thin shims over {!submit} that
@@ -619,6 +652,13 @@ let await s =
    sessions; without pruning, [all] — kept only for {!sessions}
    introspection — would grow forever. *)
 let prune t = t.all <- List.filter (fun e -> not (is_terminal e.state)) t.all
+
+let live_count t = List.length t.live
+let queued_count t = Queue.length t.queue
+
+let tenant_in_flight t =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.tenant_counts []
+  |> List.sort compare
 
 type info = { info_id : int; info_label : string; info_state : state; info_quanta : int }
 

@@ -131,9 +131,12 @@ val create :
     estimates; with a fixed seed and pinning, and sessions that stop on
     their own budgets/targets (not wall time), output is bit-for-bit
     reproducible at any domain count.  Per-session event callbacks and
-    [max_live] apply per shard; quantum trace spans are not recorded on
-    non-zero shards; the paged storage backend's buffer pool is not
-    domain-safe — use multi-domain scheduling with in-memory tables.
+    [max_live] apply per shard; quantum trace spans are buffered in a
+    private per-shard trace (sharing the main trace's clock) and
+    {!Wj_obs.Trace.merge}d at the join barrier in shard order, so span
+    counts match the single-domain run; the paged storage backend's
+    buffer pool is not domain-safe — use multi-domain scheduling with
+    in-memory tables.
 
     [sink] is the scheduler-level sink: it receives [Session_admitted],
     [Session_started], per-quantum [Session_report] (carrying the
@@ -148,8 +151,11 @@ val create :
     ["session<id>.progress.{estimate,half_width,walks}"] gauges at each
     report, so one registry holds per-session families side by side.
     When it carries a trace, every quantum grant is recorded as a
-    ["quantum:<label>"] span.  Raises [Invalid_argument] when
-    [quantum < 1] or [max_live < 1]. *)
+    ["quantum:<label>"] span; a session whose {!Wj_core.Run_config}
+    resolves to a sink with its own trace (a request-scoped recorder
+    under the daemon) gets the same span in that buffer too, so each
+    request's trace shows its own grants.  Raises [Invalid_argument]
+    when [quantum < 1] or [max_live < 1]. *)
 
 val quantum : t -> int
 (** The configured steps-per-grant. *)
@@ -168,6 +174,17 @@ val in_flight : t -> ?tenant:string -> unit -> int
     tenant's.  Tenant accounting is maintained by the submitting
     scheduler — during a multi-domain {!drain} it is repaired at the join
     barrier rather than updated live. *)
+
+val live_count : t -> int
+(** Sessions currently granted a live slot (the [Running] set). *)
+
+val queued_count : t -> int
+(** Sessions admitted but still waiting in the FIFO. *)
+
+val tenant_in_flight : t -> (string * int) list
+(** Per-tenant non-terminal session counts, sorted by tenant name —
+    the quota-usage view behind the daemon's
+    [tenant.<name>.in_flight] gauges. *)
 
 type 'a session
 (** Handle returned at submission; ['a] is the driver outcome type. *)

@@ -32,17 +32,17 @@ let catalog () = Wj_tpch.Generator.catalog (Lazy.force dataset)
 let bits = Int64.bits_of_float
 
 (* Start a daemon on an ephemeral port, run [f], always stop it. *)
-let with_daemon ?quantum ?max_live ?max_queued ?tenant_quota ?default_time
-    catalog f =
+let with_daemon ?quantum ?max_live ?max_queued ?tenant_quota ?cache_min_cost
+    ?trace_capacity ?access_log ?slow_query_ms ?default_time catalog f =
   let d =
-    Daemon.create ?quantum ?max_live ?max_queued ?tenant_quota ?default_time
-      ~port:0 catalog
+    Daemon.create ?quantum ?max_live ?max_queued ?tenant_quota ?cache_min_cost
+      ?trace_capacity ?access_log ?slow_query_ms ?default_time ~port:0 catalog
   in
   Daemon.start d;
   Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f d)
 
 (* Fire one /query request, decoding the chunked stream into JSON lines. *)
-let query ?(extra = []) d sql =
+let query ?(extra = []) ?headers d sql =
   let lines = ref [] in
   let partial = Buffer.create 256 in
   let on_chunk data =
@@ -60,7 +60,9 @@ let query ?(extra = []) d sql =
     drain ()
   in
   let body = Json.to_string (Json.Obj (("sql", Json.Str sql) :: extra)) in
-  let resp = Http.fetch ~body ~on_chunk (Daemon.url d ^ "/query") in
+  let resp =
+    Http.fetch ?req_headers:headers ~body ~on_chunk (Daemon.url d ^ "/query")
+  in
   let lines =
     if !lines = [] && resp.Http.resp_body <> "" then
       (* Non-chunked response (cache hit / error): one JSON body. *)
@@ -436,6 +438,301 @@ let test_wire_errors () =
         Alcotest.(check (option (float 0.0))) "five regions" (Some 5.0) (jflt "value" item)
       | _ -> Alcotest.fail "expected one exact item"))
 
+(* ---- observability over the wire ---------------------------------------- *)
+
+(* Minimal exposition reader: [# TYPE] declarations and samples, with the
+   sample name split off its label set.  Enough to validate well-formedness
+   and to sum a family across its labelled series. *)
+let parse_exposition body =
+  let declared = ref [] and samples = ref [] in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then
+           match String.split_on_char ' ' line with
+           | [ _; _; name; kind ] -> declared := (name, kind) :: !declared
+           | _ -> Alcotest.failf "malformed TYPE line: %s" line
+         else if line.[0] = '#' then ()
+         else
+           let name_end =
+             match (String.index_opt line '{', String.index_opt line ' ') with
+             | Some b, Some sp -> min b sp
+             | Some b, None -> b
+             | None, Some sp -> sp
+             | None, None -> Alcotest.failf "malformed sample: %s" line
+           in
+           let name = String.sub line 0 name_end in
+           let value =
+             match String.rindex_opt line ' ' with
+             | Some sp ->
+               float_of_string
+                 (String.sub line (sp + 1) (String.length line - sp - 1))
+             | None -> Alcotest.failf "malformed sample: %s" line
+           in
+           samples := (name, value) :: !samples);
+  (List.rev !declared, List.rev !samples)
+
+let sum_family samples name =
+  List.fold_left
+    (fun acc (n, v) -> if n = name then acc +. v else acc)
+    0.0 samples
+
+let test_metrics_endpoint () =
+  with_daemon (catalog ()) (fun d ->
+      let sql =
+        "SELECT ONLINE COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+      in
+      let resp, _ =
+        query d sql ~extra:[ ("seed", Json.Int 5); ("max_walks", Json.Int 3000) ]
+      in
+      Alcotest.(check int) "query ok" 200 resp.Http.status;
+      let m = Http.fetch (Daemon.url d ^ "/metrics") in
+      Alcotest.(check int) "/metrics is 200" 200 m.Http.status;
+      Alcotest.(check (option string))
+        "exposition content type"
+        (Some "text/plain; version=0.0.4")
+        (List.assoc_opt "content-type" m.Http.resp_headers);
+      let declared, samples = parse_exposition m.Http.resp_body in
+      (* Well-formed: every sample belongs to a declared family (histogram
+         series carry the conventional suffixes), names stay in the
+         Prometheus charset, no family is declared twice. *)
+      let is_name s =
+        s <> ""
+        && String.for_all
+             (fun c ->
+               (c >= 'a' && c <= 'z')
+               || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9')
+               || c = '_' || c = ':')
+             s
+      in
+      List.iter
+        (fun (name, kind) ->
+          Alcotest.(check bool) ("family name " ^ name) true (is_name name);
+          Alcotest.(check bool)
+            ("known kind " ^ kind)
+            true
+            (List.mem kind [ "counter"; "gauge"; "histogram" ]))
+        declared;
+      Alcotest.(check int) "no duplicate families"
+        (List.length declared)
+        (List.length (List.sort_uniq compare (List.map fst declared)));
+      let covers sample =
+        List.exists
+          (fun (fam, kind) ->
+            sample = fam
+            || kind = "histogram"
+               && List.exists
+                    (fun suf -> sample = fam ^ suf)
+                    [ "_bucket"; "_sum"; "_count" ])
+          declared
+      in
+      List.iter
+        (fun (name, _) ->
+          Alcotest.(check bool) ("declared: " ^ name) true (covers name))
+        samples;
+      (* Golden families the dashboards scrape. *)
+      List.iter
+        (fun fam ->
+          Alcotest.(check bool) ("has " ^ fam) true
+            (List.mem_assoc fam declared))
+        [
+          "wj_http_requests"; "wj_walker_walks"; "wj_gc_heap_words";
+          "wj_sched_live"; "wj_http_queue_wait_ms";
+        ];
+      (* The walker reconciliation identity, observed from outside through
+         the exposition alone: every walk either succeeded or failed at
+         some depth, summed across all per-session series. *)
+      let walks = sum_family samples "wj_walker_walks" in
+      let successes = sum_family samples "wj_walker_successes" in
+      let failures = sum_family samples "wj_walker_failure_depth_count" in
+      Alcotest.(check bool) "some walks happened" true (walks > 0.0);
+      Alcotest.(check (float 1e-9))
+        "walks = successes + failures over the wire" walks
+        (successes +. failures))
+
+let test_stats_shape () =
+  with_daemon (catalog ()) (fun d ->
+      let resp = Http.fetch (Daemon.url d ^ "/stats") in
+      Alcotest.(check int) "/stats is 200" 200 resp.Http.status;
+      let j = Json.parse (String.trim resp.Http.resp_body) in
+      List.iter
+        (fun field ->
+          Alcotest.(check bool)
+            (field ^ " is an int") true
+            (jint field j <> None))
+        [ "in_flight"; "live"; "queued"; "cache_entries"; "traces"; "epoch" ];
+      match Json.member "metrics" j with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "metrics member missing or not an object")
+
+let test_trace_roundtrip () =
+  with_daemon (catalog ()) (fun d ->
+      let sql =
+        "SELECT ONLINE COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+      in
+      let id = "t-roundtrip.1" in
+      let resp, lines =
+        query d sql
+          ~headers:[ (Http.trace_header, id) ]
+          ~extra:[ ("seed", Json.Int 9); ("max_walks", Json.Int 2000) ]
+      in
+      Alcotest.(check int) "traced query ok" 200 resp.Http.status;
+      Alcotest.(check (option string))
+        "trace id echoed" (Some id)
+        (List.assoc_opt Http.trace_header resp.Http.resp_headers);
+      Alcotest.(check (option string))
+        "done" (Some "done")
+        (jstr "status" (final_of lines));
+      let t = Http.fetch (Daemon.url d ^ "/trace/" ^ id) in
+      Alcotest.(check int) "/trace/<id> is 200" 200 t.Http.status;
+      (* The retained document reads back through the exporter's own
+         verification path, and the request's scheduler grants are in it,
+         balanced. *)
+      let events = Wj_obs.Trace.events_of_json t.Http.resp_body in
+      Alcotest.(check bool) "trace has events" true (events <> []);
+      let phase_count want_ph =
+        List.length
+          (List.filter
+             (fun (name, _, ph, _) ->
+               ph = want_ph
+               && String.length name >= 8
+               && String.sub name 0 8 = "quantum:")
+             events)
+      in
+      Alcotest.(check bool) "has quantum spans" true (phase_count "B" > 0);
+      Alcotest.(check int) "balanced spans" (phase_count "B") (phase_count "E");
+      (* Unknown ids 404; an untraced request is echoed a generated id but
+         retains nothing. *)
+      let miss = Http.fetch (Daemon.url d ^ "/trace/nosuch") in
+      Alcotest.(check int) "unknown trace is 404" 404 miss.Http.status;
+      let resp2, _ =
+        query d sql ~extra:[ ("seed", Json.Int 10); ("max_walks", Json.Int 500) ]
+      in
+      match List.assoc_opt Http.trace_header resp2.Http.resp_headers with
+      | None -> Alcotest.fail "untraced query still gets an id"
+      | Some gen ->
+        let t2 = Http.fetch (Daemon.url d ^ "/trace/" ^ gen) in
+        Alcotest.(check int) "untraced query retains no trace" 404
+          t2.Http.status)
+
+(* The whole observability surface at once — tracing on, access log on,
+   /metrics scraped concurrently — must not move a single bit of the
+   estimate stream. *)
+let test_obs_bit_for_bit () =
+  let sql =
+    "SELECT ONLINE COUNT(*), SUM(l_quantity) FROM orders, lineitem \
+     WHERE o_orderkey = l_orderkey"
+  in
+  let extra = [ ("seed", Json.Int 31337); ("max_walks", Json.Int 4000) ] in
+  let points lines =
+    List.filter (is_type "progress") lines
+    |> List.map (fun j ->
+           {
+             p_walks = Option.get (jint "walks" j);
+             p_succ = Option.get (jint "successes" j);
+             p_est = bits (Option.get (jflt "estimate" j));
+             p_hw = bits (Option.get (jflt "half_width" j));
+           })
+  in
+  (* The final items minus the one field that is wall time, not PRNG. *)
+  let items_sans_elapsed final =
+    Option.get (Option.bind (Json.member "items" final) Json.to_list)
+    |> List.map (fun item ->
+           match item with
+           | Json.Obj fields ->
+             Json.to_string
+               (Json.Obj (List.filter (fun (k, _) -> k <> "elapsed") fields))
+           | _ -> Alcotest.fail "item is not an object")
+    |> String.concat ";"
+  in
+  let plain =
+    with_daemon ~quantum:256 ~max_live:4 (catalog ()) (fun d ->
+        let _, lines = query d sql ~extra in
+        (points lines, items_sans_elapsed (final_of lines)))
+  in
+  let log_file = Filename.temp_file "wj_access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log_file)
+    (fun () ->
+      let observed =
+        with_daemon ~quantum:256 ~max_live:4 ~access_log:log_file
+          ~slow_query_ms:0.001 (catalog ()) (fun d ->
+            let stop = Atomic.make false in
+            let scraper =
+              Thread.create
+                (fun () ->
+                  while not (Atomic.get stop) do
+                    ignore (Http.fetch (Daemon.url d ^ "/metrics"));
+                    Thread.yield ()
+                  done)
+                ()
+            in
+            let result =
+              Fun.protect
+                ~finally:(fun () ->
+                  Atomic.set stop true;
+                  Thread.join scraper)
+                (fun () ->
+                  let _, lines =
+                    query d sql ~headers:[ (Http.trace_header, "obs-bfb") ] ~extra
+                  in
+                  (points lines, items_sans_elapsed (final_of lines)))
+            in
+            result)
+      in
+      Alcotest.(check int)
+        "same report count" (List.length (fst plain))
+        (List.length (fst observed));
+      List.iteri
+        (fun k (e, g) ->
+          if e <> g then
+            Alcotest.failf "report %d: expected %s, got %s" k (show_point e)
+              (show_point g))
+        (List.combine (fst plain) (fst observed));
+      Alcotest.(check string) "identical final items" (snd plain) (snd observed);
+      (* And the access log captured the request, structured. *)
+      let ic = open_in log_file in
+      let line = input_line ic in
+      close_in ic;
+      let j = Json.parse line in
+      Alcotest.(check (option string)) "trace id logged" (Some "obs-bfb") (jstr "trace" j);
+      Alcotest.(check (option string)) "outcome" (Some "done") (jstr "outcome" j);
+      Alcotest.(check bool) "walks logged" true (jint "walks" j <> None);
+      Alcotest.(check bool) "stmt hash logged" true
+        (match jstr "stmt" j with Some h -> String.length h = 32 | None -> false);
+      (* slow_query_ms ≈ 0 makes everything slow: the convergence fit rides
+         along, with a negative exponent (the CI shrinks). *)
+      Alcotest.(check (option bool)) "slow" (Some true) (jbool "slow" j);
+      match Json.member "fit" j with
+      | Some fit ->
+        Alcotest.(check bool) "fit exponent < 0" true
+          (match jflt "exponent" fit with Some e -> e < 0.0 | None -> false)
+      | None -> Alcotest.fail "no convergence fit in slow-query line")
+
+(* Sub-millisecond exact answers are not worth caching: the admission
+   floor skips them (and counts the skip); a zero floor admits them. *)
+let test_cache_skip_cheap () =
+  let sql = "SELECT COUNT(*) FROM region" in
+  with_daemon (catalog ()) (fun d ->
+      let _, l1 = query d sql in
+      Alcotest.(check (option bool)) "first computes" (Some false)
+        (jbool "cached" (final_of l1));
+      let _, l2 = query d sql in
+      Alcotest.(check (option bool)) "repeat still computes" (Some false)
+        (jbool "cached" (final_of l2));
+      let m = Http.fetch (Daemon.url d ^ "/metrics") in
+      let _, samples = parse_exposition m.Http.resp_body in
+      Alcotest.(check bool) "skips counted" true
+        (sum_family samples "wj_cache_skipped_cheap" >= 2.0));
+  with_daemon ~cache_min_cost:0.0 (catalog ()) (fun d ->
+      let _, l1 = query d sql in
+      Alcotest.(check (option bool)) "zero floor: first computes" (Some false)
+        (jbool "cached" (final_of l1));
+      let _, l2 = query d sql in
+      Alcotest.(check (option bool)) "zero floor: repeat hits" (Some true)
+        (jbool "cached" (final_of l2)))
+
 (* ---- statement normalization -------------------------------------------- *)
 
 let norm ?catalog sql = Normalize.statement ?catalog (Parser.parse sql)
@@ -490,6 +787,18 @@ let () =
           Alcotest.test_case "client disconnect cancels the session" `Quick
             test_disconnect_cancels;
           Alcotest.test_case "errors map to HTTP statuses" `Quick test_wire_errors;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "/metrics exposition + reconciliation" `Quick
+            test_metrics_endpoint;
+          Alcotest.test_case "/stats shape" `Quick test_stats_shape;
+          Alcotest.test_case "X-WJ-Trace round-trips through /trace/<id>" `Quick
+            test_trace_roundtrip;
+          Alcotest.test_case "tracing + access log + scraping move no bits"
+            `Quick test_obs_bit_for_bit;
+          Alcotest.test_case "cache admission skips cheap exact answers" `Quick
+            test_cache_skip_cheap;
         ] );
       ( "normalization",
         [ Alcotest.test_case "statement normal form" `Quick test_normalization ] );

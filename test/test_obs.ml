@@ -8,6 +8,8 @@ module Histogram = Wj_obs.Histogram
 module Gauge = Wj_obs.Gauge
 module Metrics = Wj_obs.Metrics
 module Snapshot = Wj_obs.Snapshot
+module Prom = Wj_obs.Prom
+module Trace = Wj_obs.Trace
 module Sink = Wj_obs.Sink
 module Event = Wj_obs.Event
 module Progress = Wj_obs.Progress
@@ -303,6 +305,87 @@ let run_config_equiv =
            (Int64.bits_of_float legacy.Online.final.half_width)
            (Int64.bits_of_float session.Online.final.half_width))
 
+(* ---- Prometheus exposition -------------------------------------------- *)
+
+let test_prom_render () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "walker.walks" in
+  Counter.add c 3;
+  Gauge.set (Metrics.gauge m "sched.live") 2.0;
+  let h = Metrics.histogram m ~buckets:8 "walker.failure_depth" in
+  Histogram.observe h 0;
+  Histogram.observe h 2;
+  Histogram.observe h 2;
+  (* Scope-prefix conventions collapse into labels rather than name soup. *)
+  Counter.incr (Metrics.counter (Metrics.scoped m "session7") "walker.walks");
+  Gauge.set (Metrics.gauge (Metrics.scoped m "tenant.acme") "in_flight") 1.0;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE wj_in_flight gauge";
+        "wj_in_flight{tenant=\"acme\"} 1";
+        "# TYPE wj_sched_live gauge";
+        "wj_sched_live 2";
+        "# TYPE wj_walker_failure_depth histogram";
+        "wj_walker_failure_depth_bucket{le=\"0\"} 1";
+        "wj_walker_failure_depth_bucket{le=\"1\"} 1";
+        "wj_walker_failure_depth_bucket{le=\"2\"} 3";
+        "wj_walker_failure_depth_bucket{le=\"+Inf\"} 3";
+        "wj_walker_failure_depth_sum 4";
+        "wj_walker_failure_depth_count 3";
+        "# TYPE wj_walker_walks counter";
+        "wj_walker_walks{session=\"7\"} 1";
+        "wj_walker_walks 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "exposition" expected (Prom.render m);
+  Alcotest.(check string)
+    "content type" "text/plain; version=0.0.4" Prom.content_type
+
+let test_prom_kind_collision () =
+  (* Two registry names collapsing onto one exposed family with different
+     kinds: the first (registry order) wins, the latecomer is dropped, and
+     the output stays well-formed (one # TYPE per family). *)
+  let m = Metrics.create () in
+  Counter.incr (Metrics.counter m "cache.hits");
+  Gauge.set (Metrics.gauge m "cache_hits") 9.0;
+  let body = Prom.render m in
+  Alcotest.(check string) "first kind wins"
+    "# TYPE wj_cache_hits counter\nwj_cache_hits 1\n" body
+
+(* ---- Chrome-trace export round-trip ------------------------------------ *)
+
+let test_trace_json_roundtrip () =
+  let clock = Timer.virtual_ () in
+  let tr = Trace.create ~capacity:64 ~clock () in
+  Trace.span_begin tr ~cat:"driver" "quantum:0";
+  Timer.advance clock 0.002;
+  Trace.instant tr ~cat:"walker" "walker.index_probe";
+  Timer.advance clock 0.001;
+  Trace.span_end tr ~cat:"driver" ();
+  Trace.complete tr ~cat:"io" ~dur:0.004 "read";
+  let events = Trace.events_of_json (Trace.to_json tr) in
+  Alcotest.(check int) "one tuple per buffered event" (Trace.length tr)
+    (List.length events);
+  Alcotest.(check (list (triple string string string)))
+    "names, cats, phases"
+    [
+      ("quantum:0", "driver", "B");
+      ("walker.index_probe", "walker", "i");
+      ("quantum:0", "driver", "E");
+      ("read", "io", "X");
+    ]
+    (List.map (fun (n, c, ph, _) -> (n, c, ph)) events);
+  (match events with
+  | [ (_, _, _, t0); (_, _, _, t1); (_, _, _, t2); _ ] ->
+      Alcotest.(check (float 1e-6)) "begin ts" 0.0 t0;
+      Alcotest.(check (float 1e-6)) "instant ts" 0.002 t1;
+      Alcotest.(check (float 1e-6)) "end ts" 0.003 t2
+  | _ -> Alcotest.fail "unexpected event count");
+  Alcotest.(check int) "balanced" 0 (Trace.depth tr);
+  Alcotest.(check int) "no drops" 0 (Trace.dropped tr)
+
 let test_progress_accessors () =
   let p =
     Progress.make ~elapsed:1.0 ~walks:10 ~successes:4 ~tuples:30 ~estimate:5.0
@@ -328,6 +411,14 @@ let () =
       ( "snapshot",
         [ Alcotest.test_case "render + JSON round-trip" `Quick test_snapshot_roundtrip ]
       );
+      ( "prom",
+        [
+          Alcotest.test_case "text exposition" `Quick test_prom_render;
+          Alcotest.test_case "kind collision drops latecomer" `Quick
+            test_prom_kind_collision;
+          Alcotest.test_case "chrome trace JSON round-trip" `Quick
+            test_trace_json_roundtrip;
+        ] );
       ( "driver",
         [ Alcotest.test_case "poll-mask validation" `Quick test_polls_mask_validation ]
       );

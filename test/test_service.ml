@@ -491,6 +491,46 @@ let test_sharded_drain_matches_single_domain () =
         (Snapshot.counter_value snapn family))
     single
 
+(* PR-8 left a gap: spans recorded by shard workers died with the shard
+   trace on [drain].  Each shard now keeps its own span buffer and the
+   join barrier merges them into the submitter's trace in shard order, so
+   a sharded drain retains exactly the spans a single-domain drain does. *)
+let test_sharded_drain_preserves_spans () =
+  let catalog = Lazy.force tpch_catalog_queries in
+  let run ~domains =
+    let clock = Timer.virtual_ () in
+    let tr = Wj_obs.Trace.create ~capacity:65536 ~clock () in
+    let m = Metrics.create () in
+    let sched =
+      Scheduler.create ~quantum:128 ~max_live:16 ~domains
+        ~sink:(Sink.make ~metrics:m ~trace:tr ()) ~clock ()
+    in
+    List.iteri
+      (fun i (q, reg) ->
+        let cfg =
+          Run_config.make ~seed:(100 + i) ~max_walks:(500 + (100 * (i mod 4)))
+            ~max_time:3600.0 ~plan_choice:Run_config.First_enumerated ()
+        in
+        ignore
+          (Scheduler.submit sched ~label:(Printf.sprintf "s%d" i) ~pin:i cfg q
+             reg))
+      catalog;
+    Scheduler.drain sched;
+    tr
+  in
+  let tr1 = run ~domains:1 and tr3 = run ~domains:3 in
+  let counts tr =
+    List.map (fun (name, (_, n)) -> (name, n)) (Wj_obs.Trace.totals tr)
+  in
+  Alcotest.(check bool) "spans recorded at all" true (counts tr1 <> []);
+  List.iter
+    (fun tr ->
+      Alcotest.(check int) "balanced" 0 (Wj_obs.Trace.depth tr);
+      Alcotest.(check int) "no drops" 0 (Wj_obs.Trace.dropped tr))
+    [ tr1; tr3 ];
+  Alcotest.(check (list (pair string int)))
+    "same per-span event counts at 1 vs 3 domains" (counts tr1) (counts tr3)
+
 (* Pinning is what makes the multi-domain run reproducible: two sessions
    sharing a pin land on the same shard at any domain count. *)
 let test_sharded_pinning_groups () =
@@ -630,6 +670,8 @@ let () =
         [
           Alcotest.test_case "16 pinned TPC-H sessions: 1 domain = 3 domains"
             `Quick test_sharded_drain_matches_single_domain;
+          Alcotest.test_case "sharded drain preserves spans" `Quick
+            test_sharded_drain_preserves_spans;
           Alcotest.test_case "pinning groups sessions per shard" `Quick
             test_sharded_pinning_groups;
         ] );
